@@ -1,0 +1,293 @@
+// Package aggcavsat computes the range consistent answers of SQL
+// aggregation queries (COUNT(*), COUNT, SUM, MIN, MAX, with or without
+// GROUP BY and DISTINCT) over inconsistent relational databases, by
+// reduction to Weighted Partial MaxSAT — a from-scratch Go
+// implementation of the AggCAvSAT system (Dixit & Kolaitis, ICDE 2022).
+//
+// A database is a set of facts over a schema with integrity constraints:
+// either one key per relation, or an arbitrary set of denial
+// constraints. When the data violates the constraints, a *repair* is a
+// maximal consistent subset of the facts. The range consistent answer of
+// an aggregation query is the tightest interval [glb, lub] containing
+// the query's value over every repair; for grouped queries, a group is
+// reported only if it appears in every repair.
+//
+// Basic use:
+//
+//	schema := aggcavsat.NewSchema()
+//	// … declare relations, load facts …
+//	sys, err := aggcavsat.Open(instance, aggcavsat.Options{})
+//	res, err := sys.Query(`SELECT CITY, SUM(BAL) FROM Accounts GROUP BY CITY`)
+//	for _, row := range res.Rows {
+//	    fmt.Println(row.Key, row.Ranges) // e.g. [LA] [[900, 2200]]
+//	}
+//
+// The heavy lifting lives in the internal packages: internal/sat (CDCL
+// solver), internal/maxsat (core-guided and linear WPMaxSAT),
+// internal/cq (conjunctive-query evaluation and witness bags),
+// internal/core (the paper's reductions), internal/sqlparse (the SQL
+// front end). This package is the stable façade over them.
+package aggcavsat
+
+import (
+	"fmt"
+	"sort"
+
+	"aggcavsat/internal/constraints"
+	"aggcavsat/internal/core"
+	"aggcavsat/internal/cq"
+	"aggcavsat/internal/db"
+	"aggcavsat/internal/maxsat"
+	"aggcavsat/internal/sqlparse"
+)
+
+// Re-exported building blocks, so most programs only import this
+// package.
+type (
+	// Schema declares relations and their key constraints.
+	Schema = db.Schema
+	// RelationSchema describes one relation.
+	RelationSchema = db.RelationSchema
+	// Attribute is one column.
+	Attribute = db.Attribute
+	// Instance is a (possibly inconsistent) set of facts.
+	Instance = db.Instance
+	// Tuple is one row of values.
+	Tuple = db.Tuple
+	// Value is a dynamically typed scalar.
+	Value = db.Value
+	// DenialConstraint forbids a pattern of co-occurring tuples.
+	DenialConstraint = constraints.DC
+	// AggQuery is the algebraic form of an aggregation query.
+	AggQuery = cq.AggQuery
+	// UCQ is a union of conjunctive queries.
+	UCQ = cq.UCQ
+	// Range is a range consistent answer interval.
+	Range = core.Range
+	// Stats instruments a computation (encode/solve split, CNF sizes,
+	// SAT calls).
+	Stats = core.Stats
+)
+
+// Value constructors and kinds.
+var (
+	Null  = db.Null
+	Int   = db.Int
+	Float = db.Float
+	Str   = db.Str
+)
+
+// Kind constants for attribute declarations.
+const (
+	KindInt    = db.KindInt
+	KindFloat  = db.KindFloat
+	KindString = db.KindString
+)
+
+// NewSchema creates an empty schema.
+func NewSchema() *Schema { return db.NewSchema() }
+
+// NewInstance creates an empty instance over the schema.
+func NewInstance(s *Schema) *Instance { return db.NewInstance(s) }
+
+// LoadDir loads an instance from a directory of <relation>.csv files.
+func LoadDir(s *Schema, dir string) (*Instance, error) { return db.LoadDir(s, dir) }
+
+// FD builds denial constraints for the functional dependency lhs → rhs
+// on the relation.
+func FD(rs *RelationSchema, lhs []string, rhs ...string) ([]DenialConstraint, error) {
+	return constraints.FD(rs, lhs, rhs...)
+}
+
+// SolverAlgorithm selects the MaxSAT strategy.
+type SolverAlgorithm = maxsat.Algorithm
+
+// MaxSAT solving strategies.
+const (
+	// SolverMaxHS is implicit-hitting-set MaxSAT, as in the MaxHS solver
+	// the paper deploys (default).
+	SolverMaxHS = maxsat.AlgMaxHS
+	// SolverRC2 is core-guided MaxSAT.
+	SolverRC2 = maxsat.AlgRC2
+	// SolverLSU is linear solution-improving search.
+	SolverLSU = maxsat.AlgLSU
+	// SolverExternal shells out to a MaxHS-compatible binary.
+	SolverExternal = maxsat.AlgExternal
+)
+
+// Options configures a System.
+type Options struct {
+	// DenialConstraints switches the system from per-relation key
+	// constraints (the default, taken from the schema) to an explicit
+	// denial-constraint set (Reduction V.1).
+	DenialConstraints []DenialConstraint
+	// Solver selects the MaxSAT algorithm; SolverRC2 by default.
+	Solver SolverAlgorithm
+	// ExternalSolverPath is the MaxHS-compatible binary for
+	// SolverExternal.
+	ExternalSolverPath string
+}
+
+// System answers queries over one instance.
+type System struct {
+	in     *db.Instance
+	engine *core.Engine
+}
+
+// Open prepares a system over the instance.
+func Open(in *Instance, opts Options) (*System, error) {
+	engOpts := core.Options{
+		Mode: core.KeysMode,
+		MaxSAT: maxsat.Options{
+			Algorithm:  opts.Solver,
+			SolverPath: opts.ExternalSolverPath,
+		},
+	}
+	if len(opts.DenialConstraints) > 0 {
+		engOpts.Mode = core.DCMode
+		engOpts.DCs = opts.DenialConstraints
+	}
+	eng, err := core.New(in, engOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &System{in: in, engine: eng}, nil
+}
+
+// Row is one group of a query result: the grouping key (empty for
+// scalar queries) and one range per aggregate in the SELECT list.
+type Row struct {
+	Key    Tuple
+	Ranges []Range
+}
+
+// Result is the outcome of Query.
+type Result struct {
+	// Columns names the result columns: grouping columns first, then
+	// one per aggregate.
+	Columns []string
+	Rows    []Row
+	Stats   Stats
+}
+
+// Query parses an aggregation-SQL statement, computes the range
+// consistent answers of every aggregate in its SELECT list, and applies
+// the statement's ORDER BY and TOP clauses to the consistent groups.
+func (s *System) Query(sql string) (*Result, error) {
+	tr, err := sqlparse.ParseAndTranslate(sql, s.in.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return s.run(tr)
+}
+
+func (s *System) run(tr *sqlparse.Translation) (*Result, error) {
+	res := &Result{}
+	for _, g := range tr.GroupCols {
+		res.Columns = append(res.Columns, g.String())
+	}
+	type keyed struct {
+		key    Tuple
+		ranges []Range
+	}
+	var rows []keyed
+	index := map[string]int{}
+	positions := []int{}
+	for ai, agg := range tr.Aggs {
+		res.Columns = append(res.Columns, agg.Item.String())
+		rep, err := s.engine.RangeAnswers(agg.Query)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats = accumulate(res.Stats, rep.Stats)
+		for _, a := range rep.Answers {
+			if len(positions) != len(a.Key) {
+				positions = positions[:0]
+				for i := range a.Key {
+					positions = append(positions, i)
+				}
+			}
+			k := a.Key.Key(positions)
+			ri, ok := index[k]
+			if !ok {
+				ri = len(rows)
+				index[k] = ri
+				rows = append(rows, keyed{key: a.Key, ranges: make([]Range, len(tr.Aggs))})
+			}
+			rows[ri].ranges[ai] = a.Range
+		}
+	}
+	// Order: ORDER BY keys, then the full group key for determinism.
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range tr.OrderBy {
+			c := rows[i].key[k.GroupIndex].Compare(rows[j].key[k.GroupIndex])
+			if k.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return rows[i].key.Compare(rows[j].key) < 0
+	})
+	if tr.Top > 0 && len(rows) > tr.Top {
+		rows = rows[:tr.Top]
+	}
+	for _, r := range rows {
+		res.Rows = append(res.Rows, Row{Key: r.key, Ranges: r.ranges})
+	}
+	return res, nil
+}
+
+// RangeAnswers computes the range consistent answers of an algebraic
+// aggregation query (the non-SQL entry point).
+func (s *System) RangeAnswers(q AggQuery) ([]GroupAnswer, Stats, error) {
+	rep, err := s.engine.RangeAnswers(q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := make([]GroupAnswer, len(rep.Answers))
+	for i, a := range rep.Answers {
+		out[i] = GroupAnswer{Key: a.Key, Range: a.Range}
+	}
+	return out, rep.Stats, nil
+}
+
+// GroupAnswer pairs a grouping key with its range.
+type GroupAnswer = core.GroupAnswer
+
+// ConsistentAnswers computes CONS(q) of a union of conjunctive queries:
+// the answers certain to appear regardless of how the database is
+// repaired.
+func (s *System) ConsistentAnswers(u UCQ) ([]Tuple, error) {
+	ans, _, err := s.engine.ConsistentAnswers(u)
+	return ans, err
+}
+
+// FormatRange renders an interval like "[900, 2200]" ("1500" when the
+// endpoints agree).
+func FormatRange(r Range) string {
+	if !r.GLB.IsNull() && r.GLB.Equal(r.LUB) {
+		return r.GLB.String()
+	}
+	return fmt.Sprintf("[%s, %s]", r.GLB, r.LUB)
+}
+
+func accumulate(a, b Stats) Stats {
+	a.WitnessTime += b.WitnessTime
+	a.ConstraintTime += b.ConstraintTime
+	a.EncodeTime += b.EncodeTime
+	a.SolveTime += b.SolveTime
+	a.SATCalls += b.SATCalls
+	a.MaxSATRuns += b.MaxSATRuns
+	a.Vars += b.Vars
+	a.Clauses += b.Clauses
+	if b.MaxVars > a.MaxVars {
+		a.MaxVars = b.MaxVars
+	}
+	if b.MaxClauses > a.MaxClauses {
+		a.MaxClauses = b.MaxClauses
+	}
+	a.ConsistentPartSkips += b.ConsistentPartSkips
+	return a
+}

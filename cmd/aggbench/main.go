@@ -1,0 +1,47 @@
+// Command aggbench regenerates the paper's evaluation tables and
+// figures (Section VI) on the scaled-down substrate.
+//
+//	aggbench                # run everything, in paper order
+//	aggbench -exp fig1      # one experiment (see -list)
+//	aggbench -sf-small 0.002 -seed 7
+//
+// Output is plain text, one aligned table per experiment; EXPERIMENTS.md
+// is produced from a full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aggcavsat/internal/bench"
+)
+
+func main() {
+	cfg := bench.DefaultConfig()
+	exp := flag.String("exp", "all", "experiment to run ('all' or one of -list)")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Float64Var(&cfg.SFSmall, "sf-small", cfg.SFSmall, "scale factor standing in for the paper's 1 GB repairs")
+	flag.Float64Var(&cfg.SFMedium, "sf-medium", cfg.SFMedium, "scale factor for 3 GB")
+	flag.Float64Var(&cfg.SFLarge, "sf-large", cfg.SFLarge, "scale factor for 5 GB")
+	flag.Float64Var(&cfg.MedigapScale, "medigap-scale", cfg.MedigapScale, "Medigap dataset scale (1.0 = 61K tuples)")
+	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.Names(), "\n"))
+		return
+	}
+	r := bench.NewRunner(cfg)
+	var err error
+	if *exp == "all" {
+		err = r.All(os.Stdout)
+	} else {
+		err = r.Experiment(*exp, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aggbench:", err)
+		os.Exit(1)
+	}
+}

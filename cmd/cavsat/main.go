@@ -1,0 +1,96 @@
+// Command cavsat computes range consistent answers of an aggregation
+// SQL query over a CSV-backed database, the end-user surface of the
+// AggCAvSAT system.
+//
+// The database lives in a directory with one <relation>.csv per relation
+// plus a schema.txt describing relations and constraints:
+//
+//	# relation <name> (<attr>:<int|float|string> ...) [key <attr> ...]
+//	relation Cust (CID:string NAME:string CITY:string) key CID
+//	relation Acc  (ACCID:string TYPE:string CITY:string BAL:int) key ACCID
+//	# optional functional dependencies (switches the engine to denial
+//	# constraints):
+//	fd Cust CID -> NAME
+//
+// Example:
+//
+//	cavsat -data ./bankdir "SELECT CITY, COUNT(*) FROM Cust GROUP BY CITY"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"aggcavsat"
+	"aggcavsat/internal/schemafile"
+)
+
+func main() {
+	dataDir := flag.String("data", ".", "directory with schema.txt and <relation>.csv files")
+	solver := flag.String("solver", "maxhs", "MaxSAT algorithm: maxhs, rc2, lsu, external")
+	external := flag.String("external-solver", "", "path to a MaxHS-compatible binary (solver=external)")
+	stats := flag.Bool("stats", false, "print solving statistics")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cavsat [-data dir] \"SELECT ...\"")
+		os.Exit(2)
+	}
+	sql := flag.Arg(0)
+
+	sf, err := os.Open(filepath.Join(*dataDir, "schema.txt"))
+	fatalIf(err)
+	parsed, err := schemafile.Read(sf)
+	sf.Close()
+	fatalIf(err)
+	in, err := aggcavsat.LoadDir(parsed.Schema, *dataDir)
+	fatalIf(err)
+
+	opts := aggcavsat.Options{DenialConstraints: parsed.FDs, ExternalSolverPath: *external}
+	switch *solver {
+	case "maxhs":
+		opts.Solver = aggcavsat.SolverMaxHS
+	case "rc2":
+		opts.Solver = aggcavsat.SolverRC2
+	case "lsu":
+		opts.Solver = aggcavsat.SolverLSU
+	case "external":
+		opts.Solver = aggcavsat.SolverExternal
+	default:
+		fatalIf(fmt.Errorf("unknown solver %q", *solver))
+	}
+	sys, err := aggcavsat.Open(in, opts)
+	fatalIf(err)
+
+	res, err := sys.Query(sql)
+	fatalIf(err)
+
+	fmt.Println(strings.Join(res.Columns, " | "))
+	for _, row := range res.Rows {
+		var cells []string
+		for _, v := range row.Key {
+			cells = append(cells, v.String())
+		}
+		for _, rng := range row.Ranges {
+			cells = append(cells, aggcavsat.FormatRange(rng))
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	if *stats {
+		st := res.Stats
+		fmt.Fprintf(os.Stderr,
+			"constraints %v, witnesses %v, encode %v, solve %v, %d SAT calls, %d MaxSAT runs, largest CNF %d vars / %d clauses\n",
+			st.ConstraintTime, st.WitnessTime, st.EncodeTime, st.SolveTime,
+			st.SATCalls, st.MaxSATRuns, st.MaxVars, st.MaxClauses)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cavsat:", err)
+		os.Exit(1)
+	}
+}

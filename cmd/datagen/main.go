@@ -1,0 +1,89 @@
+// Command datagen materializes the evaluation datasets as CSV
+// directories consumable by cmd/cavsat:
+//
+//	datagen -kind tpch    -sf 0.001 -inconsistency 10 -out ./tpch10
+//	datagen -kind pdbench -sf 0.001 -instance 2       -out ./pd2
+//	datagen -kind medigap -scale 0.25                 -out ./medigap
+//
+// A matching schema.txt (relations, keys, functional dependencies) is
+// written next to the CSV files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"aggcavsat/internal/db"
+	"aggcavsat/internal/medigap"
+	"aggcavsat/internal/pdbench"
+	"aggcavsat/internal/schemafile"
+	"aggcavsat/internal/tpch"
+)
+
+func main() {
+	kind := flag.String("kind", "tpch", "dataset: tpch, pdbench, medigap")
+	out := flag.String("out", "./data", "output directory")
+	sf := flag.Float64("sf", 0.001, "TPC-H scale factor (tpch, pdbench)")
+	pct := flag.Float64("inconsistency", 10, "percent of key-violating tuples (tpch)")
+	instance := flag.Int("instance", 1, "PDBench instance 1-4 (pdbench)")
+	scale := flag.Float64("scale", 0.25, "Medigap scale (medigap)")
+	seed := flag.Uint64("seed", 2022, "generator seed")
+	flag.Parse()
+
+	var (
+		in  *db.Instance
+		fds []string
+		err error
+	)
+	switch *kind {
+	case "tpch":
+		base := tpch.Generate(*sf, *seed)
+		in, err = tpch.Inject(base, tpch.InjectOptions{
+			Percent: *pct, MinGroup: 2, MaxGroup: 7, Seed: *seed + 1,
+		})
+	case "pdbench":
+		in, _, err = pdbench.Generate(*sf, *instance, *seed)
+	case "medigap":
+		in, err = medigap.Generate(*scale, *seed)
+		fds = []string{
+			"fd OBS orgID -> orgName",
+			"fd PBS addr city state_abbrev -> zip",
+		}
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	fatalIf(err)
+
+	fatalIf(in.SaveDir(*out))
+	fatalIf(writeSchema(in, filepath.Join(*out, "schema.txt"), fds))
+
+	var total int
+	for _, rs := range in.Schema().Relations() {
+		total += in.RelSize(rs.Name)
+	}
+	fmt.Printf("wrote %d tuples across %d relations to %s\n",
+		total, len(in.Schema().Relations()), *out)
+	for _, st := range in.KeyInconsistency() {
+		if st.ViolatingFacts > 0 {
+			fmt.Printf("  %-10s %6d tuples, %5.2f%% violating keys\n", st.Rel, st.Facts, st.Percent())
+		}
+	}
+}
+
+func writeSchema(in *db.Instance, path string, fds []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return schemafile.Write(f, in.Schema(), fds)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,75 @@
+// Command wcnfsolve is a standalone Weighted Partial MaxSAT solver for
+// DIMACS WCNF files, speaking the MaxSAT-evaluation output convention
+// ("o <cost>", "s OPTIMUM FOUND" / "s UNSATISFIABLE", "v <literals>").
+//
+//	wcnfsolve [-alg maxhs|rc2|lsu] problem.wcnf
+//
+// It doubles as a drop-in "external solver" for aggcavsat itself
+// (Options.ExternalSolverPath), which closes the loop on the paper's
+// process-level MaxHS integration without shipping a binary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aggcavsat/internal/cnf"
+	"aggcavsat/internal/maxsat"
+)
+
+func main() {
+	alg := flag.String("alg", "maxhs", "algorithm: maxhs, rc2, lsu")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wcnfsolve [-alg maxhs|rc2|lsu] problem.wcnf")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	fatalIf(err)
+	formula, err := cnf.ReadWCNF(f)
+	f.Close()
+	fatalIf(err)
+
+	opts := maxsat.Options{}
+	switch *alg {
+	case "maxhs":
+		opts.Algorithm = maxsat.AlgMaxHS
+	case "rc2":
+		opts.Algorithm = maxsat.AlgRC2
+	case "lsu":
+		opts.Algorithm = maxsat.AlgLSU
+	default:
+		fatalIf(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+	res, err := maxsat.Solve(formula, opts)
+	fatalIf(err)
+
+	if !res.Satisfiable {
+		fmt.Println("s UNSATISFIABLE")
+		os.Exit(20)
+	}
+	fmt.Printf("c sat calls: %d, conflicts: %d\n", res.SATCalls, res.Conflicts)
+	fmt.Printf("o %d\n", res.FalsifiedWeight)
+	fmt.Println("s OPTIMUM FOUND")
+	var sb strings.Builder
+	sb.WriteString("v")
+	for v := 1; v <= formula.NumVars(); v++ {
+		lit := v
+		if !res.Model[v] {
+			lit = -v
+		}
+		fmt.Fprintf(&sb, " %d", lit)
+	}
+	sb.WriteString(" 0")
+	fmt.Println(sb.String())
+	os.Exit(30)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wcnfsolve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module aggcavsat
+
+go 1.22

@@ -1,0 +1,309 @@
+package cnf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLit(t *testing.T) {
+	l := Lit(5)
+	if l.Var() != 5 || !l.Positive() || l.Neg() != Lit(-5) {
+		t.Error("positive literal accessors")
+	}
+	n := Lit(-3)
+	if n.Var() != 3 || n.Positive() || n.Neg() != Lit(3) {
+		t.Error("negative literal accessors")
+	}
+}
+
+func TestFormulaBasics(t *testing.T) {
+	f := New(2)
+	if f.NumVars() != 2 {
+		t.Error("NumVars after New")
+	}
+	f.AddHard(1, -2)
+	f.AddSoft(3, 2)
+	if f.NumClauses() != 2 {
+		t.Error("NumClauses")
+	}
+	if f.Clauses()[0].Hard() == false || f.Clauses()[1].Hard() == true {
+		t.Error("hard/soft classification")
+	}
+	if f.TotalSoftWeight() != 3 {
+		t.Error("TotalSoftWeight")
+	}
+	v := f.NewVar()
+	if v != 3 || f.NumVars() != 3 {
+		t.Error("NewVar")
+	}
+	// Adding a clause mentioning variable 9 grows NumVars.
+	f.AddHard(9)
+	if f.NumVars() != 9 {
+		t.Error("NumVars auto-grow")
+	}
+}
+
+func TestFormulaPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	f := New(1)
+	mustPanic("zero weight", func() { f.AddSoft(0, 1) })
+	mustPanic("negative weight", func() { f.AddSoft(-2, 1) })
+	mustPanic("zero literal", func() { f.AddHard(0) })
+	mustPanic("negative var count", func() { New(-1) })
+}
+
+func TestAddCopiesLits(t *testing.T) {
+	f := New(2)
+	lits := []Lit{1, 2}
+	f.AddHard(lits...)
+	lits[0] = -1
+	if f.Clauses()[0].Lits[0] != 1 {
+		t.Error("AddHard must copy literal slice")
+	}
+}
+
+func TestStats(t *testing.T) {
+	f := New(3)
+	f.AddHard(1, 2)
+	f.AddSoft(2, -3)
+	f.AddSoft(5, 1, 3)
+	s := f.Stats()
+	if s.Vars != 3 || s.Clauses != 3 || s.HardClauses != 1 || s.SoftClauses != 2 || s.SoftWeight != 7 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestEval(t *testing.T) {
+	f := New(3)
+	f.AddHard(1, 2)                             // x1 or x2
+	f.AddSoft(2, -1)                            // not x1, weight 2
+	f.AddSoft(5, 3)                             // x3, weight 5
+	assign := []bool{false, true, false, false} // x1=T, x2=F, x3=F
+	hardOK, sat, fals := f.Eval(assign)
+	if !hardOK {
+		t.Error("hard clause satisfied by x1")
+	}
+	if sat != 0 || fals != 7 {
+		t.Errorf("sat=%d fals=%d, want 0/7", sat, fals)
+	}
+	assign = []bool{false, false, true, true} // x1=F, x2=T, x3=T
+	hardOK, sat, fals = f.Eval(assign)
+	if !hardOK || sat != 7 || fals != 0 {
+		t.Errorf("hardOK=%v sat=%d fals=%d, want true/7/0", hardOK, sat, fals)
+	}
+	assign = []bool{false, false, false, false}
+	hardOK, _, _ = f.Eval(assign)
+	if hardOK {
+		t.Error("hard clause should be falsified")
+	}
+}
+
+func TestClone(t *testing.T) {
+	f := New(2)
+	f.AddHard(1, 2)
+	f.AddSoft(4, -1)
+	g := f.Clone()
+	g.AddHard(-2)
+	g.Clauses()[0].Lits[0] = -1
+	if f.NumClauses() != 2 {
+		t.Error("Clone shares clause slice")
+	}
+	if f.Clauses()[0].Lits[0] != 1 {
+		t.Error("Clone shares literal storage")
+	}
+}
+
+func TestSortLits(t *testing.T) {
+	f := New(3)
+	f.AddHard(3, -1, 2, 3)
+	f.SortLits()
+	got := f.Clauses()[0].Lits
+	want := []Lit{-1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("SortLits: got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortLits: got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestNegateSoftSemantics verifies Kügel's transformation on exhaustive
+// small formulas: for every assignment satisfying the hard clauses, the
+// best (max) satisfied-soft weight in the negated formula equals total
+// soft weight minus the min satisfied-soft weight in the original.
+func TestNegateSoftSemantics(t *testing.T) {
+	f := New(3)
+	f.AddHard(1, 2, 3)
+	f.AddSoft(2, 1, -2)
+	f.AddSoft(3, 2, 3)
+	f.AddSoft(1, -3)
+	g := f.NegateSoft()
+
+	minSat := int64(1 << 60)
+	for m := 0; m < 8; m++ {
+		assign := []bool{false, m&1 != 0, m&2 != 0, m&4 != 0}
+		hardOK, sat, _ := f.Eval(assign)
+		if hardOK && sat < minSat {
+			minSat = sat
+		}
+	}
+	// Maximize satisfied soft weight in g over all assignments to all of
+	// g's variables (originals plus auxiliaries).
+	maxSatG := int64(-1)
+	n := g.NumVars()
+	for m := 0; m < 1<<n; m++ {
+		assign := make([]bool, n+1)
+		for v := 1; v <= n; v++ {
+			assign[v] = m&(1<<(v-1)) != 0
+		}
+		hardOK, sat, _ := g.Eval(assign)
+		if hardOK && sat > maxSatG {
+			maxSatG = sat
+		}
+	}
+	if want := f.TotalSoftWeight() - minSat; maxSatG != want {
+		t.Errorf("NegateSoft: maxSat(g) = %d, want totalSoft - minSat(f) = %d", maxSatG, want)
+	}
+}
+
+func TestNegateSoftUnitShortcut(t *testing.T) {
+	f := New(1)
+	f.AddSoft(7, 1)
+	g := f.NegateSoft()
+	if g.NumVars() != 1 {
+		t.Error("unit soft clause should not allocate an auxiliary variable")
+	}
+	c := g.Clauses()[0]
+	if c.Hard() || c.Weight != 7 || len(c.Lits) != 1 || c.Lits[0] != -1 {
+		t.Errorf("unit negation clause = %+v", c)
+	}
+}
+
+func TestWCNFRoundTrip(t *testing.T) {
+	f := New(4)
+	f.AddHard(1, -2)
+	f.AddHard(3)
+	f.AddSoft(5, -4, 2)
+	f.AddSoft(1, 4)
+	var buf bytes.Buffer
+	if err := f.WriteWCNF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadWCNF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVars() != f.NumVars() || g.NumClauses() != f.NumClauses() {
+		t.Fatalf("round trip: %d vars %d clauses", g.NumVars(), g.NumClauses())
+	}
+	for i, c := range g.Clauses() {
+		orig := f.Clauses()[i]
+		if c.Hard() != orig.Hard() || (!c.Hard() && c.Weight != orig.Weight) {
+			t.Errorf("clause %d weight mismatch: %+v vs %+v", i, c, orig)
+		}
+		if len(c.Lits) != len(orig.Lits) {
+			t.Errorf("clause %d literal count", i)
+			continue
+		}
+		for j := range c.Lits {
+			if c.Lits[j] != orig.Lits[j] {
+				t.Errorf("clause %d literal %d", i, j)
+			}
+		}
+	}
+}
+
+func TestReadWCNFErrors(t *testing.T) {
+	bad := []string{
+		"",                      // no problem line
+		"p cnf 2 1\n1 0\n",      // wrong format tag
+		"p wcnf 2 1\n",          // missing top
+		"1 1 0\np wcnf 1 1 2\n", // clause before header
+		"p wcnf 1 1 2\n1 1\n",   // clause not 0-terminated
+		"p wcnf 1 1 2\nx 1 0\n", // bad weight
+		"p wcnf 1 1 2\n1 z 0\n", // bad literal
+	}
+	for i, s := range bad {
+		if _, err := ReadWCNF(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, s)
+		}
+	}
+}
+
+func TestReadWCNFComments(t *testing.T) {
+	src := "c comment\np wcnf 2 2 9\nc another\n9 1 2 0\n3 -1 0\n"
+	f, err := ReadWCNF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Clauses()[0].Hard() {
+		t.Error("top-weight clause should be hard")
+	}
+	if f.Clauses()[1].Hard() || f.Clauses()[1].Weight != 3 {
+		t.Error("soft clause mis-parsed")
+	}
+}
+
+func TestWCNFPropertyRoundTrip(t *testing.T) {
+	fn := func(seed uint32) bool {
+		s := uint64(seed) | 1
+		next := func(n int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return int(s % uint64(n))
+		}
+		f := New(5)
+		nc := 1 + next(6)
+		for i := 0; i < nc; i++ {
+			nl := 1 + next(3)
+			lits := make([]Lit, nl)
+			for j := range lits {
+				v := 1 + next(5)
+				if next(2) == 0 {
+					lits[j] = Lit(v)
+				} else {
+					lits[j] = Lit(-v)
+				}
+			}
+			if next(2) == 0 {
+				f.AddHard(lits...)
+			} else {
+				f.AddSoft(int64(1+next(9)), lits...)
+			}
+		}
+		var buf bytes.Buffer
+		if err := f.WriteWCNF(&buf); err != nil {
+			return false
+		}
+		g, err := ReadWCNF(&buf)
+		if err != nil {
+			return false
+		}
+		if g.NumClauses() != f.NumClauses() || g.TotalSoftWeight() != f.TotalSoftWeight() {
+			return false
+		}
+		for i := range f.Clauses() {
+			a, b := f.Clauses()[i], g.Clauses()[i]
+			if a.Hard() != b.Hard() || len(a.Lits) != len(b.Lits) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

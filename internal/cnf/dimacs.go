@@ -1,0 +1,103 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteWCNF serializes the formula in the classic DIMACS WCNF format
+// ("p wcnf <vars> <clauses> <top>"), the input format of MaxHS and other
+// MaxSAT-evaluation solvers. Hard clauses carry the top weight.
+func (f *Formula) WriteWCNF(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	top := f.TotalSoftWeight() + 1
+	if _, err := fmt.Fprintf(bw, "p wcnf %d %d %d\n", f.numVars, len(f.clauses), top); err != nil {
+		return err
+	}
+	for _, c := range f.clauses {
+		weight := c.Weight
+		if c.Hard() {
+			weight = top
+		}
+		if _, err := fmt.Fprintf(bw, "%d", weight); err != nil {
+			return err
+		}
+		for _, l := range c.Lits {
+			if _, err := fmt.Fprintf(bw, " %d", l); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(" 0\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWCNF parses a DIMACS WCNF formula (classic "p wcnf" header format).
+// Comment lines start with 'c'. Clauses whose weight equals the header's
+// top weight become hard clauses.
+func ReadWCNF(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
+	var f *Formula
+	var top int64 = -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		if strings.HasPrefix(text, "p") {
+			fields := strings.Fields(text)
+			if len(fields) != 5 || fields[1] != "wcnf" {
+				return nil, fmt.Errorf("cnf: line %d: bad problem line %q", line, text)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad var count: %w", line, err)
+			}
+			top, err = strconv.ParseInt(fields[4], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad top weight: %w", line, err)
+			}
+			f = New(nv)
+			continue
+		}
+		if f == nil {
+			return nil, fmt.Errorf("cnf: line %d: clause before problem line", line)
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || fields[len(fields)-1] != "0" {
+			return nil, fmt.Errorf("cnf: line %d: clause not 0-terminated", line)
+		}
+		weight, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cnf: line %d: bad weight: %w", line, err)
+		}
+		lits := make([]Lit, 0, len(fields)-2)
+		for _, s := range fields[1 : len(fields)-1] {
+			n, err := strconv.Atoi(s)
+			if err != nil || n == 0 {
+				return nil, fmt.Errorf("cnf: line %d: bad literal %q", line, s)
+			}
+			lits = append(lits, Lit(n))
+		}
+		if weight >= top {
+			f.AddHard(lits...)
+		} else {
+			f.AddSoft(weight, lits...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, fmt.Errorf("cnf: no problem line found")
+	}
+	return f, nil
+}

@@ -1,0 +1,808 @@
+// Package conquer implements a ConQuer-style baseline: range consistent
+// answers of C_aggforest aggregation queries computed by pure relational
+// evaluation, with no SAT solving.
+//
+// ConQuer (Fuxman, Fazli, Miller; SIGMOD'05) rewrites such queries into
+// SQL evaluated directly on the inconsistent database. On our in-memory
+// engine the equivalent computation is a dynamic program over key-equal
+// groups arranged in the query's join tree:
+//
+//   - the query must be a single self-join-free conjunctive query whose
+//     join graph is a tree rooted at the aggregation relation, every
+//     child atom joined from its parent on the child's *full key* (the
+//     defining property of C_forest); comparisons must be local to one
+//     atom, and SUM values must be non-negative;
+//   - a root fact yields at most one result row (full-key joins are
+//     functional), so per key-equal group of the root the adversary
+//     (glb) or the advocate (lub) picks the best alternative, where an
+//     alternative's contribution depends on whether its join chain is
+//     *certain* (survives every repair) or merely *possible*;
+//   - a group key is a consistent answer iff some root key-equal group
+//     contributes a row to it under every repair.
+//
+// Queries outside the class are rejected with ErrNotInClass — exactly
+// how the paper treats Q5 ("not in C_aggforest and thus ConQuer cannot
+// compute its range consistent answers").
+package conquer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"aggcavsat/internal/cq"
+	"aggcavsat/internal/db"
+)
+
+// ErrNotInClass is returned for queries the rewriting cannot handle.
+var ErrNotInClass = errors.New("conquer: query not in C_aggforest")
+
+// GroupRange is one range consistent answer.
+type GroupRange struct {
+	Key db.Tuple
+	GLB db.Value
+	LUB db.Value
+	// EmptyPossible is set for scalar MIN/MAX when some repair has an
+	// empty result; the corresponding endpoint is NULL.
+	EmptyPossible bool
+}
+
+// Baseline evaluates C_aggforest queries over one instance.
+type Baseline struct {
+	in *db.Instance
+}
+
+// New creates a baseline evaluator.
+func New(in *db.Instance) *Baseline { return &Baseline{in: in} }
+
+// RangeAnswers computes the range consistent answers of q, or
+// ErrNotInClass when the query falls outside the supported class.
+func (b *Baseline) RangeAnswers(q cq.AggQuery) ([]GroupRange, error) {
+	q = q.BuildHead()
+	if err := q.Validate(b.in.Schema()); err != nil {
+		return nil, err
+	}
+	plan, err := b.analyze(q)
+	if err != nil {
+		return nil, err
+	}
+	return plan.solve()
+}
+
+// varOcc is one occurrence of a variable: which atom and position.
+type varOcc struct{ atom, pos int }
+
+// rootGroup is one key-equal group of the root relation.
+type rootGroup struct{ members []db.FactID }
+
+// atomInfo is one node of the join tree.
+type atomInfo struct {
+	atom     cq.Atom
+	rel      *db.RelationSchema
+	parent   int // -1 for root
+	children []int
+	// joinPos maps, for non-root atoms, each key position of this atom
+	// to the parent position providing the join value.
+	parentJoin []joinEdge
+	// conds are the conditions local to this atom.
+	conds []cq.Condition
+	// groupPositions lists (head index, attr position) for grouping
+	// variables owned by this atom.
+	groupPositions []groupPos
+}
+
+type joinEdge struct {
+	childKeyPos int
+	parentPos   int
+}
+
+type groupPos struct {
+	headIndex int
+	pos       int
+}
+
+type plan struct {
+	in      *db.Instance
+	q       cq.AggQuery
+	atoms   []atomInfo
+	root    int
+	aggPos  int // attr position of the aggregation variable in the root atom; -1 for COUNT(*)
+	grouped bool
+}
+
+// analyze checks class membership and builds the join tree.
+func (b *Baseline) analyze(q cq.AggQuery) (*plan, error) {
+	if len(q.Underlying.Disjuncts) != 1 {
+		return nil, fmt.Errorf("%w: unions of conjunctive queries are not rewritable here", ErrNotInClass)
+	}
+	d := q.Underlying.Disjuncts[0]
+	if !d.SelfJoinFree() {
+		return nil, fmt.Errorf("%w: query has self-joins", ErrNotInClass)
+	}
+	switch q.Op {
+	case cq.CountStar, cq.Count, cq.Sum, cq.Min, cq.Max:
+	default:
+		return nil, fmt.Errorf("%w: operator %s not supported by the rewriting", ErrNotInClass, q.Op)
+	}
+
+	// Variable occurrences.
+	occs := map[string][]varOcc{}
+	for ai, a := range d.Atoms {
+		rs := b.in.Schema().Relation(a.Rel)
+		if !rs.HasKey() {
+			return nil, fmt.Errorf("%w: relation %s has no key constraint", ErrNotInClass, rs.Name)
+		}
+		for p, t := range a.Args {
+			if !t.IsConst {
+				occs[t.Var] = append(occs[t.Var], varOcc{ai, p})
+			}
+		}
+	}
+	// Conditions must be local to one atom.
+	condsOf := make([][]cq.Condition, len(d.Atoms))
+	for _, c := range d.Conds {
+		atomsUsed := map[int]bool{}
+		for _, t := range []cq.Term{c.Left, c.Right} {
+			if t.IsConst {
+				continue
+			}
+			for _, o := range occs[t.Var] {
+				atomsUsed[o.atom] = true
+			}
+		}
+		if len(atomsUsed) != 1 {
+			return nil, fmt.Errorf("%w: condition %s spans multiple atoms", ErrNotInClass, c)
+		}
+		for ai := range atomsUsed {
+			condsOf[ai] = append(condsOf[ai], c)
+		}
+	}
+
+	// The head is positional: group variables then the aggregation
+	// variable (when present).
+	head := d.Head
+	nGroup := len(head)
+	aggVar := ""
+	if q.Op.NeedsVar() {
+		nGroup--
+		aggVar = head[nGroup]
+	}
+
+	// Root: the atom owning the aggregation variable; for COUNT(*), try
+	// every atom.
+	var rootCandidates []int
+	if aggVar != "" {
+		aggOccs := occs[aggVar]
+		seen := map[int]bool{}
+		for _, o := range aggOccs {
+			if !seen[o.atom] {
+				seen[o.atom] = true
+				rootCandidates = append(rootCandidates, o.atom)
+			}
+		}
+	} else {
+		for ai := range d.Atoms {
+			rootCandidates = append(rootCandidates, ai)
+		}
+	}
+
+	var firstErr error
+	for _, root := range rootCandidates {
+		p, err := b.buildTree(q, d, root, occs, condsOf, nGroup, aggVar)
+		if err == nil {
+			return p, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("%w: no valid root", ErrNotInClass)
+	}
+	return nil, firstErr
+}
+
+func (b *Baseline) buildTree(q cq.AggQuery, d cq.CQ, root int,
+	occs map[string][]varOcc, condsOf [][]cq.Condition,
+	nGroup int, aggVar string) (*plan, error) {
+
+	n := len(d.Atoms)
+	atoms := make([]atomInfo, n)
+	for ai, a := range d.Atoms {
+		atoms[ai] = atomInfo{
+			atom:   a,
+			rel:    b.in.Schema().Relation(a.Rel),
+			parent: -1,
+			conds:  condsOf[ai],
+		}
+	}
+
+	// Adjacency via shared variables.
+	shared := map[[2]int][]string{}
+	for v, os := range occs {
+		for i := 0; i < len(os); i++ {
+			for j := i + 1; j < len(os); j++ {
+				a, bb := os[i].atom, os[j].atom
+				if a == bb {
+					continue
+				}
+				if a > bb {
+					a, bb = bb, a
+				}
+				key := [2]int{a, bb}
+				if !containsStr(shared[key], v) {
+					shared[key] = append(shared[key], v)
+				}
+			}
+		}
+	}
+
+	// BFS from the root, requiring a tree.
+	visited := make([]bool, n)
+	visited[root] = true
+	queue := []int{root}
+	order := []int{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for other := 0; other < n; other++ {
+			if other == cur {
+				continue
+			}
+			key := [2]int{cur, other}
+			if key[0] > key[1] {
+				key = [2]int{other, cur}
+			}
+			if len(shared[key]) == 0 {
+				continue
+			}
+			if visited[other] {
+				// Sharing with an already-visited atom other than the
+				// parent breaks the tree shape.
+				if atoms[cur].parent != other && atoms[other].parent != cur {
+					return nil, fmt.Errorf("%w: join graph is not a tree", ErrNotInClass)
+				}
+				continue
+			}
+			visited[other] = true
+			atoms[other].parent = cur
+			atoms[cur].children = append(atoms[cur].children, other)
+			queue = append(queue, other)
+			order = append(order, other)
+		}
+	}
+	for ai := range atoms {
+		if !visited[ai] {
+			return nil, fmt.Errorf("%w: query is a cartesian product", ErrNotInClass)
+		}
+	}
+
+	// Validate join edges: every shared variable between child and
+	// parent must sit on a key position of the child, and the shared
+	// variables must cover the child's entire key.
+	for ai := range atoms {
+		if atoms[ai].parent < 0 {
+			continue
+		}
+		parent := atoms[ai].parent
+		key := [2]int{ai, parent}
+		if key[0] > key[1] {
+			key = [2]int{parent, ai}
+		}
+		vars := shared[key]
+		keyCovered := map[int]bool{}
+		var edges []joinEdge
+		for _, v := range vars {
+			var childPos, parentPos []int
+			for _, o := range occs[v] {
+				switch o.atom {
+				case ai:
+					childPos = append(childPos, o.pos)
+				case parent:
+					parentPos = append(parentPos, o.pos)
+				}
+			}
+			for _, cp := range childPos {
+				if !isKeyPos(atoms[ai].rel, cp) {
+					return nil, fmt.Errorf("%w: join on non-key attribute %s of %s",
+						ErrNotInClass, atoms[ai].rel.Attrs[cp].Name, atoms[ai].rel.Name)
+				}
+				keyCovered[cp] = true
+				edges = append(edges, joinEdge{childKeyPos: cp, parentPos: parentPos[0]})
+			}
+		}
+		// Key positions bound by constants also count as covered.
+		for _, kp := range atoms[ai].rel.Key {
+			if atoms[ai].atom.Args[kp].IsConst {
+				keyCovered[kp] = true
+			}
+		}
+		for _, kp := range atoms[ai].rel.Key {
+			if !keyCovered[kp] {
+				return nil, fmt.Errorf("%w: join does not cover the key of %s",
+					ErrNotInClass, atoms[ai].rel.Name)
+			}
+		}
+		atoms[ai].parentJoin = edges
+	}
+
+	// Grouping variables: each is owned by one atom. Join variables
+	// occur in several atoms; prefer an occurrence on the root so the
+	// per-group evaluation can reuse the group-independent child states.
+	for hi := 0; hi < nGroup; hi++ {
+		v := d.Head[hi]
+		os := occs[v]
+		if len(os) == 0 {
+			return nil, fmt.Errorf("conquer: unbound head variable %s", v)
+		}
+		owner := os[0]
+		for _, o := range os {
+			if o.atom == root {
+				owner = o
+				break
+			}
+		}
+		atoms[owner.atom].groupPositions = append(atoms[owner.atom].groupPositions,
+			groupPos{headIndex: hi, pos: owner.pos})
+	}
+
+	aggPos := -1
+	if aggVar != "" {
+		for _, o := range occs[aggVar] {
+			if o.atom == root {
+				aggPos = o.pos
+				break
+			}
+		}
+		if aggPos < 0 {
+			return nil, fmt.Errorf("%w: aggregation attribute not on the root relation", ErrNotInClass)
+		}
+	}
+
+	return &plan{
+		in:      b.in,
+		q:       q,
+		atoms:   atoms,
+		root:    root,
+		aggPos:  aggPos,
+		grouped: nGroup > 0,
+	}, nil
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func isKeyPos(rs *db.RelationSchema, pos int) bool {
+	for _, k := range rs.Key {
+		if k == pos {
+			return true
+		}
+	}
+	return false
+}
+
+// factState caches per-fact pass/cert/poss flags for one group filter.
+type factState struct {
+	pass bool
+	cert bool
+	poss bool
+}
+
+// solve runs the interval DP.
+func (p *plan) solve() ([]GroupRange, error) {
+	// Precompute per-atom structures: local pass, key-group maps, and
+	// join indexes keyed by the child's key projection.
+	type atomData struct {
+		facts  []db.FactID
+		byKey  map[string][]db.FactID // child lookup by key projection
+		keyPos []int
+	}
+	data := make([]atomData, len(p.atoms))
+	for ai := range p.atoms {
+		rel := p.atoms[ai].rel
+		facts := p.in.RelFacts(rel.Name)
+		ad := atomData{facts: facts, keyPos: rel.Key}
+		ad.byKey = make(map[string][]db.FactID)
+		for _, f := range facts {
+			k := p.in.Fact(f).Tuple.Key(rel.Key)
+			ad.byKey[k] = append(ad.byKey[k], f)
+		}
+		data[ai] = ad
+	}
+
+	// localPass evaluates atom-level constants and conditions on a fact.
+	localPass := func(ai int, f db.FactID) bool {
+		t := p.in.Fact(f).Tuple
+		atom := p.atoms[ai].atom
+		binding := map[string]db.Value{}
+		for pos, term := range atom.Args {
+			if term.IsConst {
+				if !term.Const.Equal(t[pos]) {
+					return false
+				}
+				continue
+			}
+			if prev, ok := binding[term.Var]; ok {
+				if !prev.Equal(t[pos]) {
+					return false
+				}
+				continue
+			}
+			binding[term.Var] = t[pos]
+		}
+		for _, c := range p.atoms[ai].conds {
+			val := func(term cq.Term) db.Value {
+				if term.IsConst {
+					return term.Const
+				}
+				return binding[term.Var]
+			}
+			if !c.Op.Apply(val(c.Left), val(c.Right)) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Enumerate candidate groups: distinct group keys over rows of the
+	// full (inconsistent) instance.
+	e := cq.NewEvaluator(p.in)
+	q := p.q
+	var groupKeys []db.Tuple
+	if p.grouped {
+		rows := e.EvalUCQ(q.Underlying)
+		positions := make([]int, len(q.GroupBy))
+		for i := range positions {
+			positions[i] = i
+		}
+		seen := map[string]bool{}
+		for _, r := range rows {
+			k := r.Head[:len(q.GroupBy)].Key(positions)
+			if !seen[k] {
+				seen[k] = true
+				groupKeys = append(groupKeys, r.Head[:len(q.GroupBy)].Clone())
+			}
+		}
+		sort.Slice(groupKeys, func(i, j int) bool { return groupKeys[i].Compare(groupKeys[j]) < 0 })
+	} else {
+		groupKeys = []db.Tuple{{}}
+	}
+
+	// When every grouping attribute lives on the root atom, the child
+	// states are group-independent: compute them once and filter only
+	// the root facts per group (this is what keeps the rewriting's cost
+	// one scan, not one scan per group, on high-cardinality groupings
+	// like Q3's ORDER keys).
+	rootOnlyGrouping := true
+	for ai := range p.atoms {
+		if ai != p.root && len(p.atoms[ai].groupPositions) > 0 {
+			rootOnlyGrouping = false
+			break
+		}
+	}
+
+	// makeEval builds a memoized bottom-up state evaluator. A nil group
+	// key disables group filtering (used for the shared child states).
+	makeEval := func(g db.Tuple, skipRootFilter bool) func(ai int, f db.FactID) *factState {
+		states := make([]map[db.FactID]*factState, len(p.atoms))
+		for ai := range states {
+			states[ai] = make(map[db.FactID]*factState, len(data[ai].facts))
+		}
+		var evalFact func(ai int, f db.FactID) *factState
+		evalFact = func(ai int, f db.FactID) *factState {
+			if st, ok := states[ai][f]; ok {
+				return st
+			}
+			st := &factState{}
+			states[ai][f] = st
+			st.pass = localPass(ai, f)
+			if st.pass && g != nil && !(skipRootFilter && ai == p.root) {
+				// Group filter: owned grouping positions must match g.
+				for _, gp := range p.atoms[ai].groupPositions {
+					if !p.in.Fact(f).Tuple[gp.pos].Equal(g[gp.headIndex]) {
+						st.pass = false
+						break
+					}
+				}
+			}
+			if !st.pass {
+				return st
+			}
+			st.cert, st.poss = true, true
+			for _, ci := range p.atoms[ai].children {
+				// The referenced child key-equal group.
+				key := p.childKey(ci, f)
+				members := data[ci].byKey[key]
+				if len(members) == 0 {
+					st.cert, st.poss = false, false
+					return st
+				}
+				anyPoss, allCert := false, true
+				for _, m := range members {
+					ms := evalFact(ci, m)
+					if ms.poss {
+						anyPoss = true
+					}
+					if !ms.cert {
+						allCert = false
+					}
+				}
+				st.cert = st.cert && allCert
+				st.poss = st.poss && anyPoss
+			}
+			return st
+		}
+		return evalFact
+	}
+
+	// Root key-equal groups, shared across grouping keys.
+	rootData := data[p.root]
+	var allRootGroups []rootGroup
+	seenKey := map[string]bool{}
+	for _, f := range rootData.facts {
+		k := p.in.Fact(f).Tuple.Key(rootData.keyPos)
+		if seenKey[k] {
+			continue
+		}
+		seenKey[k] = true
+		allRootGroups = append(allRootGroups, rootGroup{members: rootData.byKey[k]})
+	}
+
+	var sharedEval func(ai int, f db.FactID) *factState
+	if rootOnlyGrouping {
+		sharedEval = makeEval(nil, false)
+	}
+
+	var out []GroupRange
+	for _, g := range groupKeys {
+		var evalFact func(ai int, f db.FactID) *factState
+		if rootOnlyGrouping {
+			// Shared child states; per-group filter applied to root
+			// facts on top of the shared pass/cert/poss.
+			g := g
+			evalFact = func(ai int, f db.FactID) *factState {
+				st := sharedEval(ai, f)
+				if ai != p.root || !st.pass || len(g) == 0 {
+					return st
+				}
+				for _, gp := range p.atoms[p.root].groupPositions {
+					if !p.in.Fact(f).Tuple[gp.pos].Equal(g[gp.headIndex]) {
+						return &factState{}
+					}
+				}
+				return st
+			}
+		} else {
+			evalFact = makeEval(g, false)
+		}
+
+		res, err := p.aggregate(g, allRootGroups, evalFact)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			out = append(out, *res)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Compare(out[j].Key) < 0 })
+	return out, nil
+}
+
+// childKey builds the lookup key of the child group referenced by the
+// parent fact: join positions take the parent's values, constant key
+// positions take the constant.
+func (p *plan) childKey(ci int, parentFact db.FactID) string {
+	rel := p.atoms[ci].rel
+	pt := p.in.Fact(parentFact).Tuple
+	vals := make(db.Tuple, len(rel.Key))
+	positions := make([]int, len(rel.Key))
+	for i, kp := range rel.Key {
+		positions[i] = i
+		if p.atoms[ci].atom.Args[kp].IsConst {
+			vals[i] = p.atoms[ci].atom.Args[kp].Const
+			continue
+		}
+		for _, edge := range p.atoms[ci].parentJoin {
+			if edge.childKeyPos == kp {
+				vals[i] = pt[edge.parentPos]
+				break
+			}
+		}
+	}
+	// Reuse Tuple.Key on a synthetic tuple ordered like rel.Key — the
+	// same encoding byKey uses (Key(rel.Key) projects in key order).
+	return vals.Key(positions)
+}
+
+// aggregate combines per-root-group optima into the group's interval.
+// Returns nil when the group is not a consistent answer.
+func (p *plan) aggregate(g db.Tuple, rootGroups []rootGroup,
+	evalFact func(int, db.FactID) *factState) (*GroupRange, error) {
+
+	op := p.q.Op
+	value := func(f db.FactID) (int64, bool, error) {
+		switch op {
+		case cq.CountStar:
+			return 1, true, nil
+		case cq.Count:
+			v := p.in.Fact(f).Tuple[p.aggPos]
+			if v.IsNull() {
+				return 0, true, nil
+			}
+			return 1, true, nil
+		case cq.Sum:
+			v := p.in.Fact(f).Tuple[p.aggPos]
+			if v.IsNull() {
+				return 0, true, nil
+			}
+			if v.Kind() != db.KindInt {
+				return 0, false, fmt.Errorf("%w: SUM over non-integer values", ErrNotInClass)
+			}
+			n := v.AsInt()
+			if n < 0 {
+				return 0, false, fmt.Errorf("%w: SUM over negative values is not rewritable here", ErrNotInClass)
+			}
+			return n, true, nil
+		default:
+			return 0, false, nil
+		}
+	}
+
+	// Consistency: some root group contributes a row to g in every
+	// repair.
+	consistent := false
+	for _, rg := range rootGroups {
+		all := true
+		for _, f := range rg.members {
+			if !evalFact(p.root, f).cert {
+				all = false
+				break
+			}
+		}
+		if all && len(rg.members) > 0 {
+			consistent = true
+			break
+		}
+	}
+	if p.grouped && !consistent {
+		return nil, nil
+	}
+
+	switch op {
+	case cq.CountStar, cq.Count, cq.Sum:
+		var glb, lub int64
+		for _, rg := range rootGroups {
+			minC := int64(math.MaxInt64)
+			maxC := int64(0)
+			for _, f := range rg.members {
+				st := evalFact(p.root, f)
+				v, ok, err := value(f)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					return nil, fmt.Errorf("%w: unsupported value", ErrNotInClass)
+				}
+				var cMin, cMax int64
+				switch {
+				case st.cert:
+					cMin, cMax = v, v
+				case st.poss:
+					cMin, cMax = 0, v
+				default:
+					cMin, cMax = 0, 0
+				}
+				if cMin < minC {
+					minC = cMin
+				}
+				if cMax > maxC {
+					maxC = cMax
+				}
+			}
+			glb += minC
+			lub += maxC
+		}
+		return &GroupRange{Key: g, GLB: db.Int(glb), LUB: db.Int(lub)}, nil
+	case cq.Min, cq.Max:
+		return p.aggregateMinMax(g, rootGroups, evalFact)
+	default:
+		return nil, fmt.Errorf("%w: operator %s", ErrNotInClass, op)
+	}
+}
+
+func (p *plan) aggregateMinMax(g db.Tuple, rootGroups []rootGroup,
+	evalFact func(int, db.FactID) *factState) (*GroupRange, error) {
+
+	op := p.q.Op
+	// emptyPossible: every root group has an escape (an alternative
+	// whose row can be avoided).
+	emptyPossible := true
+	for _, rg := range rootGroups {
+		escapable := false
+		for _, f := range rg.members {
+			if !evalFact(p.root, f).cert {
+				escapable = true
+				break
+			}
+		}
+		if !escapable && len(rg.members) > 0 {
+			emptyPossible = false
+			break
+		}
+	}
+
+	var bestPoss db.Value // extreme attainable value (lub for MAX, glb for MIN)
+	var forced db.Value   // the guaranteed endpoint
+	for _, rg := range rootGroups {
+		// Per group: the guaranteed value when every member is certain.
+		var groupWorst db.Value // worst forced value among alternatives
+		allCert := len(rg.members) > 0
+		for _, f := range rg.members {
+			st := evalFact(p.root, f)
+			v := p.in.Fact(f).Tuple[p.aggPos]
+			if v.IsNull() {
+				allCert = false
+				continue
+			}
+			if st.poss {
+				if bestPoss.IsNull() || better(op, v, bestPoss) {
+					bestPoss = v
+				}
+			}
+			if !st.cert {
+				allCert = false
+				continue
+			}
+			if groupWorst.IsNull() || better(op, groupWorst, v) {
+				groupWorst = v
+			}
+		}
+		if allCert && !groupWorst.IsNull() {
+			// Every repair contains a row from this group with value at
+			// least (MAX) / at most (MIN) groupWorst.
+			if forced.IsNull() || better(op, groupWorst, forced) {
+				forced = groupWorst
+			}
+		}
+	}
+
+	res := &GroupRange{Key: g, EmptyPossible: emptyPossible}
+	if op == cq.Max {
+		res.LUB = bestPoss
+		if !emptyPossible {
+			res.GLB = forced
+		}
+	} else {
+		res.GLB = bestPoss
+		if !emptyPossible {
+			res.LUB = forced
+		}
+	}
+	return res, nil
+}
+
+// better reports whether a is more extreme than b for the operator
+// (greater for MAX, smaller for MIN).
+func better(op cq.AggOp, a, b db.Value) bool {
+	if op == cq.Max {
+		return a.Compare(b) > 0
+	}
+	return a.Compare(b) < 0
+}
+
+// Describe renders the join tree for diagnostics.
+func (p *plan) Describe() string {
+	var b strings.Builder
+	for ai, a := range p.atoms {
+		fmt.Fprintf(&b, "%d: %s parent=%d\n", ai, a.rel.Name, a.parent)
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"aggcavsat/internal/db"
+)
+
+// componentSplit partitions a set of witness-like fact groups into the
+// connected components of the repair-entanglement graph: two facts are
+// entangled when they share a witness, a key-equal group, or a minimal
+// violation. The WPMaxSAT instance of Reduction IV.1 is a disjoint union
+// over these components, so each component can be encoded and solved
+// independently and the falsified weights summed — a large practical
+// win for core-guided MaxSAT (the paper's MaxHS exploits the same
+// structure internally through its hitting-set decomposition).
+type componentSplit struct {
+	// groups[i] lists the indexes (into the caller's witness slice)
+	// belonging to component i.
+	groups [][]int
+	// facts[i] is the closure fact set of component i, sorted.
+	facts [][]db.FactID
+}
+
+// splitComponents computes the component partition for the given
+// witness fact sets. The ctx closure expansion (key-equal siblings or
+// violation neighbours) is applied transitively.
+func splitComponents(ctx *constraintContext, witnessFacts [][]db.FactID) *componentSplit {
+	// Union-find over facts, seeded by witness co-occurrence.
+	parent := map[db.FactID]db.FactID{}
+	var find func(db.FactID) db.FactID
+	find = func(x db.FactID) db.FactID {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b db.FactID) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	// Closure per seed fact: expand to key-equal siblings / violation
+	// neighbours, unioning as we go. closure() already handles the
+	// transitive expansion; union everything it returns.
+	seed := map[db.FactID]bool{}
+	for _, fs := range witnessFacts {
+		for _, f := range fs {
+			seed[f] = true
+		}
+		for i := 1; i < len(fs); i++ {
+			union(fs[0], fs[i])
+		}
+	}
+	closureFacts := ctx.closure(seed)
+	// Link each closure fact to its group/violation neighbours.
+	for _, f := range closureFacts {
+		switch ctx.mode {
+		case KeysMode:
+			members := ctx.groups[ctx.groupOf[f]].Facts
+			for _, m := range members {
+				union(f, m)
+			}
+		case DCMode:
+			for _, g := range ctx.adj[f] {
+				union(f, g)
+			}
+		}
+	}
+
+	// Collect components.
+	compIndex := map[db.FactID]int{}
+	split := &componentSplit{}
+	for _, f := range closureFacts {
+		root := find(f)
+		ci, ok := compIndex[root]
+		if !ok {
+			ci = len(split.facts)
+			compIndex[root] = ci
+			split.facts = append(split.facts, nil)
+			split.groups = append(split.groups, nil)
+		}
+		split.facts[ci] = append(split.facts[ci], f)
+	}
+	for wi, fs := range witnessFacts {
+		if len(fs) == 0 {
+			continue
+		}
+		ci := compIndex[find(fs[0])]
+		split.groups[ci] = append(split.groups[ci], wi)
+	}
+	return split
+}

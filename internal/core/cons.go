@@ -1,0 +1,165 @@
+package core
+
+import (
+	"time"
+
+	"aggcavsat/internal/cnf"
+	"aggcavsat/internal/cq"
+	"aggcavsat/internal/db"
+	"aggcavsat/internal/sat"
+)
+
+// ConsistentAnswers computes CONS(q) for a union of conjunctive queries:
+// the answers present in q(J) for every repair J. This is the CAvSAT
+// (SAT 2019) reduction the paper builds Algorithm 2 on: an answer b is
+// consistent iff the hard repair clauses together with "every witness of
+// b is broken" are unsatisfiable.
+func (e *Engine) ConsistentAnswers(u cq.UCQ) ([]db.Tuple, Stats, error) {
+	var stats Stats
+	if err := u.Validate(e.in.Schema()); err != nil {
+		return nil, stats, err
+	}
+	start := time.Now()
+	bag := e.eval.WitnessBag(u)
+	stats.WitnessTime += time.Since(start)
+
+	arity := 0
+	if len(bag) > 0 {
+		arity = len(bag[0].Answer)
+	}
+	groups := cq.GroupWitnesses(bag, arity)
+	consistent, err := e.consistentGroups(groups, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
+	var out []db.Tuple
+	for i, g := range groups {
+		if consistent[i] {
+			out = append(out, g.Key)
+		}
+	}
+	return out, stats, nil
+}
+
+// consistentGroups reports, for each witness group (one candidate answer
+// of the underlying query), whether it is a consistent answer. Groups
+// with a fully safe witness are accepted without SAT; the rest share one
+// incremental SAT solver with a fresh activation literal per candidate.
+func (e *Engine) consistentGroups(groups []cq.WitnessGroup, stats *Stats) ([]bool, error) {
+	ctx := e.context()
+	stats.ConstraintTime = ctx.buildTime
+
+	out := make([]bool, len(groups))
+	encodeStart := time.Now()
+
+	// Deduplicate witness fact sets per group and apply the safe-witness
+	// shortcut.
+	type pending struct {
+		index    int
+		factSets [][]db.FactID
+	}
+	var todo []pending
+	seed := map[db.FactID]bool{}
+	for i, g := range groups {
+		sets := dedupFactSets(g.Witnesses)
+		safe := false
+		for _, fs := range sets {
+			if ctx.allSafe(fs) {
+				safe = true
+				break
+			}
+		}
+		if safe {
+			out[i] = true
+			stats.ConsistentPartSkips++
+			continue
+		}
+		todo = append(todo, pending{index: i, factSets: sets})
+		for _, fs := range sets {
+			for _, f := range fs {
+				seed[f] = true
+			}
+		}
+	}
+	if len(todo) == 0 {
+		stats.EncodeTime += time.Since(encodeStart)
+		return out, nil
+	}
+
+	enc := newEncoder(ctx, ctx.closure(seed))
+	solver := sat.New()
+	if !solver.AddFormulaHard(enc.formula) {
+		stats.EncodeTime += time.Since(encodeStart)
+		return nil, errInternalUnsat()
+	}
+	solver.EnsureVars(enc.formula.NumVars())
+
+	// Activation literals: a_b → (witness broken) for every witness of b.
+	acts := make([]cnf.Lit, len(todo))
+	for ti, p := range todo {
+		a := cnf.Lit(solver.NewVar())
+		acts[ti] = a
+		for _, fs := range p.factSets {
+			clause := make([]cnf.Lit, 0, len(fs)+1)
+			clause = append(clause, a.Neg())
+			for _, f := range fs {
+				clause = append(clause, enc.lit(f).Neg())
+			}
+			solver.AddClause(clause...)
+		}
+	}
+	stats.EncodeTime += time.Since(encodeStart)
+	stats.absorbFormula(enc.formula)
+
+	solveStart := time.Now()
+	for ti, p := range todo {
+		st := solver.Solve(acts[ti])
+		stats.SATCalls++
+		switch st {
+		case sat.Unsat:
+			// No repair breaks all witnesses: b is consistent.
+			out[p.index] = true
+		case sat.Sat:
+			out[p.index] = false
+		default:
+			stats.SolveTime += time.Since(solveStart)
+			return nil, errBudget()
+		}
+	}
+	stats.SolveTime += time.Since(solveStart)
+	return out, nil
+}
+
+func dedupFactSets(ws []cq.Witness) [][]db.FactID {
+	seen := map[string]bool{}
+	var out [][]db.FactID
+	for _, w := range ws {
+		k := factSetKey(w.Facts)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, w.Facts)
+		}
+	}
+	return out
+}
+
+func factSetKey(facts []db.FactID) string {
+	b := make([]byte, 0, len(facts)*4)
+	for _, f := range facts {
+		v := uint32(f)
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func errInternalUnsat() error {
+	return errString("core: hard repair clauses unsatisfiable (internal bug)")
+}
+
+func errBudget() error {
+	return errString("core: SAT conflict budget exhausted")
+}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

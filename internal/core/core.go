@@ -1,0 +1,292 @@
+// Package core implements the paper's contribution: computing the range
+// consistent answers of aggregation queries via reductions to (Weighted)
+// Partial MaxSAT.
+//
+// The package contains:
+//
+//   - Reduction IV.1 for scalar COUNT(*), COUNT(A) and SUM(A) queries
+//     over schemas with one key constraint per relation;
+//   - Algorithm 1 for the DISTINCT variants;
+//   - Algorithm 2 for aggregation queries with grouping, built on the
+//     consistent answers of the underlying query (the CAvSAT reduction);
+//   - Reduction V.1 replacing the key-based hard clauses with clauses
+//     derived from minimal violations and near-violations of arbitrary
+//     denial constraints;
+//   - the iterative-SAT procedure for MIN(A)/MAX(A) from the paper's
+//     extended version;
+//   - Kügel's CNF-negation to obtain lub-answers (WPMinSAT) with a
+//     WPMaxSAT solver.
+//
+// Proposition IV.1 is the decoding contract: in a maximum (minimum)
+// satisfying assignment of the constructed formula, the total weight of
+// falsified soft clauses equals the glb-answer (lub-answer), up to the
+// constant offset contributed by negative-valued and consistent-part
+// witnesses that the encoder folds out.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"aggcavsat/internal/cnf"
+	"aggcavsat/internal/constraints"
+	"aggcavsat/internal/cq"
+	"aggcavsat/internal/db"
+	"aggcavsat/internal/maxsat"
+)
+
+// ConstraintMode selects how repairs are defined.
+type ConstraintMode int
+
+const (
+	// KeysMode: one key constraint per relation (taken from the schema);
+	// hard clauses are the exactly-one α-clauses of Reduction IV.1.
+	KeysMode ConstraintMode = iota
+	// DCMode: an explicit set of denial constraints; hard clauses follow
+	// Reduction V.1 (α from minimal violations, γ/θ from near-violations).
+	DCMode
+)
+
+// Options configures an Engine.
+type Options struct {
+	Mode ConstraintMode
+	// DCs is the denial-constraint set for DCMode.
+	DCs []constraints.DC
+	// MaxSAT configures the underlying MaxSAT solver.
+	MaxSAT maxsat.Options
+}
+
+// Engine computes range consistent answers over one instance. The
+// constraint context (key-equal groups or minimal violations and
+// near-violations) is computed once and shared across queries.
+type Engine struct {
+	in   *db.Instance
+	eval *cq.Evaluator
+	opts Options
+
+	ctx *constraintContext
+}
+
+// New creates an engine for the instance. For DCMode the constraints are
+// validated against the schema.
+func New(in *db.Instance, opts Options) (*Engine, error) {
+	if opts.Mode == DCMode {
+		if len(opts.DCs) == 0 {
+			return nil, fmt.Errorf("core: DCMode requires at least one denial constraint")
+		}
+		for _, dc := range opts.DCs {
+			if err := dc.Validate(in.Schema()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Engine{in: in, eval: cq.NewEvaluator(in), opts: opts}, nil
+}
+
+// Instance returns the engine's instance.
+func (e *Engine) Instance() *db.Instance { return e.in }
+
+// Range is a range consistent answer interval.
+type Range struct {
+	GLB db.Value
+	LUB db.Value
+	// FromConsistentPart reports that the interval was derived entirely
+	// from facts outside every violation, with no MaxSAT instance at all
+	// (the paper's low-selectivity shortcut).
+	FromConsistentPart bool
+	// EmptyPossible (MIN/MAX only) reports that some repair yields an
+	// empty result (where the aggregate would be SQL NULL); the
+	// endpoints then range over the non-empty repairs.
+	EmptyPossible bool
+}
+
+// GroupAnswer pairs a grouping key with its range. Scalar queries use an
+// empty key.
+type GroupAnswer struct {
+	Key db.Tuple
+	Range
+}
+
+// Stats instruments one RangeAnswers call with the measurements the
+// paper reports: the encode/solve time split (Figures 1 and 9), CNF
+// sizes (Table III), and the number of SAT calls (Figures 7 and 8).
+type Stats struct {
+	WitnessTime    time.Duration // evaluating the underlying query
+	ConstraintTime time.Duration // key-equal groups / minimal+near violations
+	EncodeTime     time.Duration // clause construction
+	SolveTime      time.Duration // MaxSAT / SAT solving
+
+	SATCalls            int64 // SAT solver invocations (across MaxSAT runs)
+	MaxSATRuns          int   // number of MaxSAT instances solved
+	Vars                int   // total variables across constructed formulas
+	Clauses             int   // total clauses across constructed formulas
+	MaxVars             int   // largest single formula
+	MaxClauses          int
+	ConsistentPartSkips int // groups answered without any SAT instance
+}
+
+func (s *Stats) absorbFormula(f *cnf.Formula) {
+	st := f.Stats()
+	s.Vars += st.Vars
+	s.Clauses += st.Clauses
+	if st.Vars > s.MaxVars {
+		s.MaxVars = st.Vars
+	}
+	if st.Clauses > s.MaxClauses {
+		s.MaxClauses = st.Clauses
+	}
+}
+
+// Report is the result of RangeAnswers.
+type Report struct {
+	Answers []GroupAnswer
+	Stats   Stats
+}
+
+// RangeAnswers computes the range consistent answers of the aggregation
+// query under the engine's constraints. Scalar queries yield exactly one
+// GroupAnswer with an empty key; grouped queries yield one GroupAnswer
+// per consistent group (Algorithm 2).
+func (e *Engine) RangeAnswers(q cq.AggQuery) (*Report, error) {
+	q = q.BuildHead()
+	if err := q.Validate(e.in.Schema()); err != nil {
+		return nil, err
+	}
+	switch q.Op {
+	case cq.CountStar, cq.Count, cq.CountDistinct, cq.Sum, cq.SumDistinct,
+		cq.Min, cq.Max:
+	default:
+		return nil, fmt.Errorf("core: %s is not supported (open problem in the paper); use internal/exhaustive", q.Op)
+	}
+	if q.Scalar() {
+		rep := &Report{}
+		ans, err := e.scalarRange(q, nil, &rep.Stats)
+		if err != nil {
+			return nil, err
+		}
+		rep.Answers = []GroupAnswer{{Key: db.Tuple{}, Range: ans}}
+		return rep, nil
+	}
+	return e.groupedRange(q)
+}
+
+// constraintContext is the per-instance constraint structure shared by
+// all queries.
+type constraintContext struct {
+	mode ConstraintMode
+
+	// Keys mode.
+	groupOf   []int // fact -> key-equal group index
+	groups    []db.KeyEqualGroup
+	groupSafe []bool // group has a single member
+
+	// DC mode.
+	violations []constraints.Violation
+	nearIdx    *constraints.NearViolationIndex
+	// adj lists, per fact, the other facts sharing a violation with it.
+	adj [][]db.FactID
+
+	buildTime time.Duration
+}
+
+// context lazily builds the constraint context.
+func (e *Engine) context() *constraintContext {
+	if e.ctx != nil {
+		return e.ctx
+	}
+	start := time.Now()
+	ctx := &constraintContext{mode: e.opts.Mode}
+	n := e.in.NumFacts()
+	switch e.opts.Mode {
+	case KeysMode:
+		ctx.groups = e.in.KeyEqualGroups()
+		ctx.groupOf = make([]int, n)
+		ctx.groupSafe = make([]bool, len(ctx.groups))
+		for gi, g := range ctx.groups {
+			ctx.groupSafe[gi] = len(g.Facts) == 1
+			for _, f := range g.Facts {
+				ctx.groupOf[f] = gi
+			}
+		}
+	case DCMode:
+		ctx.violations = constraints.MinimalViolations(e.eval, e.opts.DCs)
+		ctx.nearIdx = constraints.BuildNearViolations(ctx.violations, n)
+		ctx.adj = make([][]db.FactID, n)
+		for _, v := range ctx.violations {
+			for _, f := range v {
+				for _, g := range v {
+					if f != g {
+						ctx.adj[f] = append(ctx.adj[f], g)
+					}
+				}
+			}
+		}
+	}
+	ctx.buildTime = time.Since(start)
+	e.ctx = ctx
+	return ctx
+}
+
+// safe reports whether the fact survives in every repair.
+func (ctx *constraintContext) safe(f db.FactID) bool {
+	switch ctx.mode {
+	case KeysMode:
+		return ctx.groupSafe[ctx.groupOf[f]]
+	default:
+		return ctx.nearIdx.Safe(f)
+	}
+}
+
+// allSafe reports whether every fact of the witness is safe.
+func (ctx *constraintContext) allSafe(facts []db.FactID) bool {
+	for _, f := range facts {
+		if !ctx.safe(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// closure expands the seed facts to the set whose repair behaviour is
+// entangled with them: key-equal siblings (keys mode) or the connected
+// component under shared minimal violations (DC mode). The hard clauses
+// built over the closure induce exactly the repairs of the sub-instance,
+// which factor out of the rest of the database.
+func (ctx *constraintContext) closure(seed map[db.FactID]bool) []db.FactID {
+	var stack []db.FactID
+	inSet := map[db.FactID]bool{}
+	push := func(f db.FactID) {
+		if !inSet[f] {
+			inSet[f] = true
+			stack = append(stack, f)
+		}
+	}
+	for f := range seed {
+		push(f)
+	}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		switch ctx.mode {
+		case KeysMode:
+			for _, g := range ctx.groups[ctx.groupOf[f]].Facts {
+				push(g)
+			}
+		case DCMode:
+			for _, g := range ctx.adj[f] {
+				push(g)
+			}
+		}
+	}
+	out := make([]db.FactID, 0, len(inSet))
+	for f := range inSet {
+		out = append(out, f)
+	}
+	sortFactIDs(out)
+	return out
+}
+
+func sortFactIDs(ids []db.FactID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"time"
+
+	"aggcavsat/internal/cq"
+)
+
+// groupedRange implements Algorithm 2: compute the consistent answers of
+// the underlying query q(Z) (the consistent groups), then for each group
+// b compute the scalar range of the aggregate restricted to Z = b.
+//
+// The implementation evaluates the underlying query once with head
+// Z ++ [A] and partitions the witness bag by Z: the witnesses of the
+// restricted query T(U, Z, A) ∧ Z = b are exactly the bag entries whose
+// answer prefix is b, so no per-group re-evaluation is needed.
+func (e *Engine) groupedRange(q cq.AggQuery) (*Report, error) {
+	rep := &Report{}
+	stats := &rep.Stats
+
+	start := time.Now()
+	bag := e.eval.WitnessBag(q.Underlying)
+	stats.WitnessTime += time.Since(start)
+
+	groups := cq.GroupWitnesses(bag, len(q.GroupBy))
+	consistent, err := e.consistentGroups(groups, stats)
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range groups {
+		if !consistent[i] {
+			continue
+		}
+		ans, err := e.scalarRange(q, g.Witnesses, stats)
+		if err != nil {
+			return nil, err
+		}
+		rep.Answers = append(rep.Answers, GroupAnswer{Key: g.Key, Range: ans})
+	}
+	return rep, nil
+}

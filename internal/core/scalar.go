@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"aggcavsat/internal/cnf"
+	"aggcavsat/internal/cq"
+	"aggcavsat/internal/db"
+	"aggcavsat/internal/maxsat"
+)
+
+// scalarRange computes the range consistent answer of a scalar
+// aggregation query. The witness bag is computed here; grouped queries
+// call scalarFromBag directly with per-group bags.
+func (e *Engine) scalarRange(q cq.AggQuery, bag []cq.Witness, stats *Stats) (Range, error) {
+	if bag == nil {
+		start := time.Now()
+		bag = e.eval.WitnessBag(q.Underlying)
+		stats.WitnessTime += time.Since(start)
+	}
+	switch q.Op {
+	case cq.Min, cq.Max:
+		return e.minMaxFromBag(q.Op, bag, stats)
+	case cq.CountDistinct, cq.SumDistinct:
+		return e.distinctFromBag(q.Op, bag, stats)
+	default:
+		return e.sumCountFromBag(q.Op, bag, stats)
+	}
+}
+
+// weightedWitness is a witness prepared for Reduction IV.1: the clause
+// weight w_j = m_j · |q*(W_j)| and the sign of the aggregated value.
+type weightedWitness struct {
+	facts    []db.FactID
+	weight   int64
+	negative bool
+}
+
+// prepareWitnesses turns the witness bag into weighted witnesses for
+// COUNT(*) (weight = multiplicity), COUNT(A) (multiplicity of non-NULL
+// answers) or SUM(A) (m_j · |value|, sign split; zero values dropped).
+func prepareWitnesses(op cq.AggOp, bag []cq.Witness) ([]weightedWitness, error) {
+	out := make([]weightedWitness, 0, len(bag))
+	for _, w := range bag {
+		switch op {
+		case cq.CountStar:
+			out = append(out, weightedWitness{facts: w.Facts, weight: w.Mult})
+		case cq.Count:
+			if len(w.Answer) != 1 {
+				return nil, fmt.Errorf("core: COUNT(A) witness with %d answer values", len(w.Answer))
+			}
+			if w.Answer[0].IsNull() {
+				continue
+			}
+			out = append(out, weightedWitness{facts: w.Facts, weight: w.Mult})
+		case cq.Sum:
+			if len(w.Answer) != 1 {
+				return nil, fmt.Errorf("core: SUM(A) witness with %d answer values", len(w.Answer))
+			}
+			v := w.Answer[0]
+			if v.IsNull() {
+				continue
+			}
+			if v.Kind() != db.KindInt {
+				return nil, fmt.Errorf("core: SUM over non-integer value %v; scale to integers (e.g. cents) first", v)
+			}
+			a := v.AsInt()
+			if a == 0 {
+				continue
+			}
+			ww := weightedWitness{facts: w.Facts, weight: w.Mult * abs64(a), negative: a < 0}
+			out = append(out, ww)
+		default:
+			return nil, fmt.Errorf("core: prepareWitnesses on %s", op)
+		}
+	}
+	return out, nil
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// sumCountFromBag implements Reduction IV.1 (steps 2a/2b) and the
+// Proposition IV.1 decoding for COUNT(*), COUNT(A) and SUM(A).
+func (e *Engine) sumCountFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (Range, error) {
+	ctx := e.context()
+	stats.ConstraintTime = ctx.buildTime
+
+	ws, err := prepareWitnesses(op, bag)
+	if err != nil {
+		return Range{}, err
+	}
+
+	encodeStart := time.Now()
+	// Fold consistent-part witnesses into a constant: a witness made of
+	// safe facts survives in every repair, contributing ±w always.
+	var base int64
+	unsafe := ws[:0]
+	for _, w := range ws {
+		if ctx.allSafe(w.facts) {
+			if w.negative {
+				base -= w.weight
+			} else {
+				base += w.weight
+			}
+			continue
+		}
+		unsafe = append(unsafe, w)
+	}
+	if len(unsafe) == 0 {
+		stats.EncodeTime += time.Since(encodeStart)
+		stats.ConsistentPartSkips++
+		return Range{GLB: db.Int(base), LUB: db.Int(base), FromConsistentPart: true}, nil
+	}
+
+	// The hard-clause graph decomposes into independent components
+	// (disjoint key-equal groups / violation clusters); encode and
+	// solve each separately and sum the falsified weights.
+	witnessFacts := make([][]db.FactID, len(unsafe))
+	for i, w := range unsafe {
+		witnessFacts[i] = w.facts
+	}
+	split := splitComponents(ctx, witnessFacts)
+	stats.EncodeTime += time.Since(encodeStart)
+
+	var minFTotal, maxFTotal, negOffset int64
+	for ci := range split.groups {
+		encodeStart = time.Now()
+		enc := newEncoder(ctx, split.facts[ci])
+		// Soft clauses: step 2a/2b.
+		for _, wi := range split.groups[ci] {
+			w := unsafe[wi]
+			if !w.negative {
+				// β_j = (⋁ ¬x_i, w_j): falsified iff the witness is
+				// present.
+				lits := make([]cnf.Lit, len(w.facts))
+				for i, f := range w.facts {
+					lits[i] = enc.lit(f).Neg()
+				}
+				enc.formula.AddSoft(w.weight, lits...)
+				continue
+			}
+			// Negative value: β_j = (y_j, w_j) with y_j ↔ witness
+			// present; falsified iff the witness is absent.
+			y := enc.presentLit(w.facts)
+			enc.formula.AddSoft(w.weight, y)
+			negOffset += w.weight
+		}
+		stats.EncodeTime += time.Since(encodeStart)
+		stats.absorbFormula(enc.formula)
+
+		minF, maxF, err := e.solveBothDirections(enc.formula, stats)
+		if err != nil {
+			return Range{}, err
+		}
+		minFTotal += minF
+		maxFTotal += maxF
+	}
+
+	// Proposition IV.1: falsified weight F = agg + negOffset, so
+	// glb = base + minF − negOffset and lub = base + maxF − negOffset.
+	return Range{
+		GLB: db.Int(base + minFTotal - negOffset),
+		LUB: db.Int(base + maxFTotal - negOffset),
+	}, nil
+}
+
+// distinctFromBag implements Algorithm 1 for COUNT(DISTINCT A) and
+// SUM(DISTINCT A).
+func (e *Engine) distinctFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (Range, error) {
+	ctx := e.context()
+	stats.ConstraintTime = ctx.buildTime
+
+	encodeStart := time.Now()
+	minimal := cq.MinimalWitnesses(bag)
+	// Partition minimal witnesses by answer value b.
+	type answerGroup struct {
+		value     db.Value
+		witnesses [][]db.FactID
+	}
+	byAnswer := map[string]*answerGroup{}
+	var order []string
+	for _, w := range minimal {
+		if len(w.Answer) != 1 {
+			return Range{}, fmt.Errorf("core: DISTINCT witness with %d answer values", len(w.Answer))
+		}
+		v := w.Answer[0]
+		if v.IsNull() {
+			continue
+		}
+		if op == cq.SumDistinct {
+			if v.Kind() != db.KindInt {
+				return Range{}, fmt.Errorf("core: SUM(DISTINCT) over non-integer value %v", v)
+			}
+			if v.AsInt() == 0 {
+				continue
+			}
+		}
+		k := db.Tuple{v}.Key([]int{0})
+		g, ok := byAnswer[k]
+		if !ok {
+			g = &answerGroup{value: v}
+			byAnswer[k] = g
+			order = append(order, k)
+		}
+		g.witnesses = append(g.witnesses, w.Facts)
+	}
+
+	// Fold answers certain to appear (a fully safe minimal witness) and
+	// collect the uncertain answers.
+	var base int64
+	var uncertain []*answerGroup
+	for _, k := range order {
+		g := byAnswer[k]
+		certain := false
+		for _, facts := range g.witnesses {
+			if ctx.allSafe(facts) {
+				certain = true
+				break
+			}
+		}
+		if certain {
+			base += distinctContribution(op, g.value)
+			continue
+		}
+		uncertain = append(uncertain, g)
+	}
+	if len(uncertain) == 0 {
+		stats.EncodeTime += time.Since(encodeStart)
+		stats.ConsistentPartSkips++
+		return Range{GLB: db.Int(base), LUB: db.Int(base), FromConsistentPart: true}, nil
+	}
+
+	// Component decomposition: all witnesses of one answer are coupled
+	// by its v^b variable, so union their facts before splitting.
+	answerFacts := make([][]db.FactID, len(uncertain))
+	for i, g := range uncertain {
+		for _, facts := range g.witnesses {
+			answerFacts[i] = append(answerFacts[i], facts...)
+		}
+	}
+	split := splitComponents(ctx, answerFacts)
+	stats.EncodeTime += time.Since(encodeStart)
+
+	var minFTotal, maxFTotal, negOffset int64
+	for ci := range split.groups {
+		encodeStart = time.Now()
+		enc := newEncoder(ctx, split.facts[ci])
+		for _, ui := range split.groups[ci] {
+			g := uncertain[ui]
+			// v^b ↔ ⋀_j z_j^b where z_j^b ↔ witness j broken.
+			zs := make([]cnf.Lit, len(g.witnesses))
+			for i, facts := range g.witnesses {
+				zs[i] = enc.brokenLit(facts)
+			}
+			var vb cnf.Lit
+			if len(zs) == 1 {
+				vb = zs[0]
+			} else {
+				vb = cnf.Lit(enc.formula.NewVar())
+				// vb → z_j; (⋀ z_j) → vb.
+				back := make([]cnf.Lit, 0, len(zs)+1)
+				back = append(back, vb)
+				for _, z := range zs {
+					enc.formula.AddHard(vb.Neg(), z)
+					back = append(back, z.Neg())
+				}
+				enc.formula.AddHard(back...)
+			}
+			// β^b: falsified iff the answer b is present in the repair.
+			switch {
+			case op == cq.CountDistinct:
+				enc.formula.AddSoft(1, vb)
+			case g.value.AsInt() > 0:
+				enc.formula.AddSoft(g.value.AsInt(), vb)
+			default:
+				w := -g.value.AsInt()
+				enc.formula.AddSoft(w, vb.Neg())
+				negOffset += w
+			}
+		}
+		stats.EncodeTime += time.Since(encodeStart)
+		stats.absorbFormula(enc.formula)
+
+		minF, maxF, err := e.solveBothDirections(enc.formula, stats)
+		if err != nil {
+			return Range{}, err
+		}
+		minFTotal += minF
+		maxFTotal += maxF
+	}
+	return Range{
+		GLB: db.Int(base + minFTotal - negOffset),
+		LUB: db.Int(base + maxFTotal - negOffset),
+	}, nil
+}
+
+func distinctContribution(op cq.AggOp, v db.Value) int64 {
+	if op == cq.CountDistinct {
+		return 1
+	}
+	return v.AsInt()
+}
+
+// solveBothDirections solves the WPMaxSAT instance for the glb direction
+// (maximize satisfied soft weight, i.e. minimize falsified weight) and —
+// via Kügel's CNF-negation — the lub direction (minimize satisfied, i.e.
+// maximize falsified). It returns (minFalsified, maxFalsified).
+func (e *Engine) solveBothDirections(f *cnf.Formula, stats *Stats) (minF, maxF int64, err error) {
+	total := f.TotalSoftWeight()
+
+	res, err := e.runMaxSAT(f, stats)
+	if err != nil {
+		return 0, 0, err
+	}
+	minF = total - res.Optimum
+	negated := f.NegateSoft()
+	stats.absorbFormula(negated)
+	res, err = e.runMaxSAT(negated, stats)
+	if err != nil {
+		return 0, 0, err
+	}
+	maxF = res.Optimum
+	return minF, maxF, nil
+}
+
+func (e *Engine) runMaxSAT(f *cnf.Formula, stats *Stats) (maxsat.Result, error) {
+	start := time.Now()
+	res, err := maxsat.Solve(f, e.opts.MaxSAT)
+	stats.SolveTime += time.Since(start)
+	if err != nil {
+		return res, err
+	}
+	stats.SATCalls += res.SATCalls
+	stats.MaxSATRuns++
+	if !res.Satisfiable {
+		return res, fmt.Errorf("core: hard clauses unsatisfiable; every instance must have a repair (internal bug)")
+	}
+	return res, nil
+}

@@ -1,0 +1,280 @@
+package cq
+
+import (
+	"testing"
+
+	"aggcavsat/internal/db"
+)
+
+func TestEvalAggCountStar(t *testing.T) {
+	in := bank()
+	e := NewEvaluator(in)
+	q := AggQuery{Op: CountStar, Underlying: Single(sameCity())}
+	got, err := EvalAgg(e, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Value.AsInt() != 3 {
+		t.Fatalf("COUNT(*) = %v, want 3", got)
+	}
+}
+
+func TestEvalAggSum(t *testing.T) {
+	in := bank()
+	e := NewEvaluator(in)
+	q := AggQuery{Op: Sum, AggVar: "bal", Underlying: Single(maryBalances())}
+	got, err := EvalAgg(e, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All six assignments: 2*(1000 + 1200 - 100) = 4200.
+	if len(got) != 1 || got[0].Value.AsInt() != 4200 {
+		t.Fatalf("SUM = %v, want 4200", got)
+	}
+}
+
+func TestEvalAggSumDistinct(t *testing.T) {
+	in := bank()
+	e := NewEvaluator(in)
+	q := AggQuery{Op: SumDistinct, AggVar: "bal", Underlying: Single(maryBalances())}
+	got, err := EvalAgg(e, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Value.AsInt() != 2100 { // 1000 + 1200 - 100
+		t.Fatalf("SUM(DISTINCT) = %v, want 2100", got)
+	}
+}
+
+func TestEvalAggCountDistinct(t *testing.T) {
+	in := bank()
+	e := NewEvaluator(in)
+	// Distinct account types.
+	q := AggQuery{
+		Op:     CountDistinct,
+		AggVar: "type",
+		Underlying: Single(CQ{
+			Atoms: []Atom{{Rel: "Acc", Args: []Term{V("id"), V("type"), V("c"), V("b")}}},
+		}),
+	}
+	got, err := EvalAgg(e, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Value.AsInt() != 2 {
+		t.Fatalf("COUNT(DISTINCT type) = %v, want 2", got)
+	}
+}
+
+func TestEvalAggGroupBy(t *testing.T) {
+	in := bank()
+	e := NewEvaluator(in)
+	// COUNT(*) FROM Cust GROUP BY CITY.
+	q := AggQuery{
+		Op:      CountStar,
+		GroupBy: []string{"city"},
+		Underlying: Single(CQ{
+			Atoms: []Atom{{Rel: "Cust", Args: []Term{V("cid"), V("n"), V("city")}}},
+		}),
+	}
+	got, err := EvalAgg(e, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("groups = %v", got)
+	}
+	// Sorted by key: LA then SF.
+	if got[0].Key[0].AsString() != "LA" || got[0].Value.AsInt() != 3 {
+		t.Errorf("LA group = %v", got[0])
+	}
+	if got[1].Key[0].AsString() != "SF" || got[1].Value.AsInt() != 2 {
+		t.Errorf("SF group = %v", got[1])
+	}
+}
+
+func TestEvalAggMinMaxAvg(t *testing.T) {
+	in := bank()
+	e := NewEvaluator(in)
+	base := Single(CQ{
+		Atoms: []Atom{{Rel: "Acc", Args: []Term{V("id"), V("t"), V("c"), V("bal")}}},
+	})
+	cases := []struct {
+		op   AggOp
+		want db.Value
+	}{
+		{Min, db.Int(-100)},
+		{Max, db.Int(1200)},
+		{Avg, db.Float(3300.0 / 5)},
+	}
+	for _, c := range cases {
+		got, err := EvalAgg(e, AggQuery{Op: c.op, AggVar: "bal", Underlying: base})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got[0].Value.Equal(c.want) {
+			t.Errorf("%v = %v, want %v", c.op, got[0].Value, c.want)
+		}
+	}
+}
+
+func TestEvalAggEmptyScalar(t *testing.T) {
+	in := bank()
+	e := NewEvaluator(in)
+	empty := Single(CQ{
+		Atoms: []Atom{{Rel: "Cust", Args: []Term{V("cid"), C(db.Str("Nobody")), V("c")}}},
+	})
+	got, err := EvalAgg(e, AggQuery{Op: CountStar, Underlying: empty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Value.AsInt() != 0 {
+		t.Fatalf("empty COUNT(*) = %v, want 0", got)
+	}
+	got, err = EvalAgg(e, AggQuery{Op: Sum, AggVar: "c", Underlying: empty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Value.AsInt() != 0 {
+		t.Fatalf("empty SUM = %v, want 0", got)
+	}
+	got, err = EvalAgg(e, AggQuery{Op: Max, AggVar: "c", Underlying: empty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].Value.IsNull() {
+		t.Fatalf("empty MAX = %v, want NULL", got)
+	}
+}
+
+func TestEvalAggEmptyGrouped(t *testing.T) {
+	in := bank()
+	e := NewEvaluator(in)
+	empty := Single(CQ{
+		Atoms: []Atom{{Rel: "Cust", Args: []Term{V("cid"), C(db.Str("Nobody")), V("city")}}},
+	})
+	got, err := EvalAgg(e, AggQuery{Op: CountStar, GroupBy: []string{"city"}, Underlying: empty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("grouped empty result = %v, want none", got)
+	}
+}
+
+func TestAggValidate(t *testing.T) {
+	in := bank()
+	q := AggQuery{Op: Sum, Underlying: Single(maryBalances())}
+	if err := q.Validate(in.Schema()); err == nil {
+		t.Error("SUM without AggVar accepted")
+	}
+	q = AggQuery{Op: Sum, AggVar: "nosuch", Underlying: Single(CQ{Atoms: maryBalances().Atoms})}
+	if err := q.Validate(in.Schema()); err == nil {
+		t.Error("unbound AggVar accepted")
+	}
+	q = AggQuery{Op: CountStar, Underlying: Single(maryBalances())}
+	if err := q.Validate(in.Schema()); err != nil {
+		t.Errorf("COUNT(*) rejected: %v", err)
+	}
+}
+
+func TestAggBuildHead(t *testing.T) {
+	q := AggQuery{
+		Op:         Sum,
+		AggVar:     "bal",
+		GroupBy:    []string{"city"},
+		Underlying: Single(maryBalances()),
+	}
+	qq := q.BuildHead()
+	head := qq.Underlying.Disjuncts[0].Head
+	if len(head) != 2 || head[0] != "city" || head[1] != "bal" {
+		t.Errorf("head = %v", head)
+	}
+	// COUNT(*) heads contain only the grouping variables.
+	q.Op = CountStar
+	q.Underlying = Single(CQ{Atoms: q.Underlying.Disjuncts[0].Atoms})
+	qq = q.BuildHead()
+	head = qq.Underlying.Disjuncts[0].Head
+	if len(head) != 1 || head[0] != "city" {
+		t.Errorf("COUNT(*) head = %v", head)
+	}
+}
+
+func TestAggBuildHeadKeepsPositionalHeads(t *testing.T) {
+	// A pre-built head of the expected arity is kept verbatim, so front
+	// ends may use per-disjunct variable names.
+	q := AggQuery{
+		Op:      Sum,
+		AggVar:  "ignored",
+		GroupBy: []string{"alsoIgnored"},
+		Underlying: Single(CQ{
+			Head:  []string{"city", "bal"},
+			Atoms: maryBalances().Atoms,
+		}),
+	}
+	qq := q.BuildHead()
+	head := qq.Underlying.Disjuncts[0].Head
+	if head[0] != "city" || head[1] != "bal" {
+		t.Errorf("pre-built head rewritten: %v", head)
+	}
+}
+
+func TestAggOpStrings(t *testing.T) {
+	ops := []AggOp{CountStar, Count, CountDistinct, Sum, SumDistinct, Min, Max, Avg}
+	for _, op := range ops {
+		if op.String() == "" {
+			t.Errorf("empty string for %d", int(op))
+		}
+	}
+	if CountStar.NeedsVar() || !Sum.NeedsVar() {
+		t.Error("NeedsVar wrong")
+	}
+}
+
+func TestEvalAggFloatSum(t *testing.T) {
+	s := db.NewSchema()
+	s.MustAddRelation(&db.RelationSchema{
+		Name:  "F",
+		Attrs: []db.Attribute{{Name: "x", Kind: db.KindFloat}},
+	})
+	in := db.NewInstance(s)
+	in.MustInsert("F", db.Float(1.5))
+	in.MustInsert("F", db.Float(2.25))
+	in.MustInsert("F", db.Int(3)) // INT coerced into FLOAT column
+	e := NewEvaluator(in)
+	q := AggQuery{Op: Sum, AggVar: "x", Underlying: Single(CQ{
+		Atoms: []Atom{{Rel: "F", Args: []Term{V("x")}}},
+	})}
+	got, err := EvalAgg(e, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Value.AsFloat() != 6.75 {
+		t.Fatalf("float SUM = %v", got[0].Value)
+	}
+}
+
+func TestEvalAggNullsIgnored(t *testing.T) {
+	s := db.NewSchema()
+	s.MustAddRelation(&db.RelationSchema{
+		Name:  "N",
+		Attrs: []db.Attribute{{Name: "x", Kind: db.KindInt}},
+	})
+	in := db.NewInstance(s)
+	in.MustInsert("N", db.Int(5))
+	in.MustInsert("N", db.Null())
+	e := NewEvaluator(in)
+	base := Single(CQ{Atoms: []Atom{{Rel: "N", Args: []Term{V("x")}}}})
+	cnt, _ := EvalAgg(e, AggQuery{Op: Count, AggVar: "x", Underlying: base})
+	if cnt[0].Value.AsInt() != 1 {
+		t.Errorf("COUNT(x) = %v, want 1 (NULL ignored)", cnt[0].Value)
+	}
+	star, _ := EvalAgg(e, AggQuery{Op: CountStar, Underlying: base})
+	if star[0].Value.AsInt() != 2 {
+		t.Errorf("COUNT(*) = %v, want 2", star[0].Value)
+	}
+	sum, _ := EvalAgg(e, AggQuery{Op: Sum, AggVar: "x", Underlying: base})
+	if sum[0].Value.AsInt() != 5 {
+		t.Errorf("SUM = %v, want 5", sum[0].Value)
+	}
+}

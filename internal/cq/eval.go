@@ -1,0 +1,284 @@
+package cq
+
+import (
+	"sort"
+	"strings"
+
+	"aggcavsat/internal/db"
+)
+
+// Row is one witnessing assignment of a conjunctive query: the values of
+// the head variables and the (sorted, deduplicated) set of facts used.
+type Row struct {
+	Head  db.Tuple
+	Facts []db.FactID
+}
+
+// Evaluator evaluates conjunctive queries over a fixed instance, caching
+// hash indexes across queries. It is not safe for concurrent use.
+type Evaluator struct {
+	in      *db.Instance
+	indexes map[indexKey]map[string][]db.FactID
+}
+
+type indexKey struct {
+	rel  string
+	mask uint64 // bit i set = position i is a lookup column
+}
+
+// NewEvaluator creates an evaluator over the instance.
+func NewEvaluator(in *db.Instance) *Evaluator {
+	return &Evaluator{in: in, indexes: make(map[indexKey]map[string][]db.FactID)}
+}
+
+// Instance returns the instance being evaluated.
+func (e *Evaluator) Instance() *db.Instance { return e.in }
+
+// index returns (building on demand) a hash index of rel on the given
+// positions.
+func (e *Evaluator) index(rel string, positions []int) map[string][]db.FactID {
+	var mask uint64
+	for _, p := range positions {
+		mask |= 1 << uint(p)
+	}
+	key := indexKey{rel: rel, mask: mask}
+	if idx, ok := e.indexes[key]; ok {
+		return idx
+	}
+	idx := make(map[string][]db.FactID)
+	for _, id := range e.in.RelFacts(rel) {
+		k := e.in.Fact(id).Tuple.Key(positions)
+		idx[k] = append(idx[k], id)
+	}
+	e.indexes[key] = idx
+	return idx
+}
+
+// Eval returns all witnessing assignments of q on the instance, one Row
+// per assignment (a bag: rows may repeat with identical head values and
+// even identical fact sets).
+func (e *Evaluator) Eval(q CQ) []Row {
+	if err := q.Validate(e.in.Schema()); err != nil {
+		panic("cq: Eval on invalid query: " + err.Error())
+	}
+	plan := planCQ(e.in, q)
+	st := &evalState{
+		e:        e,
+		q:        q,
+		plan:     plan,
+		bindings: make(map[string]db.Value, 8),
+	}
+	st.run(0)
+	return st.rows
+}
+
+// EvalUCQ evaluates a union of conjunctive queries, concatenating the
+// witnessing assignments of all disjuncts (bag union).
+func (e *Evaluator) EvalUCQ(u UCQ) []Row {
+	var rows []Row
+	for _, q := range u.Disjuncts {
+		rows = append(rows, e.Eval(q)...)
+	}
+	return rows
+}
+
+// plan describes the atom evaluation order plus, for each step, the
+// conditions that become fully bound after binding that atom.
+type plan struct {
+	order      []int   // atom indexes in evaluation order
+	condsAfter [][]int // condition indexes checkable after step i
+}
+
+// planCQ orders atoms greedily: prefer atoms with many bound positions
+// (constants or already-bound variables), breaking ties by smaller
+// relation cardinality; conditions are attached to the earliest step at
+// which all their variables are bound.
+func planCQ(in *db.Instance, q CQ) plan {
+	n := len(q.Atoms)
+	used := make([]bool, n)
+	bound := map[string]bool{}
+	var order []int
+	for len(order) < n {
+		best, bestBound, bestSize := -1, -1, 0
+		for i, a := range q.Atoms {
+			if used[i] {
+				continue
+			}
+			nb := 0
+			for _, t := range a.Args {
+				if t.IsConst || bound[t.Var] {
+					nb++
+				}
+			}
+			size := in.RelSize(a.Rel)
+			if best == -1 || nb > bestBound || (nb == bestBound && size < bestSize) {
+				best, bestBound, bestSize = i, nb, size
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, t := range q.Atoms[best].Args {
+			if !t.IsConst {
+				bound[t.Var] = true
+			}
+		}
+	}
+	// Attach conditions to the first step where all their vars are bound.
+	condsAfter := make([][]int, n)
+	assigned := make([]bool, len(q.Conds))
+	bound = map[string]bool{}
+	for step, ai := range order {
+		for _, t := range q.Atoms[ai].Args {
+			if !t.IsConst {
+				bound[t.Var] = true
+			}
+		}
+		for ci, c := range q.Conds {
+			if assigned[ci] {
+				continue
+			}
+			ok := true
+			for _, t := range []Term{c.Left, c.Right} {
+				if !t.IsConst && !bound[t.Var] {
+					ok = false
+				}
+			}
+			if ok {
+				condsAfter[step] = append(condsAfter[step], ci)
+				assigned[ci] = true
+			}
+		}
+	}
+	return plan{order: order, condsAfter: condsAfter}
+}
+
+type evalState struct {
+	e        *Evaluator
+	q        CQ
+	plan     plan
+	bindings map[string]db.Value
+	facts    []db.FactID
+	rows     []Row
+}
+
+func (st *evalState) run(step int) {
+	if step == len(st.plan.order) {
+		head := make(db.Tuple, len(st.q.Head))
+		for i, h := range st.q.Head {
+			head[i] = st.bindings[h]
+		}
+		facts := append([]db.FactID(nil), st.facts...)
+		sort.Slice(facts, func(i, j int) bool { return facts[i] < facts[j] })
+		dedup := facts[:0]
+		for i, f := range facts {
+			if i == 0 || f != facts[i-1] {
+				dedup = append(dedup, f)
+			}
+		}
+		st.rows = append(st.rows, Row{Head: head, Facts: dedup})
+		return
+	}
+	atom := st.q.Atoms[st.plan.order[step]]
+	rel := strings.ToLower(atom.Rel)
+
+	// Split positions into bound (lookup) and free.
+	var lookupPos []int
+	var lookupVals db.Tuple
+	for i, t := range atom.Args {
+		switch {
+		case t.IsConst:
+			lookupPos = append(lookupPos, i)
+			lookupVals = append(lookupVals, t.Const)
+		default:
+			if v, ok := st.bindings[t.Var]; ok {
+				lookupPos = append(lookupPos, i)
+				lookupVals = append(lookupVals, v)
+			}
+		}
+	}
+
+	var candidates []db.FactID
+	if len(lookupPos) > 0 {
+		idx := st.e.index(rel, lookupPos)
+		// Build the lookup key using the same encoding as Tuple.Key.
+		probe := make(db.Tuple, len(lookupVals))
+		copy(probe, lookupVals)
+		positions := make([]int, len(lookupPos))
+		for i := range positions {
+			positions[i] = i
+		}
+		candidates = idx[probe.Key(positions)]
+	} else {
+		candidates = st.e.in.RelFacts(rel)
+	}
+
+	for _, id := range candidates {
+		tuple := st.e.in.Fact(id).Tuple
+		// Bind free variables, checking repeated-variable consistency.
+		var newVars []string
+		ok := true
+		for i, t := range atom.Args {
+			if t.IsConst {
+				continue
+			}
+			if v, boundAlready := st.bindings[t.Var]; boundAlready {
+				if !v.Equal(tuple[i]) {
+					ok = false
+					break
+				}
+				continue
+			}
+			st.bindings[t.Var] = tuple[i]
+			newVars = append(newVars, t.Var)
+		}
+		if ok {
+			for _, ci := range st.plan.condsAfter[step] {
+				c := st.q.Conds[ci]
+				if !c.Op.Apply(st.termValue(c.Left), st.termValue(c.Right)) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			st.facts = append(st.facts, id)
+			st.run(step + 1)
+			st.facts = st.facts[:len(st.facts)-1]
+		}
+		for _, v := range newVars {
+			delete(st.bindings, v)
+		}
+	}
+}
+
+func (st *evalState) termValue(t Term) db.Value {
+	if t.IsConst {
+		return t.Const
+	}
+	return st.bindings[t.Var]
+}
+
+// DistinctAnswers deduplicates the head tuples of rows, returning them in
+// a deterministic (sorted) order.
+func DistinctAnswers(rows []Row) []db.Tuple {
+	seen := map[string]db.Tuple{}
+	positions := []int{}
+	for _, r := range rows {
+		if len(positions) != len(r.Head) {
+			positions = positions[:0]
+			for i := range r.Head {
+				positions = append(positions, i)
+			}
+		}
+		k := r.Head.Key(positions)
+		if _, ok := seen[k]; !ok {
+			seen[k] = r.Head
+		}
+	}
+	out := make([]db.Tuple, 0, len(seen))
+	for _, t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}

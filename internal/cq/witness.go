@@ -1,0 +1,204 @@
+package cq
+
+import (
+	"sort"
+
+	"aggcavsat/internal/db"
+)
+
+// Witness is one element of the bag of witnesses of a query: a set of
+// facts supporting an answer, its multiplicity (the number of witnessing
+// assignments producing exactly this fact set and answer), and the answer
+// tuple it supports.
+type Witness struct {
+	Facts  []db.FactID // sorted ascending, deduplicated
+	Answer db.Tuple    // values of the query head for this witness
+	Mult   int64
+}
+
+// WitnessBag computes the bag of witnesses of a UCQ: rows are grouped by
+// (fact set, answer) and their multiplicities accumulated. The result is
+// deterministic (sorted by fact set, then answer).
+func (e *Evaluator) WitnessBag(u UCQ) []Witness {
+	rows := e.EvalUCQ(u)
+	return CollectWitnesses(rows)
+}
+
+// CollectWitnesses groups witnessing-assignment rows into a witness bag.
+func CollectWitnesses(rows []Row) []Witness {
+	type key struct {
+		facts string
+		ans   string
+	}
+	byKey := map[key]*Witness{}
+	var order []key
+	var headPos []int
+	for _, r := range rows {
+		if len(headPos) != len(r.Head) {
+			headPos = headPos[:0]
+			for i := range r.Head {
+				headPos = append(headPos, i)
+			}
+		}
+		k := key{facts: factsKey(r.Facts), ans: r.Head.Key(headPos)}
+		if w, ok := byKey[k]; ok {
+			w.Mult++
+			continue
+		}
+		byKey[k] = &Witness{Facts: r.Facts, Answer: r.Head, Mult: 1}
+		order = append(order, k)
+	}
+	out := make([]Witness, 0, len(byKey))
+	for _, k := range order {
+		out = append(out, *byKey[k])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := compareFactSets(out[i].Facts, out[j].Facts); c != 0 {
+			return c < 0
+		}
+		return out[i].Answer.Compare(out[j].Answer) < 0
+	})
+	return out
+}
+
+func factsKey(facts []db.FactID) string {
+	b := make([]byte, 0, len(facts)*4)
+	for _, f := range facts {
+		v := uint32(f)
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func compareFactSets(a, b []db.FactID) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// MinimalWitnesses filters the bag down to minimal witnesses per answer:
+// a witness is dropped when another witness with the same answer uses a
+// proper subset of its facts. Multiplicities of dropped witnesses are
+// discarded (the DISTINCT reductions only need existence, not counts).
+func MinimalWitnesses(bag []Witness) []Witness {
+	byAnswer := map[string][]Witness{}
+	var answerOrder []string
+	var headPos []int
+	for _, w := range bag {
+		if len(headPos) != len(w.Answer) {
+			headPos = headPos[:0]
+			for i := range w.Answer {
+				headPos = append(headPos, i)
+			}
+		}
+		k := w.Answer.Key(headPos)
+		if _, ok := byAnswer[k]; !ok {
+			answerOrder = append(answerOrder, k)
+		}
+		byAnswer[k] = append(byAnswer[k], w)
+	}
+	var out []Witness
+	for _, k := range answerOrder {
+		group := byAnswer[k]
+		for i, w := range group {
+			minimal := true
+			for j, other := range group {
+				if i == j {
+					continue
+				}
+				if len(other.Facts) < len(w.Facts) && isSubset(other.Facts, w.Facts) {
+					minimal = false
+					break
+				}
+				// Equal sets: keep the first occurrence only.
+				if j < i && len(other.Facts) == len(w.Facts) && isSubset(other.Facts, w.Facts) {
+					minimal = false
+					break
+				}
+			}
+			if minimal {
+				out = append(out, w)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := compareFactSets(out[i].Facts, out[j].Facts); c != 0 {
+			return c < 0
+		}
+		return out[i].Answer.Compare(out[j].Answer) < 0
+	})
+	return out
+}
+
+// isSubset reports whether sorted slice a ⊆ sorted slice b.
+func isSubset(a, b []db.FactID) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i == len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// GroupWitnesses partitions a witness bag by a prefix of the answer tuple
+// (the grouping attributes), preserving witness order inside each group.
+// The remaining answer suffix (e.g. the aggregation attribute) stays in
+// each witness's Answer. Groups come back sorted by group key.
+func GroupWitnesses(bag []Witness, groupArity int) []WitnessGroup {
+	byKey := map[string]*WitnessGroup{}
+	var order []string
+	positions := make([]int, groupArity)
+	for i := range positions {
+		positions[i] = i
+	}
+	for _, w := range bag {
+		groupKey := w.Answer[:groupArity]
+		k := groupKey.Key(positions)
+		g, ok := byKey[k]
+		if !ok {
+			g = &WitnessGroup{Key: groupKey.Clone()}
+			byKey[k] = g
+			order = append(order, k)
+		}
+		rest := Witness{
+			Facts:  w.Facts,
+			Answer: w.Answer[groupArity:],
+			Mult:   w.Mult,
+		}
+		g.Witnesses = append(g.Witnesses, rest)
+	}
+	out := make([]WitnessGroup, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byKey[k])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Compare(out[j].Key) < 0 })
+	return out
+}
+
+// WitnessGroup is the witness bag restricted to one value of the grouping
+// attributes.
+type WitnessGroup struct {
+	Key       db.Tuple
+	Witnesses []Witness
+}

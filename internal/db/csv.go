@@ -1,0 +1,147 @@
+package db
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WriteCSV writes all facts of the named relation to w, one row per fact,
+// preceded by a header row with the attribute names.
+func (in *Instance) WriteCSV(rel string, w io.Writer) error {
+	rs := in.schema.Relation(rel)
+	if rs == nil {
+		return fmt.Errorf("db: WriteCSV: unknown relation %s", rel)
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, rs.Arity())
+	for i, a := range rs.Attrs {
+		header[i] = a.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, rs.Arity())
+	for _, id := range in.RelFacts(rel) {
+		t := in.facts[id].Tuple
+		for i, v := range t {
+			if v.IsNull() {
+				row[i] = ""
+			} else {
+				row[i] = v.String()
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads rows from r into the named relation. The first row must be
+// a header; columns are matched to attributes by name (case-insensitive)
+// so column order in the file is free.
+func (in *Instance) ReadCSV(rel string, r io.Reader) error {
+	rs := in.schema.Relation(rel)
+	if rs == nil {
+		return fmt.Errorf("db: ReadCSV: unknown relation %s", rel)
+	}
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("db: ReadCSV %s: read header: %w", rs.Name, err)
+	}
+	colFor := make([]int, len(header)) // file column -> attribute position
+	seen := make([]bool, rs.Arity())
+	for i, h := range header {
+		p := rs.AttrIndex(strings.TrimSpace(h))
+		if p < 0 {
+			return fmt.Errorf("db: ReadCSV %s: unknown column %q", rs.Name, h)
+		}
+		if seen[p] {
+			return fmt.Errorf("db: ReadCSV %s: duplicate column %q", rs.Name, h)
+		}
+		seen[p] = true
+		colFor[i] = p
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("db: ReadCSV %s: missing column %q", rs.Name, rs.Attrs[i].Name)
+		}
+	}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("db: ReadCSV %s: line %d: %w", rs.Name, line+1, err)
+		}
+		line++
+		t := make(Tuple, rs.Arity())
+		for i, field := range rec {
+			p := colFor[i]
+			v, err := ParseValue(rs.Attrs[p].Kind, field)
+			if err != nil {
+				return fmt.Errorf("db: ReadCSV %s: line %d, column %s: %w", rs.Name, line, rs.Attrs[p].Name, err)
+			}
+			t[p] = v
+		}
+		if _, err := in.Insert(rs.Name, t); err != nil {
+			return fmt.Errorf("db: ReadCSV %s: line %d: %w", rs.Name, line, err)
+		}
+	}
+}
+
+// SaveDir writes one <relation>.csv file per relation into dir, creating
+// the directory if needed.
+func (in *Instance) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, rs := range in.schema.Relations() {
+		path := filepath.Join(dir, strings.ToLower(rs.Name)+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := in.WriteCSV(rs.Name, f); err != nil {
+			f.Close()
+			return fmt.Errorf("db: SaveDir: %s: %w", rs.Name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir reads one <relation>.csv per relation of the schema from dir.
+// Missing files leave the relation empty.
+func LoadDir(schema *Schema, dir string) (*Instance, error) {
+	in := NewInstance(schema)
+	for _, rs := range schema.Relations() {
+		path := filepath.Join(dir, strings.ToLower(rs.Name)+".csv")
+		f, err := os.Open(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := in.ReadCSV(rs.Name, f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}

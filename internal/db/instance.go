@@ -1,0 +1,206 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FactID identifies a fact within an Instance. IDs are dense, start at 0,
+// and never change once assigned; they double as SAT variable indices in
+// internal/core (variable = FactID + 1).
+type FactID int
+
+// Fact is one row of one relation, together with its identifier.
+type Fact struct {
+	ID    FactID
+	Rel   string // canonical (lower-case) relation name
+	Tuple Tuple
+}
+
+// Instance is a (possibly inconsistent) database instance: a set of facts
+// over a schema. Facts are append-only; deletion is expressed by building
+// sub-instances (see Subset), which preserves fact identity — essential
+// for the repair/assignment correspondence of the reductions.
+type Instance struct {
+	schema *Schema
+	facts  []Fact
+	byRel  map[string][]FactID
+}
+
+// NewInstance creates an empty instance over the given schema.
+func NewInstance(schema *Schema) *Instance {
+	return &Instance{
+		schema: schema,
+		byRel:  make(map[string][]FactID),
+	}
+}
+
+// Schema returns the instance's schema.
+func (in *Instance) Schema() *Schema { return in.schema }
+
+// NumFacts returns the total number of facts.
+func (in *Instance) NumFacts() int { return len(in.facts) }
+
+// Fact returns the fact with the given ID.
+func (in *Instance) Fact(id FactID) Fact { return in.facts[id] }
+
+// Facts returns the underlying fact slice; callers must not mutate it.
+func (in *Instance) Facts() []Fact { return in.facts }
+
+// RelFacts returns the IDs of all facts of the named relation, in
+// insertion order. Callers must not mutate the returned slice.
+func (in *Instance) RelFacts(rel string) []FactID {
+	return in.byRel[strings.ToLower(rel)]
+}
+
+// RelSize returns the number of facts in the named relation.
+func (in *Instance) RelSize(rel string) int { return len(in.RelFacts(rel)) }
+
+// Insert appends a fact to the named relation and returns its ID.
+// The tuple arity and value kinds must match the relation schema
+// (NULL is allowed in non-key positions).
+func (in *Instance) Insert(rel string, t Tuple) (FactID, error) {
+	rs := in.schema.Relation(rel)
+	if rs == nil {
+		return 0, fmt.Errorf("db: insert into unknown relation %s", rel)
+	}
+	if len(t) != rs.Arity() {
+		return 0, fmt.Errorf("db: insert into %s: got %d values, want %d", rs.Name, len(t), rs.Arity())
+	}
+	for i, v := range t {
+		if v.IsNull() {
+			continue
+		}
+		want := rs.Attrs[i].Kind
+		if v.Kind() != want && !(want == KindFloat && v.Kind() == KindInt) {
+			return 0, fmt.Errorf("db: insert into %s.%s: got %s, want %s",
+				rs.Name, rs.Attrs[i].Name, v.Kind(), want)
+		}
+	}
+	id := FactID(len(in.facts))
+	lc := strings.ToLower(rs.Name)
+	in.facts = append(in.facts, Fact{ID: id, Rel: lc, Tuple: t})
+	in.byRel[lc] = append(in.byRel[lc], id)
+	return id, nil
+}
+
+// MustInsert is Insert that panics on error; for tests and generators.
+func (in *Instance) MustInsert(rel string, vals ...Value) FactID {
+	id, err := in.Insert(rel, Tuple(vals))
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// KeyEqualGroup is a maximal set of facts of one relation that agree on
+// the relation's key attributes. Groups of size one are consistent; larger
+// groups are key violations from which any repair keeps exactly one fact.
+type KeyEqualGroup struct {
+	Rel   string
+	Facts []FactID // sorted ascending
+}
+
+// Violating reports whether the group witnesses a key violation.
+func (g KeyEqualGroup) Violating() bool { return len(g.Facts) > 1 }
+
+// KeyEqualGroups partitions every relation that declares a key into its
+// key-equal groups. Relations without a key constraint contribute one
+// singleton group per fact (they are trivially consistent). The result is
+// deterministic: groups are ordered by their smallest fact ID.
+func (in *Instance) KeyEqualGroups() []KeyEqualGroup {
+	var groups []KeyEqualGroup
+	for _, rs := range in.schema.Relations() {
+		ids := in.RelFacts(rs.Name)
+		if !rs.HasKey() {
+			for _, id := range ids {
+				groups = append(groups, KeyEqualGroup{Rel: strings.ToLower(rs.Name), Facts: []FactID{id}})
+			}
+			continue
+		}
+		byKey := make(map[string][]FactID)
+		for _, id := range ids {
+			k := in.facts[id].Tuple.Key(rs.Key)
+			byKey[k] = append(byKey[k], id)
+		}
+		for _, members := range byKey {
+			sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+			groups = append(groups, KeyEqualGroup{Rel: strings.ToLower(rs.Name), Facts: members})
+		}
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Facts[0] < groups[j].Facts[0] })
+	return groups
+}
+
+// InconsistencyStats summarizes how inconsistent a relation is w.r.t. its
+// key constraint.
+type InconsistencyStats struct {
+	Rel             string
+	Facts           int
+	ViolatingFacts  int // facts in key-equal groups of size >= 2
+	Groups          int // number of key-equal groups (repair size)
+	LargestGroup    int
+	ViolatingGroups int
+}
+
+// Percent returns the fraction of facts involved in key violations, in
+// percent, matching the paper's "degree of inconsistency".
+func (s InconsistencyStats) Percent() float64 {
+	if s.Facts == 0 {
+		return 0
+	}
+	return 100 * float64(s.ViolatingFacts) / float64(s.Facts)
+}
+
+// KeyInconsistency computes per-relation inconsistency statistics.
+func (in *Instance) KeyInconsistency() []InconsistencyStats {
+	byRel := make(map[string]*InconsistencyStats)
+	var order []string
+	for _, rs := range in.schema.Relations() {
+		lc := strings.ToLower(rs.Name)
+		byRel[lc] = &InconsistencyStats{Rel: rs.Name, Facts: len(in.RelFacts(rs.Name))}
+		order = append(order, lc)
+	}
+	for _, g := range in.KeyEqualGroups() {
+		st := byRel[g.Rel]
+		st.Groups++
+		if len(g.Facts) > st.LargestGroup {
+			st.LargestGroup = len(g.Facts)
+		}
+		if g.Violating() {
+			st.ViolatingGroups++
+			st.ViolatingFacts += len(g.Facts)
+		}
+	}
+	out := make([]InconsistencyStats, 0, len(order))
+	for _, lc := range order {
+		out = append(out, *byRel[lc])
+	}
+	return out
+}
+
+// Subset materializes the sub-instance containing exactly the facts whose
+// IDs satisfy keep. Fact IDs are reassigned densely in the new instance,
+// so Subset is intended for baselines (exhaustive repairs) rather than for
+// the SAT pipeline, which works with the original IDs throughout.
+func (in *Instance) Subset(keep func(FactID) bool) *Instance {
+	out := NewInstance(in.schema)
+	for _, f := range in.facts {
+		if keep(f.ID) {
+			if _, err := out.Insert(f.Rel, f.Tuple); err != nil {
+				panic(err) // same schema: cannot happen
+			}
+		}
+	}
+	return out
+}
+
+// String renders a compact multi-line description, for debugging.
+func (in *Instance) String() string {
+	var b strings.Builder
+	for _, rs := range in.schema.Relations() {
+		fmt.Fprintf(&b, "%s(%d facts)\n", rs.Name, in.RelSize(rs.Name))
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attribute describes one column of a relation.
+type Attribute struct {
+	Name string
+	Kind Kind
+}
+
+// RelationSchema describes one relation: its name, attributes, and the
+// positions of its key attributes (empty means "no key constraint").
+//
+// Following the paper, at most one key constraint per relation is modeled
+// here; richer constraints (functional dependencies, denial constraints)
+// live in internal/constraints.
+type RelationSchema struct {
+	Name  string
+	Attrs []Attribute
+	Key   []int // positions of the key attributes, sorted ascending
+}
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (r *RelationSchema) AttrIndex(name string) int {
+	for i, a := range r.Attrs {
+		if strings.EqualFold(a.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Arity returns the number of attributes.
+func (r *RelationSchema) Arity() int { return len(r.Attrs) }
+
+// HasKey reports whether the relation declares a key constraint.
+func (r *RelationSchema) HasKey() bool { return len(r.Key) > 0 }
+
+// KeyNames returns the names of the key attributes.
+func (r *RelationSchema) KeyNames() []string {
+	names := make([]string, len(r.Key))
+	for i, p := range r.Key {
+		names[i] = r.Attrs[p].Name
+	}
+	return names
+}
+
+func (r *RelationSchema) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("db: relation with empty name")
+	}
+	if len(r.Attrs) == 0 {
+		return fmt.Errorf("db: relation %s has no attributes", r.Name)
+	}
+	seen := make(map[string]bool, len(r.Attrs))
+	for _, a := range r.Attrs {
+		lc := strings.ToLower(a.Name)
+		if seen[lc] {
+			return fmt.Errorf("db: relation %s: duplicate attribute %s", r.Name, a.Name)
+		}
+		seen[lc] = true
+	}
+	prev := -1
+	for _, p := range r.Key {
+		if p < 0 || p >= len(r.Attrs) {
+			return fmt.Errorf("db: relation %s: key position %d out of range", r.Name, p)
+		}
+		if p <= prev {
+			return fmt.Errorf("db: relation %s: key positions must be strictly ascending", r.Name)
+		}
+		prev = p
+	}
+	return nil
+}
+
+// Schema is a collection of relation schemas addressed by name
+// (case-insensitively).
+type Schema struct {
+	rels  map[string]*RelationSchema
+	order []string // insertion order of canonical names, for determinism
+}
+
+// NewSchema creates an empty schema.
+func NewSchema() *Schema {
+	return &Schema{rels: make(map[string]*RelationSchema)}
+}
+
+// AddRelation registers a relation schema. Key positions must be strictly
+// ascending; names are unique case-insensitively.
+func (s *Schema) AddRelation(r *RelationSchema) error {
+	if err := r.validate(); err != nil {
+		return err
+	}
+	lc := strings.ToLower(r.Name)
+	if _, dup := s.rels[lc]; dup {
+		return fmt.Errorf("db: duplicate relation %s", r.Name)
+	}
+	s.rels[lc] = r
+	s.order = append(s.order, lc)
+	return nil
+}
+
+// MustAddRelation is AddRelation that panics on error; for package-level
+// schema literals in generators and tests.
+func (s *Schema) MustAddRelation(r *RelationSchema) {
+	if err := s.AddRelation(r); err != nil {
+		panic(err)
+	}
+}
+
+// Relation returns the schema of the named relation, or nil.
+func (s *Schema) Relation(name string) *RelationSchema {
+	return s.rels[strings.ToLower(name)]
+}
+
+// Relations returns all relation schemas in insertion order.
+func (s *Schema) Relations() []*RelationSchema {
+	out := make([]*RelationSchema, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, s.rels[n])
+	}
+	return out
+}
+
+// RelationNames returns the canonical relation names sorted alphabetically.
+func (s *Schema) RelationNames() []string {
+	names := make([]string, 0, len(s.rels))
+	for _, r := range s.Relations() {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,199 @@
+package db
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{Int(7), KindInt},
+		{Float(2.5), KindFloat},
+		{Str("x"), KindString},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind() = %v, want %v", c.v.Kind(), c.kind)
+		}
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misclassifies")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if Int(42).AsInt() != 42 {
+		t.Error("AsInt")
+	}
+	if Float(1.5).AsFloat() != 1.5 {
+		t.Error("AsFloat on float")
+	}
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("AsFloat on int")
+	}
+	if Str("hi").AsString() != "hi" {
+		t.Error("AsString")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AsInt on string", func() { Str("x").AsInt() })
+	mustPanic("AsString on int", func() { Int(1).AsString() })
+	mustPanic("AsFloat on string", func() { Str("x").AsFloat() })
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(-3), "-3"},
+		{Float(0.25), "0.25"},
+		{Str("abc"), "abc"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestValueCompareTotalOrder(t *testing.T) {
+	ordered := []Value{
+		Null(),
+		Int(-5), Float(-1.5), Int(0), Float(0.5), Int(2), Float(2.5),
+		Str(""), Str("a"), Str("b"),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestValueCompareNumericCross(t *testing.T) {
+	if Int(2).Compare(Float(2.0)) != 0 {
+		t.Error("INT 2 should equal FLOAT 2.0")
+	}
+	if !Int(2).Equal(Float(2.0)) {
+		t.Error("Equal should hold across numeric kinds")
+	}
+	if Int(math.MaxInt64).Compare(Int(math.MaxInt64)) != 0 {
+		t.Error("max int self-compare")
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue(KindInt, "123")
+	if err != nil || v.AsInt() != 123 {
+		t.Errorf("ParseValue INT: %v %v", v, err)
+	}
+	v, err = ParseValue(KindFloat, "1.5")
+	if err != nil || v.AsFloat() != 1.5 {
+		t.Errorf("ParseValue FLOAT: %v %v", v, err)
+	}
+	v, err = ParseValue(KindString, "hi")
+	if err != nil || v.AsString() != "hi" {
+		t.Errorf("ParseValue STRING: %v %v", v, err)
+	}
+	// empty numeric fields parse to NULL
+	v, err = ParseValue(KindInt, "")
+	if err != nil || !v.IsNull() {
+		t.Errorf("ParseValue empty INT: %v %v", v, err)
+	}
+	if _, err := ParseValue(KindInt, "abc"); err == nil {
+		t.Error("ParseValue should reject non-numeric INT")
+	}
+	if _, err := ParseValue(KindFloat, "abc"); err == nil {
+		t.Error("ParseValue should reject non-numeric FLOAT")
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	f := func(n int64) bool {
+		v, err := ParseValue(KindInt, Int(n).String())
+		return err == nil && v.AsInt() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleEqualCompare(t *testing.T) {
+	a := Tuple{Int(1), Str("x")}
+	b := Tuple{Int(1), Str("x")}
+	c := Tuple{Int(1), Str("y")}
+	if !a.Equal(b) {
+		t.Error("equal tuples")
+	}
+	if a.Equal(c) {
+		t.Error("unequal tuples")
+	}
+	if a.Compare(c) >= 0 {
+		t.Error("x < y")
+	}
+	if a.Compare(Tuple{Int(1)}) <= 0 {
+		t.Error("longer tuple with equal prefix should be greater")
+	}
+	if a.Equal(Tuple{Int(1)}) {
+		t.Error("length mismatch must not be equal")
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	a := Tuple{Int(1), Str("x")}
+	b := a.Clone()
+	b[0] = Int(9)
+	if a[0].AsInt() != 1 {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	// Kinds are part of the encoding: Int(1) and Str("1") must differ.
+	a := Tuple{Int(1)}
+	b := Tuple{Str("1")}
+	if a.Key([]int{0}) == b.Key([]int{0}) {
+		t.Error("Key must distinguish kinds")
+	}
+	// Separator prevents ambiguity across positions.
+	c := Tuple{Str("ab"), Str("c")}
+	d := Tuple{Str("a"), Str("bc")}
+	if c.Key([]int{0, 1}) == d.Key([]int{0, 1}) {
+		t.Error("Key must separate positions")
+	}
+}

@@ -1,0 +1,347 @@
+package exhaustive
+
+import (
+	"testing"
+
+	"aggcavsat/internal/constraints"
+	"aggcavsat/internal/cq"
+	"aggcavsat/internal/db"
+)
+
+// bank builds the paper's Table I instance (fact IDs 0..13 = f1..f14).
+func bank() *db.Instance {
+	s := db.NewSchema()
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "Cust",
+		Attrs: []db.Attribute{
+			{Name: "CID", Kind: db.KindString},
+			{Name: "NAME", Kind: db.KindString},
+			{Name: "CITY", Kind: db.KindString},
+		},
+		Key: []int{0},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "Acc",
+		Attrs: []db.Attribute{
+			{Name: "ACCID", Kind: db.KindString},
+			{Name: "TYPE", Kind: db.KindString},
+			{Name: "CITY", Kind: db.KindString},
+			{Name: "BAL", Kind: db.KindInt},
+		},
+		Key: []int{0},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "CustAcc",
+		Attrs: []db.Attribute{
+			{Name: "CID", Kind: db.KindString},
+			{Name: "ACCID", Kind: db.KindString},
+		},
+		Key: []int{0, 1},
+	})
+	in := db.NewInstance(s)
+	in.MustInsert("Cust", db.Str("C1"), db.Str("John"), db.Str("LA"))
+	in.MustInsert("Cust", db.Str("C2"), db.Str("Mary"), db.Str("LA"))
+	in.MustInsert("Cust", db.Str("C2"), db.Str("Mary"), db.Str("SF"))
+	in.MustInsert("Cust", db.Str("C3"), db.Str("Don"), db.Str("SF"))
+	in.MustInsert("Cust", db.Str("C4"), db.Str("Jen"), db.Str("LA"))
+	in.MustInsert("Acc", db.Str("A1"), db.Str("Check."), db.Str("LA"), db.Int(900))
+	in.MustInsert("Acc", db.Str("A2"), db.Str("Check."), db.Str("LA"), db.Int(1000))
+	in.MustInsert("Acc", db.Str("A3"), db.Str("Saving"), db.Str("SJ"), db.Int(1200))
+	in.MustInsert("Acc", db.Str("A3"), db.Str("Saving"), db.Str("SF"), db.Int(-100))
+	in.MustInsert("Acc", db.Str("A4"), db.Str("Saving"), db.Str("SJ"), db.Int(300))
+	in.MustInsert("CustAcc", db.Str("C1"), db.Str("A1"))
+	in.MustInsert("CustAcc", db.Str("C2"), db.Str("A2"))
+	in.MustInsert("CustAcc", db.Str("C2"), db.Str("A3"))
+	in.MustInsert("CustAcc", db.Str("C3"), db.Str("A4"))
+	return in
+}
+
+func TestRepairsKeysCount(t *testing.T) {
+	in := bank()
+	count := 0
+	err := RepairsKeys(in, func(keep []bool) bool {
+		count++
+		// Each repair keeps exactly 12 facts (two 2-way choices).
+		kept := 0
+		for _, k := range keep {
+			if k {
+				kept++
+			}
+		}
+		if kept != 12 {
+			t.Errorf("repair keeps %d facts, want 12", kept)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Fatalf("repairs = %d, want 4 (2 groups × 2 choices)", count)
+	}
+}
+
+func TestRepairsKeysEarlyStop(t *testing.T) {
+	in := bank()
+	count := 0
+	RepairsKeys(in, func(keep []bool) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d repairs", count)
+	}
+}
+
+// paperSumQuery is the running-example query: SUM(BAL) over accounts of
+// customer C2.
+func paperSumQuery() cq.AggQuery {
+	return cq.AggQuery{
+		Op:     cq.Sum,
+		AggVar: "bal",
+		Underlying: cq.Single(cq.CQ{
+			Atoms: []cq.Atom{
+				{Rel: "CustAcc", Args: []cq.Term{cq.C(db.Str("C2")), cq.V("accid")}},
+				{Rel: "Acc", Args: []cq.Term{cq.V("accid"), cq.V("t"), cq.V("c"), cq.V("bal")}},
+			},
+		}),
+	}
+}
+
+func TestRangeAnswersPaperExample(t *testing.T) {
+	// Section I: the range consistent answer is [900, 2200].
+	in := bank()
+	got, err := RangeAnswers(in, paperSumQuery(), Options{Mode: ModeKeys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("answers = %v", got)
+	}
+	if got[0].GLB.AsInt() != 900 || got[0].LUB.AsInt() != 2200 {
+		t.Fatalf("range = [%v, %v], want [900, 2200]", got[0].GLB, got[0].LUB)
+	}
+}
+
+func TestRangeAnswersExampleIV1(t *testing.T) {
+	// COUNT(*) of customers with an account in their own city: [1, 2].
+	in := bank()
+	q := cq.AggQuery{
+		Op: cq.CountStar,
+		Underlying: cq.Single(cq.CQ{
+			Atoms: []cq.Atom{
+				{Rel: "Cust", Args: []cq.Term{cq.V("cid"), cq.V("n"), cq.V("city")}},
+				{Rel: "CustAcc", Args: []cq.Term{cq.V("cid"), cq.V("accid")}},
+				{Rel: "Acc", Args: []cq.Term{cq.V("accid"), cq.V("t"), cq.V("city"), cq.V("b")}},
+			},
+		}),
+	}
+	got, err := RangeAnswers(in, q, Options{Mode: ModeKeys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].GLB.AsInt() != 1 || got[0].LUB.AsInt() != 2 {
+		t.Fatalf("range = [%v, %v], want [1, 2]", got[0].GLB, got[0].LUB)
+	}
+}
+
+func TestRangeAnswersCountDistinct(t *testing.T) {
+	// Section IV-B: COUNT(DISTINCT Acc.TYPE) = [2, 2].
+	in := bank()
+	q := cq.AggQuery{
+		Op:     cq.CountDistinct,
+		AggVar: "type",
+		Underlying: cq.Single(cq.CQ{
+			Atoms: []cq.Atom{{Rel: "Acc", Args: []cq.Term{cq.V("id"), cq.V("type"), cq.V("c"), cq.V("b")}}},
+		}),
+	}
+	got, err := RangeAnswers(in, q, Options{Mode: ModeKeys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].GLB.AsInt() != 2 || got[0].LUB.AsInt() != 2 {
+		t.Fatalf("range = [%v, %v], want [2, 2]", got[0].GLB, got[0].LUB)
+	}
+}
+
+func TestRangeAnswersGroupedPaperExample(t *testing.T) {
+	// Section IV-C: COUNT(*) FROM Cust GROUP BY CITY.
+	// Consistent groups: LA with [2,3] and SF with [1,2].
+	in := bank()
+	q := cq.AggQuery{
+		Op:      cq.CountStar,
+		GroupBy: []string{"city"},
+		Underlying: cq.Single(cq.CQ{
+			Atoms: []cq.Atom{{Rel: "Cust", Args: []cq.Term{cq.V("cid"), cq.V("n"), cq.V("city")}}},
+		}),
+	}
+	got, err := RangeAnswers(in, q, Options{Mode: ModeKeys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("groups = %v", got)
+	}
+	la, sf := got[0], got[1]
+	if la.Key[0].AsString() != "LA" || la.GLB.AsInt() != 2 || la.LUB.AsInt() != 3 {
+		t.Errorf("LA = %+v, want [2,3]", la)
+	}
+	if sf.Key[0].AsString() != "SF" || sf.GLB.AsInt() != 1 || sf.LUB.AsInt() != 2 {
+		t.Errorf("SF = %+v, want [1,2]", sf)
+	}
+}
+
+func TestRangeAnswersInconsistentGroupDropped(t *testing.T) {
+	// Grouping by NAME: Mary's group exists in every repair (both f2 and
+	// f3 are named Mary); but grouping by a key-violating attribute that
+	// differs across choices drops the group. Build a focused instance.
+	s := db.NewSchema()
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "R",
+		Attrs: []db.Attribute{
+			{Name: "k", Kind: db.KindString},
+			{Name: "g", Kind: db.KindString},
+			{Name: "v", Kind: db.KindInt},
+		},
+		Key: []int{0},
+	})
+	in := db.NewInstance(s)
+	in.MustInsert("R", db.Str("k1"), db.Str("A"), db.Int(1))
+	in.MustInsert("R", db.Str("k1"), db.Str("B"), db.Int(2)) // group differs per repair
+	in.MustInsert("R", db.Str("k2"), db.Str("A"), db.Int(5))
+	q := cq.AggQuery{
+		Op:      cq.Sum,
+		AggVar:  "v",
+		GroupBy: []string{"g"},
+		Underlying: cq.Single(cq.CQ{
+			Atoms: []cq.Atom{{Rel: "R", Args: []cq.Term{cq.V("k"), cq.V("g"), cq.V("v")}}},
+		}),
+	}
+	got, err := RangeAnswers(in, q, Options{Mode: ModeKeys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only group A is consistent (present in both repairs via k2);
+	// group B is absent from the repair choosing fact 0.
+	if len(got) != 1 || got[0].Key[0].AsString() != "A" {
+		t.Fatalf("answers = %v, want only group A", got)
+	}
+	if got[0].GLB.AsInt() != 5 || got[0].LUB.AsInt() != 6 {
+		t.Errorf("A range = [%v,%v], want [5,6]", got[0].GLB, got[0].LUB)
+	}
+}
+
+func TestRepairsDCs(t *testing.T) {
+	// Singleton violation {0} plus pair violation {1,2}: repairs drop
+	// fact 0 and exactly one of 1, 2.
+	s := db.NewSchema()
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "R",
+		Attrs: []db.Attribute{
+			{Name: "k", Kind: db.KindString},
+			{Name: "v", Kind: db.KindInt},
+		},
+		Key: []int{0},
+	})
+	in := db.NewInstance(s)
+	in.MustInsert("R", db.Str("bad"), db.Int(0)) // 0: singleton violation
+	in.MustInsert("R", db.Str("k"), db.Int(1))   // 1
+	in.MustInsert("R", db.Str("k"), db.Int(2))   // 2: key pair with 1
+	in.MustInsert("R", db.Str("ok"), db.Int(3))  // 3: safe
+
+	violations := []constraints.Violation{{0}, {1, 2}}
+	var repairs [][]bool
+	err := RepairsDCs(in, violations, func(keep []bool) bool {
+		cp := append([]bool(nil), keep...)
+		repairs = append(repairs, cp)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairs) != 2 {
+		t.Fatalf("repairs = %d, want 2", len(repairs))
+	}
+	for _, r := range repairs {
+		if r[0] {
+			t.Error("self-violating fact kept")
+		}
+		if !r[3] {
+			t.Error("safe fact dropped")
+		}
+		if r[1] == r[2] {
+			t.Error("key pair not resolved to exactly one")
+		}
+	}
+}
+
+func TestRangeAnswersDCModeMatchesKeyMode(t *testing.T) {
+	// Keys expressed as DCs must give the same answers as ModeKeys.
+	in := bank()
+	dcs, err := constraints.SchemaKeyDCs(in.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := paperSumQuery()
+	keyAns, err := RangeAnswers(in, q, Options{Mode: ModeKeys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcAns, err := RangeAnswers(in, q, Options{Mode: ModeDCs, DCs: dcs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keyAns) != len(dcAns) {
+		t.Fatalf("answer counts differ: %v vs %v", keyAns, dcAns)
+	}
+	for i := range keyAns {
+		if !keyAns[i].GLB.Equal(dcAns[i].GLB) || !keyAns[i].LUB.Equal(dcAns[i].LUB) {
+			t.Errorf("answer %d differs: %+v vs %+v", i, keyAns[i], dcAns[i])
+		}
+	}
+}
+
+func TestRangeAnswersMinMax(t *testing.T) {
+	in := bank()
+	q := paperSumQuery()
+	q.Op = cq.Max
+	got, err := RangeAnswers(in, q, Options{Mode: ModeKeys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MAX over repairs: with f8 (1200) → 1200; with f9 (-100) → 1000.
+	if got[0].GLB.AsInt() != 1000 || got[0].LUB.AsInt() != 1200 {
+		t.Fatalf("MAX range = [%v,%v], want [1000,1200]", got[0].GLB, got[0].LUB)
+	}
+	q.Op = cq.Min
+	got, err = RangeAnswers(in, q, Options{Mode: ModeKeys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MIN over repairs: with f8 → 1000; with f9 → -100.
+	if got[0].GLB.AsInt() != -100 || got[0].LUB.AsInt() != 1000 {
+		t.Fatalf("MIN range = [%v,%v], want [-100,1000]", got[0].GLB, got[0].LUB)
+	}
+}
+
+func TestRepairsKeysTooMany(t *testing.T) {
+	s := db.NewSchema()
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "R",
+		Attrs: []db.Attribute{
+			{Name: "k", Kind: db.KindInt},
+			{Name: "v", Kind: db.KindInt},
+		},
+		Key: []int{0},
+	})
+	in := db.NewInstance(s)
+	for k := 0; k < 23; k++ {
+		for alt := 0; alt < 2; alt++ {
+			in.MustInsert("R", db.Int(int64(k)), db.Int(int64(alt)))
+		}
+	}
+	err := RepairsKeys(in, func([]bool) bool { return true })
+	if err == nil {
+		t.Error("2^23 repairs should exceed the cap")
+	}
+}

@@ -1,0 +1,135 @@
+package maxsat
+
+import (
+	"fmt"
+	"sort"
+
+	"aggcavsat/internal/cnf"
+	"aggcavsat/internal/sat"
+)
+
+// wlit is one output of a generalized totalizer node: lit is forced true
+// whenever the total violated weight below the node is at least w.
+type wlit struct {
+	w   int64
+	lit cnf.Lit
+}
+
+// buildGTE encodes a generalized totalizer (weighted counter) over the
+// violation indicators: for every attainable weight sum w it returns a
+// literal that the added hard clauses force to true whenever the total
+// weight of true inputs is ≥ w. Outputs are sorted by ascending weight.
+func buildGTE(s *sat.Solver, inputs []wlit) []wlit {
+	if len(inputs) <= 1 {
+		return inputs
+	}
+	mid := len(inputs) / 2
+	a := buildGTE(s, inputs[:mid])
+	b := buildGTE(s, inputs[mid:])
+	// Collect attainable sums: every a-weight, b-weight, and pair sum.
+	sums := map[int64]cnf.Lit{}
+	keys := []int64{}
+	addSum := func(w int64) {
+		if _, ok := sums[w]; !ok {
+			sums[w] = cnf.Lit(s.NewVar())
+			keys = append(keys, w)
+		}
+	}
+	for _, x := range a {
+		addSum(x.w)
+	}
+	for _, y := range b {
+		addSum(y.w)
+	}
+	for _, x := range a {
+		for _, y := range b {
+			addSum(x.w + y.w)
+		}
+	}
+	for _, x := range a {
+		s.AddClause(x.lit.Neg(), sums[x.w])
+	}
+	for _, y := range b {
+		s.AddClause(y.lit.Neg(), sums[y.w])
+	}
+	for _, x := range a {
+		for _, y := range b {
+			s.AddClause(x.lit.Neg(), y.lit.Neg(), sums[x.w+y.w])
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]wlit, len(keys))
+	for i, w := range keys {
+		out[i] = wlit{w: w, lit: sums[w]}
+	}
+	return out
+}
+
+// solveLSU implements linear SAT-UNSAT (solution-improving) search:
+// repeatedly find a model, measure the falsified soft weight U, and add
+// hard unit clauses banning every attainable violated weight ≥ U. The
+// last model before UNSAT is optimal.
+func solveLSU(f *cnf.Formula, opts Options) (Result, error) {
+	s := sat.New()
+	if opts.ConflictBudget > 0 {
+		s.SetConflictBudget(opts.ConflictBudget)
+	}
+	if !s.AddFormulaHard(f) {
+		return Result{Satisfiable: false}, nil
+	}
+	s.EnsureVars(f.NumVars())
+	weights := selectors(s, f)
+
+	// Violation indicators: the negations of the selectors.
+	inputs := make([]wlit, 0, len(weights))
+	for _, sel := range sortedSelectors(weights) {
+		inputs = append(inputs, wlit{w: weights[sel], lit: sel.Neg()})
+	}
+	outputs := buildGTE(s, inputs)
+
+	var best Result
+	haveBest := false
+	banned := len(outputs) // index of the first banned output
+	for {
+		st := s.Solve()
+		switch st {
+		case sat.Unknown:
+			return Result{}, fmt.Errorf("maxsat: conflict budget exhausted (lsu)")
+		case sat.Unsat:
+			if !haveBest {
+				return Result{Satisfiable: false, SATCalls: s.Stats.Solves, Conflicts: s.Stats.Conflicts}, nil
+			}
+			best.SATCalls = s.Stats.Solves
+			best.Conflicts = s.Stats.Conflicts
+			return best, nil
+		case sat.Sat:
+			model := s.Model()
+			opt := evalOriginal(f, model)
+			falsified := f.TotalSoftWeight() - opt
+			best = Result{
+				Satisfiable:     true,
+				Optimum:         opt,
+				FalsifiedWeight: falsified,
+				Model:           trimModel(f, model),
+			}
+			haveBest = true
+			if falsified == 0 {
+				best.SATCalls = s.Stats.Solves
+				best.Conflicts = s.Stats.Conflicts
+				return best, nil
+			}
+			// Ban all attainable violated weights ≥ the achieved one.
+			newBanned := sort.Search(len(outputs), func(i int) bool { return outputs[i].w >= falsified })
+			for i := newBanned; i < banned; i++ {
+				if !s.AddClause(outputs[i].lit.Neg()) {
+					// Banning makes the instance UNSAT outright: the
+					// current best is optimal.
+					best.SATCalls = s.Stats.Solves
+					best.Conflicts = s.Stats.Conflicts
+					return best, nil
+				}
+			}
+			banned = newBanned
+		}
+	}
+}

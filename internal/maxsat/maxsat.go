@@ -1,0 +1,182 @@
+// Package maxsat solves Weighted Partial MaxSAT instances (cnf.Formula):
+// find an assignment satisfying all hard clauses that maximizes the total
+// weight of satisfied soft clauses.
+//
+// Three complete built-in algorithms are provided, plus an external
+// driver:
+//
+//   - AlgMaxHS (default): implicit-hitting-set search in the style of
+//     the MaxHS solver the paper runs — SAT cores accumulate and an
+//     exact minimum-weight hitting set of them drives the next SAT
+//     call; weights are never split.
+//   - AlgRC2: core-guided search (OLL/RC2 family) on top of the
+//     assumption interface of internal/sat, with totalizer cardinality
+//     encodings of discovered cores, stratification and hardening.
+//   - AlgLSU: linear SAT-UNSAT (solution-improving) search using a
+//     generalized totalizer over the soft-clause violation indicators.
+//   - AlgExternal: writes DIMACS WCNF and runs a MaxSAT solver binary
+//     (e.g. MaxHS itself), parsing the standard o/s/v output.
+//
+// All built-ins return the same optimum; they are cross-checked against
+// brute force and each other in tests.
+package maxsat
+
+import (
+	"fmt"
+
+	"aggcavsat/internal/cnf"
+	"aggcavsat/internal/sat"
+)
+
+// Algorithm selects the solving strategy.
+type Algorithm int
+
+const (
+	// AlgMaxHS is implicit-hitting-set MaxSAT in the style of the MaxHS
+	// solver the paper deploys (default). Its weights are never split,
+	// which makes it robust on SUM instances with price-like weights.
+	AlgMaxHS Algorithm = iota
+	// AlgRC2 is core-guided MaxSAT (OLL/RC2 family).
+	AlgRC2
+	// AlgLSU is linear solution-improving search.
+	AlgLSU
+	// AlgExternal shells out to Options.SolverPath.
+	AlgExternal
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgMaxHS:
+		return "maxhs"
+	case AlgRC2:
+		return "rc2"
+	case AlgLSU:
+		return "lsu"
+	case AlgExternal:
+		return "external"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures Solve.
+type Options struct {
+	Algorithm Algorithm
+	// SolverPath is the external MaxSAT solver binary (AlgExternal).
+	SolverPath string
+	// SolverArgs are extra arguments placed before the WCNF path.
+	SolverArgs []string
+	// ConflictBudget bounds total SAT conflicts (built-in algorithms);
+	// 0 means unlimited.
+	ConflictBudget int64
+	// HSNodeBudget bounds one exact hitting-set search in AlgMaxHS
+	// before it degrades to the RC2 fallback; 0 means the built-in
+	// default (hsNodeBudget).
+	HSNodeBudget int64
+}
+
+// Result reports the outcome of a MaxSAT solve.
+type Result struct {
+	// Satisfiable is false when the hard clauses alone are inconsistent.
+	Satisfiable bool
+	// Optimum is the maximum achievable total weight of satisfied soft
+	// clauses (0 if Satisfiable is false).
+	Optimum int64
+	// FalsifiedWeight = total soft weight − Optimum.
+	FalsifiedWeight int64
+	// Model is an optimal assignment indexed by 1-based variable of the
+	// input formula (index 0 unused); nil if Satisfiable is false.
+	Model []bool
+	// SATCalls is the number of SAT-solver invocations used.
+	SATCalls int64
+	// Conflicts is the total number of CDCL conflicts.
+	Conflicts int64
+}
+
+// Solve computes the WPMaxSAT optimum of f.
+func Solve(f *cnf.Formula, opts Options) (Result, error) {
+	switch opts.Algorithm {
+	case AlgMaxHS:
+		res, err := solveMaxHS(f, opts)
+		if err == errHSBudget {
+			if opts.ConflictBudget > 0 {
+				// The caller runs with explicit budgets (benchmark
+				// timeouts): surface the budget error immediately
+				// instead of grinding through the fallback.
+				return res, err
+			}
+			// A pathological hitting-set cluster: degrade gracefully to
+			// core-guided search, which has no comparable blow-up mode
+			// (only the slower weight-splitting convergence).
+			return solveRC2(f, opts)
+		}
+		return res, err
+	case AlgRC2:
+		return solveRC2(f, opts)
+	case AlgLSU:
+		return solveLSU(f, opts)
+	case AlgExternal:
+		return solveExternal(f, opts)
+	default:
+		return Result{}, fmt.Errorf("maxsat: unknown algorithm %v", opts.Algorithm)
+	}
+}
+
+// selectors sets up the standard soft-clause relaxation on a solver:
+// every soft clause gets a selector literal that is true iff the solver
+// "commits" to satisfying the clause. Unit soft clauses use their own
+// literal; larger clauses get a fresh relaxation variable r and the hard
+// clause (C ∨ r), with selector ¬r. Weights of identical selectors merge.
+//
+// The returned map is selector → accumulated weight.
+func selectors(s *sat.Solver, f *cnf.Formula) map[cnf.Lit]int64 {
+	weights := make(map[cnf.Lit]int64)
+	for _, c := range f.Clauses() {
+		if c.Hard() {
+			continue
+		}
+		var sel cnf.Lit
+		if len(c.Lits) == 1 {
+			sel = c.Lits[0]
+		} else {
+			r := cnf.Lit(s.NewVar())
+			lits := make([]cnf.Lit, 0, len(c.Lits)+1)
+			lits = append(lits, c.Lits...)
+			lits = append(lits, r)
+			s.AddClause(lits...)
+			sel = r.Neg()
+		}
+		weights[sel] += c.Weight
+	}
+	return weights
+}
+
+// evalOriginal evaluates the original formula under a (possibly larger)
+// model and returns the satisfied soft weight; it panics if a hard clause
+// of the original formula is falsified (an internal invariant violation).
+func evalOriginal(f *cnf.Formula, model []bool) int64 {
+	trimmed := model
+	if len(trimmed) > f.NumVars()+1 {
+		trimmed = trimmed[:f.NumVars()+1]
+	}
+	hardOK, satW, _ := f.Eval(trimmed)
+	if !hardOK {
+		panic("maxsat: optimal model violates a hard clause")
+	}
+	return satW
+}
+
+// trimModel copies the model down to the original formula's variables.
+func trimModel(f *cnf.Formula, model []bool) []bool {
+	n := f.NumVars() + 1
+	out := make([]bool, n)
+	copy(out, model[:min(len(model), n)])
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

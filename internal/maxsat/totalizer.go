@@ -1,0 +1,46 @@
+package maxsat
+
+import (
+	"aggcavsat/internal/cnf"
+	"aggcavsat/internal/sat"
+)
+
+// buildTotalizer encodes a cardinality counter over the input literals:
+// it returns output literals out[0..k-1] such that the added hard clauses
+// force out[j] to be true whenever at least j+1 inputs are true (the
+// "inputs → outputs" direction, which is what core-guided search needs:
+// assuming ¬out[j] caps the count at j).
+//
+// The encoding is the classic totalizer tree: each node merges the sorted
+// unary counters of its children with clauses
+//
+//	aᵢ ∧ bⱼ → rᵢ₊ⱼ   (including the i=0 / j=0 boundary cases)
+func buildTotalizer(s *sat.Solver, inputs []cnf.Lit) []cnf.Lit {
+	if len(inputs) == 0 {
+		return nil
+	}
+	if len(inputs) == 1 {
+		return []cnf.Lit{inputs[0]}
+	}
+	mid := len(inputs) / 2
+	a := buildTotalizer(s, inputs[:mid])
+	b := buildTotalizer(s, inputs[mid:])
+	out := make([]cnf.Lit, len(a)+len(b))
+	for i := range out {
+		out[i] = cnf.Lit(s.NewVar())
+	}
+	// a_i alone implies out_{i}: count ≥ i+1.
+	for i, ai := range a {
+		s.AddClause(ai.Neg(), out[i])
+	}
+	for j, bj := range b {
+		s.AddClause(bj.Neg(), out[j])
+	}
+	// a_i and b_j together imply out_{i+j+1}: count ≥ (i+1)+(j+1).
+	for i, ai := range a {
+		for j, bj := range b {
+			s.AddClause(ai.Neg(), bj.Neg(), out[i+j+1])
+		}
+	}
+	return out
+}

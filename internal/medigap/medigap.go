@@ -1,0 +1,362 @@
+// Package medigap reproduces the paper's real-world experiment setup
+// (Section VI-B): the Medigap schema of Table IVa — six relations about
+// Medicare supplement insurance — with the constraint and inconsistency
+// profile of Table IVb (two functional dependencies and one denial
+// constraint, violated by 2.58 %, 1.5 % and 0.15 % of the respective
+// relations), plus the twelve aggregation queries Q₁ᵐ…Q₁₂ᵐ.
+//
+// The original data is a download of medicare.gov's 2019+2020 database;
+// this package generates a synthetic equivalent with the same schema
+// shape, cardinality proportions, and violation rates. The actual data
+// is inconsistent as-is, so the generator plants violations directly
+// rather than injecting them into consistent data.
+package medigap
+
+import (
+	"fmt"
+
+	"aggcavsat/internal/constraints"
+	"aggcavsat/internal/cq"
+	"aggcavsat/internal/db"
+	"aggcavsat/internal/sqlparse"
+	"aggcavsat/internal/xrand"
+)
+
+// Base cardinalities from Table IVa.
+const (
+	baseOBS = 3872
+	basePBS = 21002
+	basePBZ = 4748
+	basePT  = 2434
+	basePR  = 29148
+	baseSPT = 70
+)
+
+// Violation rates from Table IVb (percent of relation tuples).
+const (
+	rateOBSFD = 2.58 // orgID → orgName
+	ratePBSFD = 1.5  // addr, city, abbrev → zip
+	ratePBSDC = 0.15 // webAddr ≠ ''
+)
+
+var states = []struct{ name, abbrev string }{
+	{"Wisconsin", "WI"}, {"New York", "NY"}, {"California", "CA"},
+	{"Texas", "TX"}, {"Florida", "FL"}, {"Ohio", "OH"},
+	{"Illinois", "IL"}, {"Georgia", "GA"}, {"Oregon", "OR"},
+	{"Maine", "ME"}, {"Nevada", "NV"}, {"Kansas", "KS"},
+}
+
+var wisconsinCounties = []string{
+	"GREEN LAKE", "DANE", "MILWAUKEE", "BROWN", "ROCK",
+	"DOOR", "VILAS", "IRON", "POLK", "WOOD",
+}
+
+var planTypes = []string{"A", "B", "C", "D", "F", "G", "K", "L", "M", "N"}
+var simpleTypes = []string{"A", "B", "C", "D", "F", "G", "K"}
+var years = []int64{2019, 2020}
+
+// Schema returns the six-relation Medigap schema. No relation declares a
+// key: integrity is expressed purely by the denial constraints of
+// Constraints(), exercising Reduction V.1.
+func Schema() *db.Schema {
+	s := db.NewSchema()
+	str := func(n string) db.Attribute { return db.Attribute{Name: n, Kind: db.KindString} }
+	num := func(n string) db.Attribute { return db.Attribute{Name: n, Kind: db.KindInt} }
+
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "OBS", // OrgsByState
+		Attrs: []db.Attribute{
+			str("orgID"), str("orgName"), str("state_abbrev"),
+			num("contract_year"), str("org_type"),
+		},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "PBS", // PlansByState
+		Attrs: []db.Attribute{
+			str("orgID"), str("orgName"), str("plan_type"), str("state_abbrev"),
+			str("addr"), str("city"), str("zip"), str("webAddr"), str("phone"),
+			num("contract_year"), num("premium"), num("deductible"),
+			str("plan_name"), str("county"), num("enrollment"), num("rating"),
+			str("email"), str("fax"),
+		},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "PBZ", // PlansByZip
+		Attrs: []db.Attribute{
+			str("State_name"), str("State_abbrev"), str("County_name"), str("Zip"),
+			str("Description"), str("Simple_plantype"), str("Plan_type"),
+			num("Contract_year"), num("Over65"), num("Under65"), num("Community"),
+			num("Premium_low"), num("Premium_high"), str("OrgID"), str("OrgName"),
+			str("Phone"), str("WebAddr"), num("Enrollment"), num("Rating"), str("Notes"),
+		},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "PT", // PlanType
+		Attrs: []db.Attribute{
+			str("State_abbrev"), str("Plan_type"), num("Contract_year"), str("Simple_plantype"),
+		},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "PR", // Premiums
+		Attrs: []db.Attribute{
+			str("State_abbrev"), str("Plan_type"), num("Contract_year"),
+			str("Premium_range"), num("Premium_low"), num("Premium_high"), str("Age_group"),
+		},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "SPT", // SimplePlanType
+		Attrs: []db.Attribute{
+			str("Simple_plantype"), str("Simple_plantype_name"),
+			num("Contract_year"), num("Display_order"),
+		},
+	})
+	return s
+}
+
+// Constraints returns the Table IVb constraint set as denial
+// constraints: the two FDs expanded via constraints.FD plus the
+// single-tuple web-address DC.
+func Constraints(schema *db.Schema) ([]constraints.DC, error) {
+	var out []constraints.DC
+	fd1, err := constraints.FD(schema.Relation("OBS"), []string{"orgID"}, "orgName")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, fd1...)
+	fd2, err := constraints.FD(schema.Relation("PBS"), []string{"addr", "city", "state_abbrev"}, "zip")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, fd2...)
+
+	pbs := schema.Relation("PBS")
+	args := make([]cq.Term, pbs.Arity())
+	for i := range args {
+		args[i] = cq.V(fmt.Sprintf("v%d", i))
+	}
+	out = append(out, constraints.DC{
+		Name:  "dc:PBS:webAddr-nonempty",
+		Atoms: []cq.Atom{{Rel: "PBS", Args: args}},
+		Conds: []cq.Condition{{
+			Left:  cq.V(fmt.Sprintf("v%d", pbs.AttrIndex("webAddr"))),
+			Op:    cq.OpEQ,
+			Right: cq.C(db.Str("")),
+		}},
+	})
+	return out, nil
+}
+
+// Generate builds a synthetic Medigap instance at the given scale
+// (1.0 ≈ the paper's 61 K tuples), deterministically from the seed,
+// planting FD and DC violations at the Table IVb rates.
+func Generate(scale float64, seed uint64) (*db.Instance, error) {
+	r := xrand.New(seed)
+	in := db.NewInstance(Schema())
+	n := func(base int) int {
+		v := int(float64(base) * scale)
+		if v < 10 {
+			v = 10
+		}
+		return v
+	}
+
+	nOBS, nPBS, nPBZ, nPT, nPR := n(baseOBS), n(basePBS), n(basePBZ), n(basePT), n(basePR)
+	nSPT := int(float64(baseSPT) * scale)
+	if nSPT < len(simpleTypes)*2 {
+		nSPT = len(simpleTypes) * 2
+	}
+
+	// OBS: one tuple per organization; a planted fraction of orgIDs get
+	// a second tuple with a conflicting orgName (FD violation pairs).
+	fdPairs := int(float64(nOBS) * rateOBSFD / 100 / 2)
+	for i := 0; i < nOBS-fdPairs; i++ {
+		st := xrand.Pick(r, states)
+		in.MustInsert("OBS",
+			db.Str(fmt.Sprintf("ORG%05d", i)),
+			db.Str(fmt.Sprintf("Insurer %d", i)),
+			db.Str(st.abbrev),
+			db.Int(xrand.Pick(r, years)),
+			db.Str(xrand.Pick(r, []string{"Medigap", "PDP", "Advantage"})),
+		)
+	}
+	for p := 0; p < fdPairs; p++ {
+		id := fmt.Sprintf("ORG%05d", r.Intn(nOBS-fdPairs))
+		st := xrand.Pick(r, states)
+		in.MustInsert("OBS",
+			db.Str(id),
+			db.Str(fmt.Sprintf("Insurer %s (renamed %d)", id, p)),
+			db.Str(st.abbrev),
+			db.Int(xrand.Pick(r, years)),
+			db.Str("Medigap"),
+		)
+	}
+
+	// PBS: plans by state. Planted violations: FD pairs on
+	// (addr, city, abbrev) → zip, and empty webAddr tuples.
+	pbsFDPairs := int(float64(nPBS) * ratePBSFD / 100 / 2)
+	pbsDCCount := int(float64(nPBS)*ratePBSDC/100) + 1
+	insertPBS := func(i int, addr, city, abbrev, zip, webAddr string) {
+		in.MustInsert("PBS",
+			db.Str(fmt.Sprintf("ORG%05d", r.Intn(nOBS-fdPairs))),
+			db.Str(fmt.Sprintf("Insurer %d", i)),
+			db.Str(xrand.Pick(r, planTypes)),
+			db.Str(abbrev),
+			db.Str(addr), db.Str(city), db.Str(zip), db.Str(webAddr),
+			db.Str(fmt.Sprintf("555-01%02d", r.Intn(100))),
+			db.Int(xrand.Pick(r, years)),
+			db.Int(int64(r.Range(50, 400))),
+			db.Int(int64(r.Range(0, 250))),
+			db.Str(fmt.Sprintf("Plan %d", i)),
+			db.Str(xrand.Pick(r, wisconsinCounties)),
+			db.Int(int64(r.Range(0, 5000))),
+			db.Int(int64(r.Range(1, 5))),
+			db.Str(fmt.Sprintf("plan%d@example.org", i)),
+			db.Str(""),
+		)
+	}
+	plain := nPBS - 2*pbsFDPairs
+	for i := 0; i < plain; i++ {
+		st := xrand.Pick(r, states)
+		web := fmt.Sprintf("https://plans.example/%d", i)
+		if i < pbsDCCount {
+			web = "" // DC violation: empty web address
+		}
+		insertPBS(i, fmt.Sprintf("%d Main St", i), "Springfield", st.abbrev,
+			fmt.Sprintf("%05d", 10000+i%90000), web)
+	}
+	for p := 0; p < pbsFDPairs; p++ {
+		st := xrand.Pick(r, states)
+		addr := fmt.Sprintf("%d Oak Ave", p)
+		insertPBS(plain+2*p, addr, "Madison", st.abbrev, fmt.Sprintf("%05d", 20000+p), "https://a.example")
+		insertPBS(plain+2*p+1, addr, "Madison", st.abbrev, fmt.Sprintf("%05d", 30000+p), "https://b.example")
+	}
+
+	// PBZ: plans by zip; Wisconsin counties are well represented so the
+	// Table V queries select non-trivial subsets.
+	for i := 0; i < nPBZ; i++ {
+		st := xrand.Pick(r, states)
+		county := "COUNTY " + st.abbrev
+		if st.abbrev == "WI" {
+			county = xrand.Pick(r, wisconsinCounties)
+		}
+		sp := xrand.Pick(r, simpleTypes)
+		in.MustInsert("PBZ",
+			db.Str(st.name), db.Str(st.abbrev), db.Str(county),
+			db.Str(fmt.Sprintf("%05d", 10000+r.Intn(89999))),
+			db.Str("Medigap plan type "+sp),
+			db.Str(sp),
+			db.Str(xrand.Pick(r, planTypes)),
+			db.Int(xrand.Pick(r, years)),
+			db.Int(int64(r.Range(0, 900))),
+			db.Int(int64(r.Range(0, 300))),
+			db.Int(int64(r.Range(0, 500))),
+			db.Int(int64(r.Range(40, 200))),
+			db.Int(int64(r.Range(200, 900))),
+			db.Str(fmt.Sprintf("ORG%05d", r.Intn(nOBS-fdPairs))),
+			db.Str(fmt.Sprintf("Insurer %d", r.Intn(nOBS))),
+			db.Str("555-0100"),
+			db.Str("https://plans.example"),
+			db.Int(int64(r.Range(0, 9000))),
+			db.Int(int64(r.Range(1, 5))),
+			db.Str("-"),
+		)
+	}
+
+	// PT and PR share (state, plan type, year) so Q12ᵐ's join works.
+	for i := 0; i < nPT; i++ {
+		st := xrand.Pick(r, states)
+		pt := xrand.Pick(r, planTypes)
+		in.MustInsert("PT",
+			db.Str(st.abbrev), db.Str(pt),
+			db.Int(xrand.Pick(r, years)),
+			db.Str(simpleFor(pt)),
+		)
+	}
+	for i := 0; i < nPR; i++ {
+		st := xrand.Pick(r, states)
+		pt := xrand.Pick(r, planTypes)
+		lo := r.Range(40, 250)
+		in.MustInsert("PR",
+			db.Str(st.abbrev), db.Str(pt),
+			db.Int(xrand.Pick(r, years)),
+			db.Str(fmt.Sprintf("$%d - $%d", lo, lo+r.Range(20, 120))),
+			db.Int(int64(lo)),
+			db.Int(int64(lo+r.Range(20, 120))),
+			db.Str(xrand.Pick(r, []string{"65", "70", "75", "80"})),
+		)
+	}
+
+	// SPT: the simple plan type dictionary, per year.
+	i := 0
+	for i < nSPT {
+		sp := simpleTypes[i%len(simpleTypes)]
+		year := years[(i/len(simpleTypes))%len(years)]
+		in.MustInsert("SPT",
+			db.Str(sp),
+			db.Str("Medigap plan type "+sp),
+			db.Int(year),
+			db.Int(int64(i)),
+		)
+		i++
+	}
+	return in, nil
+}
+
+// simpleFor maps a plan type to its simple plan type (identity when the
+// plan type is itself simple, else a fold onto the simple alphabet).
+func simpleFor(pt string) string {
+	for _, s := range simpleTypes {
+		if s == pt {
+			return s
+		}
+	}
+	return simpleTypes[len(pt)%len(simpleTypes)]
+}
+
+// Query is one of the twelve evaluation queries.
+type Query struct {
+	Name    string
+	SQL     string
+	Grouped bool
+}
+
+// Queries returns Q₁ᵐ…Q₁₂ᵐ: the Table V definitions where given, natural
+// completions elsewhere. The first six are scalar, the rest grouped.
+func Queries() []Query {
+	return []Query{
+		{Name: "Q1m", SQL: `SELECT COUNT(*) FROM PBS
+			WHERE PBS.state_abbrev = 'NY' AND PBS.contract_year = 2020`},
+		{Name: "Q2m", SQL: `SELECT COUNT(*) FROM PBZ, SPT
+			WHERE PBZ.Description = SPT.Simple_plantype_name
+			  AND SPT.Contract_year = 2020 AND SPT.Simple_plantype = 'B'`},
+		{Name: "Q3m", SQL: `SELECT SUM(PBZ.Over65) FROM PBZ
+			WHERE PBZ.State_name = 'Wisconsin' AND PBZ.County_name = 'GREEN LAKE'`},
+		{Name: "Q4m", SQL: `SELECT SUM(PBZ.Community) FROM PBZ
+			WHERE PBZ.State_name = 'New York'`},
+		{Name: "Q5m", SQL: `SELECT COUNT(PBS.zip) FROM PBS, OBS
+			WHERE PBS.orgID = OBS.orgID AND OBS.state_abbrev = 'CA'`},
+		{Name: "Q6m", SQL: `SELECT SUM(PR.Premium_low) FROM PR, PT
+			WHERE PR.State_abbrev = PT.State_abbrev AND PR.Plan_type = PT.Plan_type
+			  AND PR.Contract_year = PT.Contract_year AND PT.Simple_plantype = 'A'`},
+		{Name: "Q7m", Grouped: true, SQL: `SELECT SPT.Contract_year, COUNT(*) FROM SPT
+			GROUP BY SPT.Contract_year ORDER BY SPT.Contract_year DESC`},
+		{Name: "Q8m", Grouped: true, SQL: `SELECT PBZ.State_name, COUNT(*) FROM PBZ
+			GROUP BY PBZ.State_name`},
+		{Name: "Q9m", Grouped: true, SQL: `SELECT PBS.state_abbrev, COUNT(*) FROM PBS
+			WHERE PBS.contract_year = 2020 GROUP BY PBS.state_abbrev`},
+		{Name: "Q10m", Grouped: true, SQL: `SELECT PBZ.County_name, SUM(PBZ.Over65) FROM PBZ
+			WHERE PBZ.State_name = 'Wisconsin' GROUP BY PBZ.County_name`},
+		{Name: "Q11m", Grouped: true, SQL: `SELECT SPT.Simple_plantype, COUNT(SPT.Simple_plantype_name)
+			FROM SPT GROUP BY SPT.Simple_plantype`},
+		{Name: "Q12m", Grouped: true, SQL: `SELECT TOP 10 PT.Simple_plantype, COUNT(PR.Premium_range)
+			FROM PT, PR
+			WHERE PT.State_abbrev = PR.State_abbrev AND PT.Plan_type = PR.Plan_type
+			  AND PT.Contract_year = PR.Contract_year AND PT.Contract_year = 2020
+			GROUP BY PT.Simple_plantype ORDER BY PT.Simple_plantype`},
+	}
+}
+
+// Translate parses and translates the query against the Medigap schema.
+func (q Query) Translate() (*sqlparse.Translation, error) {
+	return sqlparse.ParseAndTranslate(q.SQL, Schema())
+}

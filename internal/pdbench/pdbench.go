@@ -1,0 +1,110 @@
+// Package pdbench reproduces the four inconsistent TPC-H instances of
+// the paper's Table II, originally generated with the PDBench tool of
+// the MayBMS probabilistic database system. PDBench produces
+// uncertainty as alternative tuples per key, which on the relational
+// level is exactly key-violation injection with a per-relation
+// inconsistency profile and larger key-equal groups (up to 8/16/16/32
+// tuples for instances 1–4).
+package pdbench
+
+import (
+	"fmt"
+
+	"aggcavsat/internal/db"
+	"aggcavsat/internal/tpch"
+)
+
+// Profile describes one Table II instance.
+type Profile struct {
+	Instance int
+	// PerRelation maps relation name → percentage of tuples violating
+	// the key constraint.
+	PerRelation map[string]float64
+	// MaxGroup is the size of the largest key-equal group.
+	MaxGroup int
+	// Overall is the paper-reported overall inconsistency (for the
+	// Table II output; the generated value is re-measured).
+	Overall float64
+}
+
+// Profiles returns the four Table II instance profiles.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Instance: 1,
+			PerRelation: map[string]float64{
+				"customer": 4.42, "lineitem": 6.36, "nation": 7.69,
+				"orders": 3.51, "part": 4.93, "partsupp": 1.53,
+				"region": 0, "supplier": 3.69,
+			},
+			MaxGroup: 8,
+			Overall:  5.36,
+		},
+		{
+			Instance: 2,
+			PerRelation: map[string]float64{
+				"customer": 8.5, "lineitem": 12.09, "nation": 0,
+				"orders": 6.77, "part": 9.33, "partsupp": 2.96,
+				"region": 0, "supplier": 7.44,
+			},
+			MaxGroup: 16,
+			Overall:  10.25,
+		},
+		{
+			Instance: 3,
+			PerRelation: map[string]float64{
+				"customer": 16.14, "lineitem": 22.53, "nation": 7.69,
+				"orders": 12.87, "part": 17.66, "partsupp": 5.77,
+				"region": 0, "supplier": 14.11,
+			},
+			MaxGroup: 16,
+			Overall:  19.29,
+		},
+		{
+			Instance: 4,
+			PerRelation: map[string]float64{
+				"customer": 29.49, "lineitem": 39.82, "nation": 7.69,
+				"orders": 23.9, "part": 32.16, "partsupp": 11.13,
+				"region": 0, "supplier": 26.51,
+			},
+			MaxGroup: 32,
+			Overall:  34.72,
+		},
+	}
+}
+
+// Generate builds PDBench-profile instance n (1–4) at the given TPC-H
+// scale factor, deterministically from the seed.
+func Generate(sf float64, instance int, seed uint64) (*db.Instance, Profile, error) {
+	profiles := Profiles()
+	if instance < 1 || instance > len(profiles) {
+		return nil, Profile{}, fmt.Errorf("pdbench: instance %d out of range 1..%d", instance, len(profiles))
+	}
+	p := profiles[instance-1]
+	base := tpch.Generate(sf, seed)
+	injected, err := tpch.Inject(base, tpch.InjectOptions{
+		MinGroup:    2,
+		MaxGroup:    p.MaxGroup,
+		Seed:        seed*31 + uint64(instance),
+		Relations:   []string{}, // only PerRelation entries
+		PerRelation: p.PerRelation,
+	})
+	if err != nil {
+		return nil, Profile{}, err
+	}
+	return injected, p, nil
+}
+
+// MeasuredOverall computes the overall inconsistency percentage of an
+// instance (violating facts / total facts), as in Table II's last row.
+func MeasuredOverall(in *db.Instance) float64 {
+	var violating, total int
+	for _, st := range in.KeyInconsistency() {
+		violating += st.ViolatingFacts
+		total += st.Facts
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(violating) / float64(total)
+}

@@ -1,0 +1,82 @@
+package pdbench
+
+import (
+	"testing"
+)
+
+func TestProfiles(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 4 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	maxGroups := []int{8, 16, 16, 32}
+	for i, p := range ps {
+		if p.Instance != i+1 {
+			t.Errorf("profile %d numbered %d", i, p.Instance)
+		}
+		if p.MaxGroup != maxGroups[i] {
+			t.Errorf("instance %d max group %d, want %d", p.Instance, p.MaxGroup, maxGroups[i])
+		}
+		if p.PerRelation["region"] != 0 {
+			t.Errorf("instance %d: region must stay consistent", p.Instance)
+		}
+		// Inconsistency grows monotonically across instances.
+		if i > 0 && p.Overall <= ps[i-1].Overall {
+			t.Error("overall inconsistency not increasing")
+		}
+	}
+}
+
+func TestGenerateMatchesProfile(t *testing.T) {
+	in, p, err := Generate(0.001, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range in.KeyInconsistency() {
+		want := p.PerRelation[lower(st.Rel)]
+		if st.Facts < 200 {
+			continue // tiny relations can only approximate
+		}
+		got := st.Percent()
+		if got < want-3 || got > want+6 {
+			t.Errorf("%s: %.2f%%, profile %.2f%%", st.Rel, got, want)
+		}
+		if st.LargestGroup > p.MaxGroup {
+			t.Errorf("%s: group %d exceeds max %d", st.Rel, st.LargestGroup, p.MaxGroup)
+		}
+	}
+	if o := MeasuredOverall(in); o < p.Overall-4 || o > p.Overall+6 {
+		t.Errorf("overall = %.2f%%, profile %.2f%%", o, p.Overall)
+	}
+}
+
+func TestGenerateRegionStaysConsistent(t *testing.T) {
+	in, _, err := Generate(0.001, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range in.KeyInconsistency() {
+		if st.Rel == "region" && st.ViolatingFacts != 0 {
+			t.Error("region corrupted")
+		}
+	}
+}
+
+func TestGenerateBadInstance(t *testing.T) {
+	if _, _, err := Generate(0.001, 0, 1); err == nil {
+		t.Error("instance 0 accepted")
+	}
+	if _, _, err := Generate(0.001, 5, 1); err == nil {
+		t.Error("instance 5 accepted")
+	}
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,90 @@
+package sat
+
+// varHeap is an indexed binary max-heap over variables ordered by
+// activity; it supports decrease-key (activity only grows, which moves
+// variables toward the root).
+type varHeap struct {
+	heap []int // heap of variables
+	pos  []int // pos[v] = index of v in heap, or -1
+}
+
+func (h *varHeap) ensure(v int) {
+	for len(h.pos) <= v {
+		h.pos = append(h.pos, -1)
+	}
+}
+
+func (h *varHeap) inHeap(v int) bool {
+	return v < len(h.pos) && h.pos[v] >= 0
+}
+
+func (h *varHeap) insert(v int, act []float64) {
+	h.ensure(v)
+	if h.pos[v] >= 0 {
+		return
+	}
+	h.pos[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+	h.siftUp(h.pos[v], act)
+}
+
+// decrease moves v toward the root after its activity increased.
+func (h *varHeap) decrease(v int, act []float64) {
+	h.siftUp(h.pos[v], act)
+}
+
+func (h *varHeap) removeMin(act []float64) (int, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	top := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[top] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.pos[last] = 0
+		h.siftDown(0, act)
+	}
+	return top, true
+}
+
+func (h *varHeap) siftUp(i int, act []float64) {
+	v := h.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		pv := h.heap[parent]
+		if act[pv] >= act[v] {
+			break
+		}
+		h.heap[i] = pv
+		h.pos[pv] = i
+		i = parent
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}
+
+func (h *varHeap) siftDown(i int, act []float64) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		best := left
+		if right := left + 1; right < n && act[h.heap[right]] > act[h.heap[left]] {
+			best = right
+		}
+		bv := h.heap[best]
+		if act[v] >= act[bv] {
+			break
+		}
+		h.heap[i] = bv
+		h.pos[bv] = i
+		i = best
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}

@@ -1,0 +1,174 @@
+// Package schemafile reads and writes the plain-text schema format used
+// by the CLI tools (cmd/cavsat, cmd/datagen) to describe CSV-backed
+// databases:
+//
+//	# comments and blank lines are ignored
+//	relation Cust (CID:string NAME:string CITY:string) key CID
+//	relation Acc  (ACCID:string BAL:int) key ACCID
+//	fd Cust CID -> NAME
+//
+// A `relation` line declares a relation with typed attributes
+// (int/float/string) and an optional key. An `fd` line declares a
+// functional dependency, which switches query answering from key-repair
+// semantics to denial-constraint semantics (Reduction V.1).
+package schemafile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"aggcavsat/internal/constraints"
+	"aggcavsat/internal/db"
+)
+
+// File is a parsed schema file.
+type File struct {
+	Schema *db.Schema
+	// FDs holds the declared functional dependencies, expanded into
+	// denial constraints.
+	FDs []constraints.DC
+}
+
+// Read parses a schema file.
+func Read(r io.Reader) (*File, error) {
+	schema := db.NewSchema()
+	type fdDecl struct {
+		rel  string
+		lhs  []string
+		rhs  []string
+		line int
+	}
+	var fds []fdDecl
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "relation":
+			rs, err := parseRelation(line)
+			if err != nil {
+				return nil, fmt.Errorf("schemafile: line %d: %w", lineNo, err)
+			}
+			if err := schema.AddRelation(rs); err != nil {
+				return nil, fmt.Errorf("schemafile: line %d: %w", lineNo, err)
+			}
+		case "fd":
+			arrow := -1
+			for i, tok := range fields {
+				if tok == "->" {
+					arrow = i
+				}
+			}
+			if arrow < 3 || arrow == len(fields)-1 {
+				return nil, fmt.Errorf("schemafile: line %d: fd wants 'fd REL lhs... -> rhs...'", lineNo)
+			}
+			fds = append(fds, fdDecl{rel: fields[1], lhs: fields[2:arrow], rhs: fields[arrow+1:], line: lineNo})
+		default:
+			return nil, fmt.Errorf("schemafile: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := &File{Schema: schema}
+	for _, d := range fds {
+		rs := schema.Relation(d.rel)
+		if rs == nil {
+			return nil, fmt.Errorf("schemafile: line %d: fd references unknown relation %s", d.line, d.rel)
+		}
+		built, err := constraints.FD(rs, d.lhs, d.rhs...)
+		if err != nil {
+			return nil, fmt.Errorf("schemafile: line %d: %w", d.line, err)
+		}
+		out.FDs = append(out.FDs, built...)
+	}
+	return out, nil
+}
+
+// parseRelation parses: relation Name (a:string b:int ...) [key a b]
+func parseRelation(line string) (*db.RelationSchema, error) {
+	open := strings.Index(line, "(")
+	clo := strings.Index(line, ")")
+	if open < 0 || clo < open {
+		return nil, fmt.Errorf("relation wants 'relation NAME (attr:type ...) [key attr ...]'")
+	}
+	head := strings.Fields(line[:open])
+	if len(head) != 2 {
+		return nil, fmt.Errorf("missing relation name")
+	}
+	rs := &db.RelationSchema{Name: head[1]}
+	for _, spec := range strings.Fields(line[open+1 : clo]) {
+		parts := strings.SplitN(spec, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("attribute %q wants name:type", spec)
+		}
+		var kind db.Kind
+		switch strings.ToLower(parts[1]) {
+		case "int":
+			kind = db.KindInt
+		case "float":
+			kind = db.KindFloat
+		case "string":
+			kind = db.KindString
+		default:
+			return nil, fmt.Errorf("unknown type %q", parts[1])
+		}
+		rs.Attrs = append(rs.Attrs, db.Attribute{Name: parts[0], Kind: kind})
+	}
+	rest := strings.Fields(line[clo+1:])
+	if len(rest) > 0 {
+		if rest[0] != "key" || len(rest) == 1 {
+			return nil, fmt.Errorf("trailing %q; expected 'key attr ...'", strings.Join(rest, " "))
+		}
+		for _, name := range rest[1:] {
+			p := rs.AttrIndex(name)
+			if p < 0 {
+				return nil, fmt.Errorf("key attribute %q not declared", name)
+			}
+			rs.Key = append(rs.Key, p)
+		}
+		sort.Ints(rs.Key) // schema validation expects ascending positions
+	}
+	return rs, nil
+}
+
+// Write renders the schema of an instance (plus optional fd lines) in
+// the schema-file format.
+func Write(w io.Writer, schema *db.Schema, fdLines []string) error {
+	for _, rs := range schema.Relations() {
+		var attrs []string
+		for _, a := range rs.Attrs {
+			kind := "string"
+			switch a.Kind {
+			case db.KindInt:
+				kind = "int"
+			case db.KindFloat:
+				kind = "float"
+			}
+			attrs = append(attrs, a.Name+":"+kind)
+		}
+		line := fmt.Sprintf("relation %s (%s)", rs.Name, strings.Join(attrs, " "))
+		if rs.HasKey() {
+			line += " key " + strings.Join(rs.KeyNames(), " ")
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	for _, fd := range fdLines {
+		if _, err := fmt.Fprintln(w, fd); err != nil {
+			return err
+		}
+	}
+	return nil
+}

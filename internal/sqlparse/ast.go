@@ -1,0 +1,182 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"aggcavsat/internal/cq"
+)
+
+// ColRef is a possibly qualified column reference.
+type ColRef struct {
+	Table  string // alias or table name; empty if unqualified
+	Column string
+}
+
+func (c ColRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// SelectItem is one entry of the select list: either a plain column
+// (which must be grouped) or an aggregate.
+type SelectItem struct {
+	// IsAgg distinguishes the two shapes.
+	IsAgg    bool
+	Col      ColRef // plain column, or the aggregate argument
+	Op       cq.AggOp
+	Star     bool // COUNT(*)
+	Distinct bool
+}
+
+func (s SelectItem) String() string {
+	if !s.IsAgg {
+		return s.Col.String()
+	}
+	if s.Star {
+		return "COUNT(*)"
+	}
+	name := map[cq.AggOp]string{
+		cq.Count: "COUNT", cq.CountDistinct: "COUNT",
+		cq.Sum: "SUM", cq.SumDistinct: "SUM",
+		cq.Min: "MIN", cq.Max: "MAX", cq.Avg: "AVG",
+	}[s.Op]
+	if s.Distinct {
+		return fmt.Sprintf("%s(DISTINCT %s)", name, s.Col)
+	}
+	return fmt.Sprintf("%s(%s)", name, s.Col)
+}
+
+// TableRef is one FROM entry.
+type TableRef struct {
+	Name  string
+	Alias string // defaults to Name
+}
+
+// Predicate is one atomic comparison in the WHERE clause. Operands are
+// either columns or literals.
+type Predicate struct {
+	Left  Operand
+	Op    cq.CmpOp
+	Right Operand
+}
+
+func (p Predicate) String() string {
+	return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.Right)
+}
+
+// Operand is a column reference or a literal.
+type Operand struct {
+	IsCol bool
+	Col   ColRef
+	Lit   Literal
+}
+
+func (o Operand) String() string {
+	if o.IsCol {
+		return o.Col.String()
+	}
+	return o.Lit.String()
+}
+
+// Literal is a parsed constant.
+type Literal struct {
+	IsString bool
+	Str      string
+	IsFloat  bool
+	Float    float64
+	Int      int64
+}
+
+func (l Literal) String() string {
+	switch {
+	case l.IsString:
+		return "'" + l.Str + "'"
+	case l.IsFloat:
+		return fmt.Sprintf("%g", l.Float)
+	default:
+		return fmt.Sprintf("%d", l.Int)
+	}
+}
+
+// BoolExpr is the WHERE-clause tree before DNF expansion.
+type BoolExpr struct {
+	// Exactly one of Pred, And, Or is set.
+	Pred *Predicate
+	And  []*BoolExpr
+	Or   []*BoolExpr
+}
+
+// dnf expands the expression into a disjunction of conjunctions of
+// predicates.
+func (b *BoolExpr) dnf() [][]Predicate {
+	switch {
+	case b == nil:
+		return [][]Predicate{nil}
+	case b.Pred != nil:
+		return [][]Predicate{{*b.Pred}}
+	case b.Or != nil:
+		var out [][]Predicate
+		for _, child := range b.Or {
+			out = append(out, child.dnf()...)
+		}
+		return out
+	default: // And
+		acc := [][]Predicate{nil}
+		for _, child := range b.And {
+			sub := child.dnf()
+			var next [][]Predicate
+			for _, a := range acc {
+				for _, s := range sub {
+					conj := make([]Predicate, 0, len(a)+len(s))
+					conj = append(conj, a...)
+					conj = append(conj, s...)
+					next = append(next, conj)
+				}
+			}
+			acc = next
+		}
+		return acc
+	}
+}
+
+// OrderKey is one ORDER BY entry.
+type OrderKey struct {
+	Col  ColRef
+	Desc bool
+}
+
+// Statement is a parsed aggregation-SQL statement.
+type Statement struct {
+	Top     int // 0 = no TOP clause
+	Items   []SelectItem
+	From    []TableRef
+	Where   *BoolExpr
+	GroupBy []ColRef
+	OrderBy []OrderKey
+}
+
+func (s *Statement) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Top > 0 {
+		fmt.Fprintf(&b, "TOP %d ", s.Top)
+	}
+	items := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		items[i] = it.String()
+	}
+	b.WriteString(strings.Join(items, ", "))
+	b.WriteString(" FROM ")
+	tables := make([]string, len(s.From))
+	for i, t := range s.From {
+		tables[i] = t.Name
+		if t.Alias != t.Name {
+			tables[i] += " " + t.Alias
+		}
+	}
+	b.WriteString(strings.Join(tables, ", "))
+	return b.String()
+}

@@ -1,0 +1,131 @@
+// Package sqlparse implements the SQL front end of AggCAvSAT: a lexer,
+// a recursive-descent parser and a translator from the supported SQL
+// subset to the internal query algebra (cq.AggQuery over cq.UCQ).
+//
+// Supported grammar (case-insensitive keywords):
+//
+//	SELECT [TOP k] item (',' item)*
+//	FROM table [alias] (',' table [alias])*
+//	[WHERE boolexpr]
+//	[GROUP BY col (',' col)*]
+//	[ORDER BY col [ASC|DESC] (',' col [ASC|DESC])*]
+//
+//	item     := col | agg
+//	agg      := COUNT '(' '*' ')'
+//	          | (COUNT|SUM|MIN|MAX|AVG) '(' [DISTINCT] col ')'
+//	boolexpr := orexpr; orexpr := andexpr (OR andexpr)*
+//	andexpr  := atom (AND atom)*; atom := '(' boolexpr ')' | predicate
+//	predicate := operand cmp operand
+//	           | col [NOT] LIKE 'prefix%'
+//	           | col BETWEEN lit AND lit
+//	cmp      := = | <> | != | < | <= | > | >=
+//
+// OR is compiled away by DNF expansion into a union of conjunctive
+// queries, matching the paper's "unions of conjunctive queries" input
+// class.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers are kept verbatim; keywords match case-insensitively
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits the input into tokens. Strings use single quotes with ”
+// escaping; numbers may carry a sign handled at parse level.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", start)
+				}
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && (input[i] >= '0' && input[i] <= '9' || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[start:i], pos: start})
+		default:
+			start := i
+			// Two-character operators first.
+			if i+1 < n {
+				two := input[i : i+2]
+				if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+					toks = append(toks, token{kind: tokSymbol, text: two, pos: start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case ',', '(', ')', '*', '.', '=', '<', '>', '-', '+':
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: start})
+				i++
+			default:
+				return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

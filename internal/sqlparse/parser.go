@@ -1,0 +1,422 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"aggcavsat/internal/cq"
+)
+
+// Parse parses one aggregation-SQL statement.
+func Parse(input string) (*Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input starting with %s", p.peek())
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sqlparse: "+format, args...)
+}
+
+// at reports whether the current token matches; empty text matches any
+// token of the kind. Keywords compare case-insensitively.
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	if t.kind != kind {
+		return false
+	}
+	return text == "" || strings.EqualFold(t.text, text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		return token{}, p.errf("expected %q, found %s", text, p.peek())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) keyword(kw string) bool { return p.accept(tokIdent, kw) }
+
+func (p *parser) statement() (*Statement, error) {
+	if !p.keyword("SELECT") {
+		return nil, p.errf("expected SELECT, found %s", p.peek())
+	}
+	st := &Statement{}
+	if p.keyword("TOP") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n <= 0 {
+			return nil, p.errf("bad TOP count %q", t.text)
+		}
+		st.Top = n
+	}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Items = append(st.Items, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if !p.keyword("FROM") {
+		return nil, p.errf("expected FROM, found %s", p.peek())
+	}
+	for {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Name: t.text, Alias: t.text}
+		// Optional alias (an identifier that is not a clause keyword).
+		if p.at(tokIdent, "") && !p.atClauseKeyword() {
+			ref.Alias = p.next().text
+		}
+		st.From = append(st.From, ref)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.keyword("WHERE") {
+		expr, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = expr
+	}
+	if p.keyword("GROUP") {
+		if !p.keyword("BY") {
+			return nil, p.errf("expected BY after GROUP")
+		}
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, c)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.keyword("ORDER") {
+		if !p.keyword("BY") {
+			return nil, p.errf("expected BY after ORDER")
+		}
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Col: c}
+			if p.keyword("DESC") {
+				key.Desc = true
+			} else {
+				p.keyword("ASC")
+			}
+			st.OrderBy = append(st.OrderBy, key)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) atClauseKeyword() bool {
+	for _, kw := range []string{"WHERE", "GROUP", "ORDER", "FROM", "AND", "OR", "ON"} {
+		if p.at(tokIdent, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+var aggNames = map[string]cq.AggOp{
+	"COUNT": cq.Count,
+	"SUM":   cq.Sum,
+	"MIN":   cq.Min,
+	"MAX":   cq.Max,
+	"AVG":   cq.Avg,
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		if op, isAgg := aggNames[strings.ToUpper(t.text)]; isAgg && p.toks[p.pos+1].text == "(" {
+			p.next() // agg name
+			p.next() // '('
+			item := SelectItem{IsAgg: true, Op: op}
+			if p.accept(tokSymbol, "*") {
+				if op != cq.Count {
+					return item, p.errf("%s(*) is not valid SQL", t.text)
+				}
+				item.Op = cq.CountStar
+				item.Star = true
+			} else {
+				if p.keyword("DISTINCT") {
+					item.Distinct = true
+					switch op {
+					case cq.Count:
+						item.Op = cq.CountDistinct
+					case cq.Sum:
+						item.Op = cq.SumDistinct
+					default:
+						return item, p.errf("DISTINCT is only supported inside COUNT and SUM")
+					}
+				}
+				col, err := p.colRef()
+				if err != nil {
+					return item, err
+				}
+				item.Col = col
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return item, err
+			}
+			return item, nil
+		}
+	}
+	col, err := p.colRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: col}, nil
+}
+
+func (p *parser) colRef() (ColRef, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.accept(tokSymbol, ".") {
+		c, err := p.expect(tokIdent, "")
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: t.text, Column: c.text}, nil
+	}
+	return ColRef{Column: t.text}, nil
+}
+
+func (p *parser) orExpr() (*BoolExpr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokIdent, "OR") {
+		return left, nil
+	}
+	or := []*BoolExpr{left}
+	for p.keyword("OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		or = append(or, right)
+	}
+	return &BoolExpr{Or: or}, nil
+}
+
+func (p *parser) andExpr() (*BoolExpr, error) {
+	left, err := p.boolAtom()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokIdent, "AND") {
+		return left, nil
+	}
+	and := []*BoolExpr{left}
+	for p.keyword("AND") {
+		right, err := p.boolAtom()
+		if err != nil {
+			return nil, err
+		}
+		and = append(and, right)
+	}
+	return &BoolExpr{And: and}, nil
+}
+
+func (p *parser) boolAtom() (*BoolExpr, error) {
+	if p.accept(tokSymbol, "(") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.predicate()
+}
+
+func (p *parser) predicate() (*BoolExpr, error) {
+	left, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	// [NOT] LIKE and BETWEEN require a column on the left.
+	not := false
+	if p.at(tokIdent, "NOT") {
+		p.next()
+		not = true
+		if !p.at(tokIdent, "LIKE") {
+			return nil, p.errf("expected LIKE after NOT")
+		}
+	}
+	switch {
+	case p.keyword("LIKE"):
+		if !left.IsCol {
+			return nil, p.errf("LIKE requires a column on the left")
+		}
+		t, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		prefix, err := likePrefix(t.text)
+		if err != nil {
+			return nil, err
+		}
+		op := cq.OpLikePrefix
+		if not {
+			op = cq.OpNotLikePrefix
+		}
+		return &BoolExpr{Pred: &Predicate{
+			Left:  left,
+			Op:    op,
+			Right: Operand{Lit: Literal{IsString: true, Str: prefix}},
+		}}, nil
+	case p.keyword("BETWEEN"):
+		lo, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		if !p.keyword("AND") {
+			return nil, p.errf("expected AND in BETWEEN")
+		}
+		hi, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		return &BoolExpr{And: []*BoolExpr{
+			{Pred: &Predicate{Left: left, Op: cq.OpGE, Right: lo}},
+			{Pred: &Predicate{Left: left, Op: cq.OpLE, Right: hi}},
+		}}, nil
+	}
+	opTok := p.next()
+	var op cq.CmpOp
+	switch opTok.text {
+	case "=":
+		op = cq.OpEQ
+	case "<>", "!=":
+		op = cq.OpNE
+	case "<":
+		op = cq.OpLT
+	case "<=":
+		op = cq.OpLE
+	case ">":
+		op = cq.OpGT
+	case ">=":
+		op = cq.OpGE
+	default:
+		return nil, p.errf("expected comparison operator, found %s", opTok)
+	}
+	right, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &BoolExpr{Pred: &Predicate{Left: left, Op: op, Right: right}}, nil
+}
+
+// likePrefix validates that the pattern is a pure prefix pattern
+// ("abc%") and returns the prefix.
+func likePrefix(pattern string) (string, error) {
+	if !strings.HasSuffix(pattern, "%") {
+		return "", fmt.Errorf("sqlparse: only prefix LIKE patterns ('abc%%') are supported, got %q", pattern)
+	}
+	prefix := pattern[:len(pattern)-1]
+	if strings.ContainsAny(prefix, "%_") {
+		return "", fmt.Errorf("sqlparse: only prefix LIKE patterns are supported, got %q", pattern)
+	}
+	return prefix, nil
+}
+
+func (p *parser) operand() (Operand, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		p.next()
+		return Operand{Lit: Literal{IsString: true, Str: t.text}}, nil
+	case tokNumber:
+		p.next()
+		return parseNumber(t.text, false)
+	case tokSymbol:
+		if t.text == "-" || t.text == "+" {
+			p.next()
+			num, err := p.expect(tokNumber, "")
+			if err != nil {
+				return Operand{}, err
+			}
+			return parseNumber(num.text, t.text == "-")
+		}
+	case tokIdent:
+		col, err := p.colRef()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{IsCol: true, Col: col}, nil
+	}
+	return Operand{}, p.errf("expected operand, found %s", t)
+}
+
+func parseNumber(text string, neg bool) (Operand, error) {
+	if strings.Contains(text, ".") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Operand{}, fmt.Errorf("sqlparse: bad number %q: %w", text, err)
+		}
+		if neg {
+			f = -f
+		}
+		return Operand{Lit: Literal{IsFloat: true, Float: f}}, nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Operand{}, fmt.Errorf("sqlparse: bad number %q: %w", text, err)
+	}
+	if neg {
+		n = -n
+	}
+	return Operand{Lit: Literal{Int: n}}, nil
+}

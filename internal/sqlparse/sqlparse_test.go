@@ -1,0 +1,439 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"aggcavsat/internal/cq"
+	"aggcavsat/internal/db"
+)
+
+func bankSchema() *db.Schema {
+	s := db.NewSchema()
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "Cust",
+		Attrs: []db.Attribute{
+			{Name: "CID", Kind: db.KindString},
+			{Name: "NAME", Kind: db.KindString},
+			{Name: "CITY", Kind: db.KindString},
+		},
+		Key: []int{0},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "Acc",
+		Attrs: []db.Attribute{
+			{Name: "ACCID", Kind: db.KindString},
+			{Name: "TYPE", Kind: db.KindString},
+			{Name: "CITY", Kind: db.KindString},
+			{Name: "BAL", Kind: db.KindInt},
+		},
+		Key: []int{0},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "CustAcc",
+		Attrs: []db.Attribute{
+			{Name: "CID", Kind: db.KindString},
+			{Name: "ACCID", Kind: db.KindString},
+		},
+		Key: []int{0, 1},
+	})
+	return s
+}
+
+func bankInstance() *db.Instance {
+	in := db.NewInstance(bankSchema())
+	in.MustInsert("Cust", db.Str("C1"), db.Str("John"), db.Str("LA"))
+	in.MustInsert("Cust", db.Str("C2"), db.Str("Mary"), db.Str("LA"))
+	in.MustInsert("Cust", db.Str("C2"), db.Str("Mary"), db.Str("SF"))
+	in.MustInsert("Cust", db.Str("C3"), db.Str("Don"), db.Str("SF"))
+	in.MustInsert("Cust", db.Str("C4"), db.Str("Jen"), db.Str("LA"))
+	in.MustInsert("Acc", db.Str("A1"), db.Str("Check."), db.Str("LA"), db.Int(900))
+	in.MustInsert("Acc", db.Str("A2"), db.Str("Check."), db.Str("LA"), db.Int(1000))
+	in.MustInsert("Acc", db.Str("A3"), db.Str("Saving"), db.Str("SJ"), db.Int(1200))
+	in.MustInsert("Acc", db.Str("A3"), db.Str("Saving"), db.Str("SF"), db.Int(-100))
+	in.MustInsert("Acc", db.Str("A4"), db.Str("Saving"), db.Str("SJ"), db.Int(300))
+	in.MustInsert("CustAcc", db.Str("C1"), db.Str("A1"))
+	in.MustInsert("CustAcc", db.Str("C2"), db.Str("A2"))
+	in.MustInsert("CustAcc", db.Str("C2"), db.Str("A3"))
+	in.MustInsert("CustAcc", db.Str("C3"), db.Str("A4"))
+	return in
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT x, 'it''s', 1.5 <= >= <> != ( ) *")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks[:len(toks)-1] {
+		texts = append(texts, tk.text)
+	}
+	want := []string{"SELECT", "x", ",", "it's", ",", "1.5", "<=", ">=", "<>", "!=", "(", ")", "*"}
+	if strings.Join(texts, "|") != strings.Join(want, "|") {
+		t.Errorf("tokens = %v", texts)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex("a ; b"); err == nil {
+		t.Error("unknown character accepted")
+	}
+}
+
+func TestParseSimpleAggregate(t *testing.T) {
+	st, err := Parse("SELECT COUNT(*) FROM Cust WHERE CITY = 'LA'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Items) != 1 || !st.Items[0].IsAgg || !st.Items[0].Star {
+		t.Errorf("items = %+v", st.Items)
+	}
+	if len(st.From) != 1 || st.From[0].Name != "Cust" {
+		t.Errorf("from = %+v", st.From)
+	}
+	if st.Where == nil || st.Where.Pred == nil {
+		t.Error("where missing")
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	st, err := Parse(`SELECT TOP 10 c.CITY, SUM(a.BAL)
+		FROM Cust c, Acc a, CustAcc ca
+		WHERE c.CID = ca.CID AND ca.ACCID = a.ACCID AND a.BAL >= 100
+		GROUP BY c.CITY
+		ORDER BY c.CITY DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Top != 10 {
+		t.Errorf("top = %d", st.Top)
+	}
+	if len(st.Items) != 2 || st.Items[0].IsAgg || !st.Items[1].IsAgg {
+		t.Errorf("items = %+v", st.Items)
+	}
+	if st.Items[1].Op != cq.Sum {
+		t.Errorf("op = %v", st.Items[1].Op)
+	}
+	if len(st.From) != 3 || st.From[0].Alias != "c" {
+		t.Errorf("from = %+v", st.From)
+	}
+	if len(st.GroupBy) != 1 || st.GroupBy[0].Table != "c" {
+		t.Errorf("group by = %+v", st.GroupBy)
+	}
+	if len(st.OrderBy) != 1 || !st.OrderBy[0].Desc {
+		t.Errorf("order by = %+v", st.OrderBy)
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	st, err := Parse("SELECT COUNT(DISTINCT TYPE) FROM Acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Items[0].Op != cq.CountDistinct || !st.Items[0].Distinct {
+		t.Errorf("%+v", st.Items[0])
+	}
+	st, err = Parse("SELECT SUM(DISTINCT BAL) FROM Acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Items[0].Op != cq.SumDistinct {
+		t.Errorf("%+v", st.Items[0])
+	}
+	if _, err := Parse("SELECT MIN(DISTINCT BAL) FROM Acc"); err == nil {
+		t.Error("MIN(DISTINCT) accepted")
+	}
+}
+
+func TestParseBetweenAndLike(t *testing.T) {
+	st, err := Parse("SELECT COUNT(*) FROM Acc WHERE BAL BETWEEN 100 AND 900 AND TYPE LIKE 'Check%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dnf := st.Where.dnf()
+	if len(dnf) != 1 || len(dnf[0]) != 3 { // >=, <=, LIKE
+		t.Fatalf("dnf = %+v", dnf)
+	}
+	st, err = Parse("SELECT COUNT(*) FROM Acc WHERE TYPE NOT LIKE 'Check%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Where.Pred.Op != cq.OpNotLikePrefix {
+		t.Errorf("op = %v", st.Where.Pred.Op)
+	}
+	if _, err := Parse("SELECT COUNT(*) FROM Acc WHERE TYPE LIKE '%mid%'"); err == nil {
+		t.Error("non-prefix LIKE accepted")
+	}
+}
+
+func TestParseOrDNF(t *testing.T) {
+	st, err := Parse("SELECT COUNT(*) FROM Acc WHERE (TYPE = 'Saving' OR TYPE = 'Check.') AND BAL > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dnf := st.Where.dnf()
+	if len(dnf) != 2 {
+		t.Fatalf("dnf size = %d, want 2", len(dnf))
+	}
+	for _, conj := range dnf {
+		if len(conj) != 2 {
+			t.Errorf("conjunct = %+v", conj)
+		}
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	st, err := Parse("SELECT COUNT(*) FROM Acc WHERE BAL > -100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := st.Where.Pred
+	if p.Right.Lit.Int != -100 {
+		t.Errorf("literal = %+v", p.Right.Lit)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROM Acc",
+		"SELECT FROM Acc",
+		"SELECT COUNT(*)",
+		"SELECT COUNT(*) FROM",
+		"SELECT SUM(*) FROM Acc",
+		"SELECT COUNT(*) FROM Acc WHERE",
+		"SELECT COUNT(*) FROM Acc GROUP CITY",
+		"SELECT COUNT(*) FROM Acc ORDER CITY",
+		"SELECT COUNT(*) FROM Acc WHERE BAL ? 3",
+		"SELECT TOP 0 COUNT(*) FROM Acc",
+		"SELECT COUNT(*) FROM Acc trailing garbage = 1",
+		"SELECT COUNT(*) FROM Acc WHERE BAL BETWEEN 1 OR 2",
+		"SELECT COUNT(*) FROM Acc WHERE NOT BAL = 1",
+		"SELECT COUNT(*) FROM Acc WHERE 'x' LIKE 'y%'",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted: %q", src)
+		}
+	}
+}
+
+func TestTranslateScalarSum(t *testing.T) {
+	in := bankInstance()
+	tr, err := ParseAndTranslate(`SELECT SUM(Acc.BAL) FROM Acc, CustAcc
+		WHERE Acc.ACCID = CustAcc.ACCID AND CustAcc.CID = 'C2'`, in.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Aggs) != 1 {
+		t.Fatalf("aggs = %d", len(tr.Aggs))
+	}
+	q := tr.Aggs[0].Query
+	if q.Op != cq.Sum || !q.Scalar() {
+		t.Errorf("query = %+v", q)
+	}
+	// Direct evaluation on the inconsistent instance: all rows.
+	got, err := cq.EvalAgg(cq.NewEvaluator(in), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C2 owns A2 (1000) and A3 (1200 and -100 variants): 2100.
+	if got[0].Value.AsInt() != 2100 {
+		t.Errorf("SUM = %v, want 2100", got[0].Value)
+	}
+}
+
+func TestTranslateJoinUnification(t *testing.T) {
+	in := bankInstance()
+	tr, err := ParseAndTranslate(`SELECT COUNT(*) FROM Cust, Acc, CustAcc
+		WHERE Cust.CID = CustAcc.CID AND Acc.ACCID = CustAcc.ACCID
+		AND Cust.CITY = Acc.CITY`, in.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := tr.Aggs[0].Query
+	// The three equalities must become shared variables, not conditions.
+	d := q.Underlying.Disjuncts[0]
+	if len(d.Conds) != 0 {
+		t.Errorf("expected pure equijoin, got conditions %v", d.Conds)
+	}
+	got, err := cq.EvalAgg(cq.NewEvaluator(in), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Value.AsInt() != 3 { // Example IV.1's three witnesses
+		t.Errorf("COUNT(*) = %v, want 3", got[0].Value)
+	}
+}
+
+func TestTranslateConstantPushdown(t *testing.T) {
+	in := bankInstance()
+	tr, err := ParseAndTranslate(
+		"SELECT COUNT(*) FROM Cust WHERE Cust.NAME = 'Mary'", in.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tr.Aggs[0].Query.Underlying.Disjuncts[0]
+	if !d.Atoms[0].Args[1].IsConst {
+		t.Error("constant not pushed into the atom")
+	}
+	got, _ := cq.EvalAgg(cq.NewEvaluator(in), tr.Aggs[0].Query)
+	if got[0].Value.AsInt() != 2 {
+		t.Errorf("COUNT = %v, want 2", got[0].Value)
+	}
+}
+
+func TestTranslateGroupedQuery(t *testing.T) {
+	in := bankInstance()
+	tr, err := ParseAndTranslate(
+		"SELECT CITY, COUNT(*) FROM Cust GROUP BY CITY ORDER BY CITY", in.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := tr.Aggs[0].Query
+	if q.Scalar() || len(q.GroupBy) != 1 {
+		t.Fatalf("%+v", q)
+	}
+	got, _ := cq.EvalAgg(cq.NewEvaluator(in), q)
+	if len(got) != 2 {
+		t.Fatalf("groups = %v", got)
+	}
+	if got[0].Key[0].AsString() != "LA" || got[0].Value.AsInt() != 3 {
+		t.Errorf("LA = %v", got[0])
+	}
+	if len(tr.OrderBy) != 1 || tr.OrderBy[0].GroupIndex != 0 || tr.OrderBy[0].Desc {
+		t.Errorf("order by = %+v", tr.OrderBy)
+	}
+}
+
+func TestTranslateGroupColumnConstantKeepsVariable(t *testing.T) {
+	// Grouping column equated with a constant must stay a variable so
+	// the head remains valid.
+	in := bankInstance()
+	tr, err := ParseAndTranslate(
+		"SELECT CITY, COUNT(*) FROM Cust WHERE CITY = 'LA' GROUP BY CITY", in.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := tr.Aggs[0].Query
+	d := q.Underlying.Disjuncts[0]
+	if d.Atoms[0].Args[2].IsConst {
+		t.Error("output column substituted by constant")
+	}
+	if len(d.Conds) != 1 || d.Conds[0].Op != cq.OpEQ {
+		t.Errorf("conds = %v", d.Conds)
+	}
+	got, _ := cq.EvalAgg(cq.NewEvaluator(in), q)
+	if len(got) != 1 || got[0].Value.AsInt() != 3 {
+		t.Errorf("result = %v", got)
+	}
+}
+
+func TestTranslateMultipleAggregates(t *testing.T) {
+	in := bankInstance()
+	tr, err := ParseAndTranslate(
+		"SELECT CITY, COUNT(*), SUM(BAL), MIN(BAL) FROM Acc GROUP BY CITY", in.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Aggs) != 3 {
+		t.Fatalf("aggs = %d, want 3", len(tr.Aggs))
+	}
+	ops := []cq.AggOp{cq.CountStar, cq.Sum, cq.Min}
+	for i, a := range tr.Aggs {
+		if a.Query.Op != ops[i] {
+			t.Errorf("agg %d op = %v, want %v", i, a.Query.Op, ops[i])
+		}
+	}
+}
+
+func TestTranslateOrToUCQ(t *testing.T) {
+	in := bankInstance()
+	tr, err := ParseAndTranslate(
+		"SELECT SUM(BAL) FROM Acc WHERE TYPE = 'Saving' OR CITY = 'LA'", in.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := tr.Aggs[0].Query
+	if len(q.Underlying.Disjuncts) != 2 {
+		t.Fatalf("disjuncts = %d, want 2", len(q.Underlying.Disjuncts))
+	}
+	// Evaluation note: UCQ bag semantics double-count rows matched by
+	// both disjuncts; the Saving/LA sets here are disjoint.
+	got, _ := cq.EvalAgg(cq.NewEvaluator(in), q)
+	if got[0].Value.AsInt() != 900+1000+1200-100+300 {
+		t.Errorf("SUM = %v", got[0].Value)
+	}
+}
+
+func TestTranslateContradiction(t *testing.T) {
+	in := bankInstance()
+	tr, err := ParseAndTranslate(
+		"SELECT COUNT(*) FROM Acc WHERE TYPE = 'Saving' AND TYPE = 'Check.'", in.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := cq.EvalAgg(cq.NewEvaluator(in), tr.Aggs[0].Query)
+	if got[0].Value.AsInt() != 0 {
+		t.Errorf("contradictory WHERE returned %v rows", got[0].Value)
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	schema := bankSchema()
+	bad := []string{
+		"SELECT COUNT(*) FROM Nope",
+		"SELECT COUNT(*) FROM Acc a, Cust a",
+		"SELECT NOPE, COUNT(*) FROM Acc GROUP BY NOPE",
+		"SELECT CITY FROM Acc",                                // no aggregate
+		"SELECT CITY, COUNT(*) FROM Acc",                      // CITY not grouped
+		"SELECT COUNT(*) FROM Acc WHERE Cust.CID = 'x'",       // unknown alias
+		"SELECT COUNT(*) FROM Acc, Cust WHERE CITY = 'LA'",    // ambiguous
+		"SELECT COUNT(*) FROM Acc GROUP BY TYPE ORDER BY BAL", // order key not grouped
+	}
+	for _, src := range bad {
+		if _, err := ParseAndTranslate(src, schema); err == nil {
+			t.Errorf("accepted: %q", src)
+		}
+	}
+}
+
+func TestTranslateUnqualifiedJoinColumns(t *testing.T) {
+	in := bankInstance()
+	// NAME is unambiguous (only in Cust); BAL only in Acc.
+	tr, err := ParseAndTranslate(`SELECT SUM(BAL) FROM Cust, Acc, CustAcc
+		WHERE Cust.CID = CustAcc.CID AND CustAcc.ACCID = Acc.ACCID AND NAME = 'Mary'`,
+		in.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := cq.EvalAgg(cq.NewEvaluator(in), tr.Aggs[0].Query)
+	// Mary twice × (1000 + 1200 + (-100)) = 4200.
+	if got[0].Value.AsInt() != 4200 {
+		t.Errorf("SUM = %v, want 4200", got[0].Value)
+	}
+}
+
+func TestStatementString(t *testing.T) {
+	st, _ := Parse("SELECT TOP 3 CITY, COUNT(*) FROM Acc a GROUP BY CITY")
+	s := st.String()
+	if !strings.Contains(s, "TOP 3") || !strings.Contains(s, "COUNT(*)") || !strings.Contains(s, "Acc a") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestLikeConditionEvaluates(t *testing.T) {
+	in := bankInstance()
+	tr, err := ParseAndTranslate(
+		"SELECT COUNT(*) FROM Acc WHERE TYPE LIKE 'Check%'", in.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := cq.EvalAgg(cq.NewEvaluator(in), tr.Aggs[0].Query)
+	if got[0].Value.AsInt() != 2 {
+		t.Errorf("LIKE count = %v, want 2", got[0].Value)
+	}
+}

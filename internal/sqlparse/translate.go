@@ -1,0 +1,429 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"aggcavsat/internal/cq"
+	"aggcavsat/internal/db"
+)
+
+// Translation is the result of translating a Statement against a schema:
+// one cq.AggQuery per aggregate select item (they share grouping), plus
+// the presentation metadata (TOP, ORDER BY) that range-consistent
+// evaluation itself does not consume.
+type Translation struct {
+	Stmt *Statement
+	// Aggs holds one entry per aggregate item in SELECT order.
+	Aggs []AggTranslation
+	// GroupCols are the resolved GROUP BY columns (presentation order of
+	// the group key tuple).
+	GroupCols []ColRef
+	// OrderBy maps each ORDER BY key to an index into the group key
+	// tuple, with its direction.
+	OrderBy []ResolvedOrderKey
+	Top     int
+}
+
+// AggTranslation pairs a SELECT aggregate with its compiled query.
+type AggTranslation struct {
+	Item  SelectItem
+	Query cq.AggQuery
+}
+
+// ResolvedOrderKey is an ORDER BY key resolved to a group-key position.
+type ResolvedOrderKey struct {
+	GroupIndex int
+	Desc       bool
+}
+
+// Translate compiles a parsed statement into aggregation queries over
+// the schema. OR conditions are expanded into unions of conjunctive
+// queries; column-equality predicates become shared variables (enabling
+// hash joins); column-constant equalities become selections pushed into
+// the atoms.
+func Translate(st *Statement, schema *db.Schema) (*Translation, error) {
+	tr := &translator{st: st, schema: schema}
+	return tr.run()
+}
+
+// ParseAndTranslate is the one-call front door.
+func ParseAndTranslate(input string, schema *db.Schema) (*Translation, error) {
+	st, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return Translate(st, schema)
+}
+
+type colPos struct {
+	atom int // index into Statement.From
+	pos  int // attribute position
+}
+
+type translator struct {
+	st     *Statement
+	schema *db.Schema
+
+	rels    []*db.RelationSchema // per FROM entry
+	byAlias map[string]int
+}
+
+func (tr *translator) run() (*Translation, error) {
+	st := tr.st
+	if len(st.From) == 0 {
+		return nil, fmt.Errorf("sqlparse: no tables in FROM")
+	}
+	tr.byAlias = make(map[string]int, len(st.From))
+	for i, t := range st.From {
+		rs := tr.schema.Relation(t.Name)
+		if rs == nil {
+			return nil, fmt.Errorf("sqlparse: unknown table %s", t.Name)
+		}
+		key := strings.ToLower(t.Alias)
+		if _, dup := tr.byAlias[key]; dup {
+			return nil, fmt.Errorf("sqlparse: duplicate table alias %s", t.Alias)
+		}
+		tr.byAlias[key] = i
+		tr.rels = append(tr.rels, rs)
+	}
+
+	// Resolve output columns.
+	var groupCols []colPos
+	for _, c := range st.GroupBy {
+		cp, err := tr.resolve(c)
+		if err != nil {
+			return nil, err
+		}
+		groupCols = append(groupCols, cp)
+	}
+	groupIndex := func(cp colPos) int {
+		for i, g := range groupCols {
+			if g == cp {
+				return i
+			}
+		}
+		return -1
+	}
+
+	var aggItems []SelectItem
+	var aggCols []colPos // aggregation column per agg item (zero for *)
+	hasAgg := false
+	for _, item := range st.Items {
+		if item.IsAgg {
+			hasAgg = true
+			it := item
+			cp := colPos{-1, -1}
+			if !item.Star {
+				var err error
+				cp, err = tr.resolve(item.Col)
+				if err != nil {
+					return nil, err
+				}
+			}
+			aggItems = append(aggItems, it)
+			aggCols = append(aggCols, cp)
+			continue
+		}
+		cp, err := tr.resolve(item.Col)
+		if err != nil {
+			return nil, err
+		}
+		if groupIndex(cp) < 0 {
+			return nil, fmt.Errorf("sqlparse: column %s must appear in GROUP BY", item.Col)
+		}
+	}
+	if !hasAgg {
+		return nil, fmt.Errorf("sqlparse: statement has no aggregate; only aggregation queries are supported")
+	}
+
+	// Mark output positions: they must stay variables (never substituted
+	// by constants) so heads can reference them.
+	output := map[colPos]bool{}
+	for _, cp := range groupCols {
+		output[cp] = true
+	}
+	for _, cp := range aggCols {
+		if cp.atom >= 0 {
+			output[cp] = true
+		}
+	}
+
+	// Expand WHERE into DNF and compile one disjunct descriptor each.
+	var disjuncts []*disjunct
+	for _, conj := range st.Where.dnf() {
+		d, err := tr.compileDisjunct(conj, output)
+		if err != nil {
+			return nil, err
+		}
+		disjuncts = append(disjuncts, d)
+	}
+
+	// Assemble per-aggregate queries.
+	out := &Translation{Stmt: st, Top: st.Top, GroupCols: st.GroupBy}
+	for ai, item := range aggItems {
+		u := cq.UCQ{}
+		for _, d := range disjuncts {
+			head := make([]string, 0, len(groupCols)+1)
+			for _, g := range groupCols {
+				head = append(head, d.varName(g))
+			}
+			if aggCols[ai].atom >= 0 {
+				head = append(head, d.varName(aggCols[ai]))
+			}
+			u.Disjuncts = append(u.Disjuncts, cq.CQ{
+				Head:  head,
+				Atoms: d.atoms,
+				Conds: d.conds,
+			})
+		}
+		groupNames := make([]string, len(groupCols))
+		for i := range groupCols {
+			groupNames[i] = fmt.Sprintf("g%d", i)
+		}
+		q := cq.AggQuery{
+			Op:         item.Op,
+			AggVar:     "aggv",
+			GroupBy:    groupNames,
+			Underlying: u,
+		}
+		if err := q.Validate(tr.schema); err != nil {
+			return nil, fmt.Errorf("sqlparse: translated query invalid: %w", err)
+		}
+		out.Aggs = append(out.Aggs, AggTranslation{Item: item, Query: q})
+	}
+
+	// Resolve ORDER BY to group-key positions.
+	for _, key := range st.OrderBy {
+		cp, err := tr.resolve(key.Col)
+		if err != nil {
+			return nil, err
+		}
+		gi := groupIndex(cp)
+		if gi < 0 {
+			return nil, fmt.Errorf("sqlparse: ORDER BY column %s must be a grouping column", key.Col)
+		}
+		out.OrderBy = append(out.OrderBy, ResolvedOrderKey{GroupIndex: gi, Desc: key.Desc})
+	}
+	return out, nil
+}
+
+func (tr *translator) resolve(c ColRef) (colPos, error) {
+	if c.Table != "" {
+		ai, ok := tr.byAlias[strings.ToLower(c.Table)]
+		if !ok {
+			return colPos{}, fmt.Errorf("sqlparse: unknown table or alias %s", c.Table)
+		}
+		p := tr.rels[ai].AttrIndex(c.Column)
+		if p < 0 {
+			return colPos{}, fmt.Errorf("sqlparse: no column %s in %s", c.Column, tr.rels[ai].Name)
+		}
+		return colPos{atom: ai, pos: p}, nil
+	}
+	found := colPos{-1, -1}
+	for ai, rs := range tr.rels {
+		if p := rs.AttrIndex(c.Column); p >= 0 {
+			if found.atom >= 0 {
+				return colPos{}, fmt.Errorf("sqlparse: ambiguous column %s", c.Column)
+			}
+			found = colPos{atom: ai, pos: p}
+		}
+	}
+	if found.atom < 0 {
+		return colPos{}, fmt.Errorf("sqlparse: unknown column %s", c.Column)
+	}
+	return found, nil
+}
+
+// disjunct is one compiled conjunct of the DNF: atoms with unified
+// variable names plus residual comparison conditions.
+type disjunct struct {
+	atoms []cq.Atom
+	conds []cq.Condition
+	names map[colPos]string
+}
+
+func (d *disjunct) varName(cp colPos) string { return d.names[cp] }
+
+// compileDisjunct builds atoms for every FROM table, unifies variables
+// across column-equality predicates (union-find), substitutes constants
+// into non-output positions, and lowers the remaining predicates to
+// conditions.
+func (tr *translator) compileDisjunct(preds []Predicate, output map[colPos]bool) (*disjunct, error) {
+	// Union-find over column positions.
+	parent := map[colPos]colPos{}
+	var find func(colPos) colPos
+	find = func(x colPos) colPos {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b colPos) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	// First pass: unify col = col, collect col = const.
+	type constBinding struct {
+		cp  colPos
+		lit Literal
+	}
+	var constEqs []constBinding
+	var residual []Predicate
+	for _, p := range preds {
+		if p.Op == cq.OpEQ && p.Left.IsCol && p.Right.IsCol {
+			l, err := tr.resolve(p.Left.Col)
+			if err != nil {
+				return nil, err
+			}
+			r, err := tr.resolve(p.Right.Col)
+			if err != nil {
+				return nil, err
+			}
+			union(l, r)
+			continue
+		}
+		if p.Op == cq.OpEQ && p.Left.IsCol != p.Right.IsCol {
+			colOp, litOp := p.Left, p.Right
+			if !colOp.IsCol {
+				colOp, litOp = litOp, colOp
+			}
+			cp, err := tr.resolve(colOp.Col)
+			if err != nil {
+				return nil, err
+			}
+			constEqs = append(constEqs, constBinding{cp: cp, lit: litOp.Lit})
+			continue
+		}
+		residual = append(residual, p)
+	}
+
+	// Assign variable names per class root and record class constants.
+	classConst := map[colPos]*db.Value{}
+	classOutput := map[colPos]bool{}
+	for ai := range tr.rels {
+		for p := range tr.rels[ai].Attrs {
+			cp := colPos{ai, p}
+			if output[cp] {
+				classOutput[find(cp)] = true
+			}
+		}
+	}
+	contradictory := false
+	for _, ce := range constEqs {
+		root := find(ce.cp)
+		v, err := tr.literalValue(ce.lit, ce.cp)
+		if err != nil {
+			return nil, err
+		}
+		if prev := classConst[root]; prev != nil {
+			if !prev.Equal(v) {
+				contradictory = true // e.g. a = 1 AND a = 2
+			}
+			continue
+		}
+		vv := v
+		classConst[root] = &vv
+	}
+
+	d := &disjunct{names: map[colPos]string{}}
+	for ai, rs := range tr.rels {
+		args := make([]cq.Term, rs.Arity())
+		for p := range rs.Attrs {
+			cp := colPos{ai, p}
+			root := find(cp)
+			name := fmt.Sprintf("t%d_%d", root.atom, root.pos)
+			d.names[cp] = name
+			if c := classConst[root]; c != nil && !classOutput[root] {
+				args[p] = cq.C(*c)
+				continue
+			}
+			args[p] = cq.V(name)
+		}
+		d.atoms = append(d.atoms, cq.Atom{Rel: rs.Name, Args: args})
+	}
+	// Output classes with constants keep their variables; enforce the
+	// equality as a condition instead.
+	added := map[colPos]bool{}
+	for root, c := range classConst {
+		if classOutput[root] && !added[root] {
+			added[root] = true
+			d.conds = append(d.conds, cq.Condition{
+				Left:  cq.V(d.names[root]),
+				Op:    cq.OpEQ,
+				Right: cq.C(*c),
+			})
+		}
+	}
+	if contradictory {
+		// An unsatisfiable conjunct: keep the disjunct shape but make it
+		// produce no rows.
+		d.conds = append(d.conds, cq.Condition{
+			Left:  cq.C(db.Int(0)),
+			Op:    cq.OpEQ,
+			Right: cq.C(db.Int(1)),
+		})
+	}
+
+	// Lower residual predicates.
+	for _, p := range residual {
+		left, err := tr.lowerOperand(p.Left, d, find)
+		if err != nil {
+			return nil, err
+		}
+		right, err := tr.lowerOperand(p.Right, d, find)
+		if err != nil {
+			return nil, err
+		}
+		d.conds = append(d.conds, cq.Condition{Left: left, Op: p.Op, Right: right})
+	}
+	return d, nil
+}
+
+func (tr *translator) lowerOperand(o Operand, d *disjunct, find func(colPos) colPos) (cq.Term, error) {
+	if o.IsCol {
+		cp, err := tr.resolve(o.Col)
+		if err != nil {
+			return cq.Term{}, err
+		}
+		root := find(cp)
+		// The position may hold a substituted constant; conditions must
+		// then compare against that constant.
+		arg := d.atoms[cp.atom].Args[cp.pos]
+		if arg.IsConst {
+			return arg, nil
+		}
+		return cq.V(d.names[root]), nil
+	}
+	v, err := tr.literalValue(o.Lit, colPos{-1, -1})
+	if err != nil {
+		return cq.Term{}, err
+	}
+	return cq.C(v), nil
+}
+
+// literalValue converts a parsed literal to a db.Value, coercing
+// integers to floats when the referenced column is FLOAT.
+func (tr *translator) literalValue(l Literal, cp colPos) (db.Value, error) {
+	switch {
+	case l.IsString:
+		return db.Str(l.Str), nil
+	case l.IsFloat:
+		return db.Float(l.Float), nil
+	default:
+		if cp.atom >= 0 && tr.rels[cp.atom].Attrs[cp.pos].Kind == db.KindFloat {
+			return db.Float(float64(l.Int)), nil
+		}
+		return db.Int(l.Int), nil
+	}
+}

@@ -1,0 +1,200 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+
+	"aggcavsat/internal/sqlparse"
+)
+
+// Query is one evaluation-workload query: its paper name, SQL text, and
+// whether the paper's ConQuer baseline supports it (Q5 is outside
+// C_aggforest; Q19 is a union of conjunctive queries).
+type Query struct {
+	Name    string
+	SQL     string
+	Grouped bool
+}
+
+// The paper's nine TPC-H queries (1, 3, 4, 5, 6, 10, 12, 14, 19),
+// adapted to the supported SQL subset (single aggregate per statement;
+// no arithmetic inside SUM — see DESIGN.md for the substitutions).
+// Dates follow the flat calendar of the generator, so the constants
+// select comparable fractions of the data.
+var grouped = []Query{
+	{
+		Name: "Q1",
+		SQL: `SELECT l_returnflag, l_linestatus, SUM(l_quantity)
+		      FROM lineitem
+		      WHERE l_shipdate <= '1998-09-02'
+		      GROUP BY l_returnflag, l_linestatus
+		      ORDER BY l_returnflag, l_linestatus`,
+		Grouped: true,
+	},
+	{
+		Name: "Q3",
+		SQL: `SELECT TOP 10 l_orderkey, SUM(l_extendedprice)
+		      FROM customer, orders, lineitem
+		      WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+		        AND l_orderkey = o_orderkey
+		        AND o_orderdate < '1995-03-15' AND l_shipdate > '1995-03-15'
+		      GROUP BY l_orderkey ORDER BY l_orderkey`,
+		Grouped: true,
+	},
+	{
+		Name: "Q4",
+		SQL: `SELECT o_orderpriority, COUNT(*)
+		      FROM orders, lineitem
+		      WHERE o_orderdate >= '1996-07-01' AND o_orderdate < '1997-10-01'
+		        AND l_orderkey = o_orderkey AND l_commitdate < l_receiptdate
+		      GROUP BY o_orderpriority ORDER BY o_orderpriority`,
+		Grouped: true,
+	},
+	{
+		Name: "Q5",
+		SQL: `SELECT n_name, SUM(l_extendedprice)
+		      FROM customer, orders, lineitem, supplier, nation, region
+		      WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+		        AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+		        AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+		        AND r_name = 'ASIA'
+		        AND o_orderdate >= '1994-01-01' AND o_orderdate < '1995-01-01'
+		      GROUP BY n_name ORDER BY n_name`,
+		Grouped: true,
+	},
+	{
+		Name: "Q10",
+		SQL: `SELECT TOP 20 c_custkey, SUM(l_extendedprice)
+		      FROM customer, orders, lineitem, nation
+		      WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+		        AND c_nationkey = n_nationkey
+		        AND o_orderdate >= '1993-10-01' AND o_orderdate < '1994-01-01'
+		        AND l_returnflag = 'R'
+		      GROUP BY c_custkey ORDER BY c_custkey`,
+		Grouped: true,
+	},
+	{
+		Name: "Q12",
+		SQL: `SELECT l_shipmode, COUNT(*)
+		      FROM orders, lineitem
+		      WHERE o_orderkey = l_orderkey
+		        AND l_shipdate < l_commitdate AND l_commitdate < l_receiptdate
+		        AND l_receiptdate >= '1994-01-01' AND l_receiptdate < '1995-01-01'
+		      GROUP BY l_shipmode ORDER BY l_shipmode`,
+		Grouped: true,
+	},
+}
+
+// scalar are the GROUP-BY-free variants Q′ of Section VI-A2: the
+// grouping construct is removed and conditions on the original grouping
+// attributes added to the WHERE clause; Q6, Q14 and Q19 have no grouping
+// in the first place.
+var scalar = []Query{
+	{
+		Name: "Q1'",
+		SQL: `SELECT SUM(l_quantity) FROM lineitem
+		      WHERE l_shipdate <= '1998-09-02'
+		        AND l_returnflag = 'A' AND l_linestatus = 'F'`,
+	},
+	{
+		Name: "Q3'",
+		SQL: `SELECT SUM(l_extendedprice)
+		      FROM customer, orders, lineitem
+		      WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+		        AND l_orderkey = o_orderkey
+		        AND o_orderdate < '1995-03-15' AND l_shipdate > '1995-03-15'`,
+	},
+	{
+		Name: "Q4'",
+		SQL: `SELECT COUNT(*) FROM orders, lineitem
+		      WHERE o_orderdate >= '1996-07-01' AND o_orderdate < '1997-10-01'
+		        AND l_orderkey = o_orderkey AND l_commitdate < l_receiptdate
+		        AND o_orderpriority = '1-URGENT'`,
+	},
+	{
+		Name: "Q5'",
+		SQL: `SELECT SUM(l_extendedprice)
+		      FROM customer, orders, lineitem, supplier, nation, region
+		      WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+		        AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+		        AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+		        AND r_name = 'ASIA'
+		        AND o_orderdate >= '1994-01-01' AND o_orderdate < '1995-01-01'`,
+	},
+	{
+		Name: "Q6'",
+		SQL: `SELECT SUM(l_extendedprice) FROM lineitem
+		      WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01'
+		        AND l_discount BETWEEN 5 AND 7 AND l_quantity < 24`,
+	},
+	{
+		Name: "Q10'",
+		SQL: `SELECT SUM(l_extendedprice)
+		      FROM customer, orders, lineitem, nation
+		      WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+		        AND c_nationkey = n_nationkey
+		        AND o_orderdate >= '1993-10-01' AND o_orderdate < '1994-01-01'
+		        AND l_returnflag = 'R'`,
+	},
+	{
+		Name: "Q12'",
+		SQL: `SELECT COUNT(*) FROM orders, lineitem
+		      WHERE o_orderkey = l_orderkey
+		        AND l_shipdate < l_commitdate AND l_commitdate < l_receiptdate
+		        AND l_receiptdate >= '1994-01-01' AND l_receiptdate < '1995-01-01'
+		        AND l_shipmode = 'MAIL'`,
+	},
+	{
+		Name: "Q14'",
+		SQL: `SELECT SUM(l_extendedprice) FROM lineitem, part
+		      WHERE l_partkey = p_partkey AND p_type LIKE 'PROMO%'
+		        AND l_shipdate >= '1995-09-01' AND l_shipdate < '1995-10-01'`,
+	},
+	{
+		Name: "Q19'",
+		SQL: `SELECT SUM(l_extendedprice) FROM lineitem, part
+		      WHERE l_partkey = p_partkey AND (
+		            (p_brand = 'Brand#12' AND p_container = 'SM CASE' AND l_quantity BETWEEN 1 AND 11)
+		         OR (p_brand = 'Brand#23' AND p_container = 'MED BAG' AND l_quantity BETWEEN 10 AND 20)
+		         OR (p_brand = 'Brand#34' AND p_container = 'LG CASE' AND l_quantity BETWEEN 20 AND 30))`,
+	},
+}
+
+// ScalarQueries returns the Q′ workload (Figures 1–4).
+func ScalarQueries() []Query { return append([]Query(nil), scalar...) }
+
+// GroupedQueries returns the grouped workload (Figures 5–8).
+func GroupedQueries() []Query { return append([]Query(nil), grouped...) }
+
+// QueryByName finds a query in either workload.
+func QueryByName(name string) (Query, error) {
+	for _, q := range scalar {
+		if q.Name == name {
+			return q, nil
+		}
+	}
+	for _, q := range grouped {
+		if q.Name == name {
+			return q, nil
+		}
+	}
+	return Query{}, fmt.Errorf("tpch: unknown query %q", name)
+}
+
+// QueryNames lists all workload query names, scalar first.
+func QueryNames() []string {
+	var names []string
+	for _, q := range scalar {
+		names = append(names, q.Name)
+	}
+	for _, q := range grouped {
+		names = append(names, q.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Translate parses and translates the query against the TPC-H schema.
+func (q Query) Translate() (*sqlparse.Translation, error) {
+	return sqlparse.ParseAndTranslate(q.SQL, Schema())
+}

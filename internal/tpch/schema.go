@@ -1,0 +1,83 @@
+// Package tpch is a scaled-down, deterministic re-implementation of the
+// TPC-H DBGen workload used in the paper's synthetic experiments: the
+// eight-relation schema with one key per relation, a data generator with
+// referential structure, a key-violation injector matching the paper's
+// methodology (group sizes uniform in [2,7], exact repair sizes, 5–35 %
+// inconsistency), and the nine evaluation queries with their scalar
+// (GROUP-BY-free) variants.
+//
+// Substitutions versus the original DBGen (documented in DESIGN.md):
+// monetary values are integer cents (the SUM reductions need integral
+// weights), dates are ISO-8601 strings (ordered lexicographically), and
+// text payload columns are short synthetic strings.
+package tpch
+
+import "aggcavsat/internal/db"
+
+// Schema returns the TPC-H schema with one key constraint per relation.
+func Schema() *db.Schema {
+	s := db.NewSchema()
+	str := func(n string) db.Attribute { return db.Attribute{Name: n, Kind: db.KindString} }
+	num := func(n string) db.Attribute { return db.Attribute{Name: n, Kind: db.KindInt} }
+
+	s.MustAddRelation(&db.RelationSchema{
+		Name:  "region",
+		Attrs: []db.Attribute{num("r_regionkey"), str("r_name")},
+		Key:   []int{0},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name:  "nation",
+		Attrs: []db.Attribute{num("n_nationkey"), str("n_name"), num("n_regionkey")},
+		Key:   []int{0},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "supplier",
+		Attrs: []db.Attribute{
+			num("s_suppkey"), str("s_name"), num("s_nationkey"), num("s_acctbal"),
+		},
+		Key: []int{0},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "customer",
+		Attrs: []db.Attribute{
+			num("c_custkey"), str("c_name"), num("c_nationkey"),
+			str("c_mktsegment"), num("c_acctbal"),
+		},
+		Key: []int{0},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "part",
+		Attrs: []db.Attribute{
+			num("p_partkey"), str("p_name"), str("p_type"), num("p_size"),
+			str("p_brand"), str("p_container"), num("p_retailprice"),
+		},
+		Key: []int{0},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "partsupp",
+		Attrs: []db.Attribute{
+			num("ps_partkey"), num("ps_suppkey"), num("ps_availqty"), num("ps_supplycost"),
+		},
+		Key: []int{0, 1},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "orders",
+		Attrs: []db.Attribute{
+			num("o_orderkey"), num("o_custkey"), str("o_orderstatus"),
+			num("o_totalprice"), str("o_orderdate"), str("o_orderpriority"),
+			num("o_shippriority"),
+		},
+		Key: []int{0},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "lineitem",
+		Attrs: []db.Attribute{
+			num("l_orderkey"), num("l_linenumber"), num("l_partkey"), num("l_suppkey"),
+			num("l_quantity"), num("l_extendedprice"), num("l_discount"), num("l_tax"),
+			str("l_returnflag"), str("l_linestatus"), str("l_shipdate"),
+			str("l_commitdate"), str("l_receiptdate"), str("l_shipmode"),
+		},
+		Key: []int{0, 1},
+	})
+	return s
+}

@@ -1,0 +1,63 @@
+// Package xrand is a tiny deterministic PRNG (xorshift64*) shared by the
+// workload generators. The standard library's math/rand would work too,
+// but a self-contained generator guarantees bit-identical datasets across
+// Go versions, which the benchmark harness relies on.
+package xrand
+
+// Rand is a xorshift64* generator. The zero value is invalid; use New.
+type Rand struct {
+	state uint64
+}
+
+// New creates a generator; a zero seed is remapped to a fixed non-zero
+// constant (xorshift has no zero state).
+func New(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a uniform int in [0, n). It panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n).
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int63n with non-positive bound")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform int in [lo, hi] inclusive.
+func (r *Rand) Range(lo, hi int) int {
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Pick returns a uniformly chosen element of the slice.
+func Pick[T any](r *Rand, xs []T) T {
+	return xs[r.Intn(len(xs))]
+}

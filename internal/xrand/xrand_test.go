@@ -1,0 +1,136 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+	c := New(43)
+	same := true
+	a = New(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical streams")
+	}
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed must not produce a stuck stream")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestInt63nBounds(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Int63n(1 << 40); v < 0 || v >= 1<<40 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Int63n(0) should panic")
+		}
+	}()
+	r.Int63n(0)
+}
+
+func TestRangeInclusive(t *testing.T) {
+	r := New(3)
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		v := r.Range(2, 7)
+		if v < 2 || v > 7 {
+			t.Fatalf("Range out of bounds: %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 2; v <= 7; v++ {
+		if !seen[v] {
+			t.Errorf("value %d never produced", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(5)
+	n, hits := 20000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.22 || frac > 0.28 {
+		t.Errorf("Bool(0.25) hit rate = %v", frac)
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := New(9)
+	xs := []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		seen[Pick(r, xs)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("Pick never produced some elements: %v", seen)
+	}
+}
+
+func TestUniformish(t *testing.T) {
+	// Chi-squared-light: each of 8 buckets should hold roughly 1/8.
+	fn := func(seed uint64) bool {
+		r := New(seed)
+		buckets := make([]int, 8)
+		n := 8000
+		for i := 0; i < n; i++ {
+			buckets[r.Intn(8)]++
+		}
+		for _, b := range buckets {
+			if b < n/8-n/16 || b > n/8+n/16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
