@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test vet race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-hammers the concurrency-sensitive packages: the metrics registry
+# and the SAT solver (progress callbacks fire from inside the search).
+race:
+	$(GO) test -race ./internal/obsv/... ./internal/sat/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/bench/
+
+ci: build vet test race

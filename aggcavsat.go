@@ -30,6 +30,7 @@
 package aggcavsat
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -38,6 +39,7 @@ import (
 	"aggcavsat/internal/cq"
 	"aggcavsat/internal/db"
 	"aggcavsat/internal/maxsat"
+	"aggcavsat/internal/obsv"
 	"aggcavsat/internal/sqlparse"
 )
 
@@ -65,9 +67,24 @@ type (
 	// Range is a range consistent answer interval.
 	Range = core.Range
 	// Stats instruments a computation (encode/solve split, CNF sizes,
-	// SAT calls).
+	// SAT calls). It is a typed view over the obsv metric snapshot of
+	// the call (core.StatsFromSnapshot).
 	Stats = core.Stats
+	// Tracer records hierarchical spans; install one on a context with
+	// WithTracer and pass the context to QueryContext.
+	Tracer = obsv.Tracer
+	// SolverProgress is one progress report from the MaxSAT solver.
+	SolverProgress = maxsat.ProgressInfo
 )
+
+// NewTracer creates an empty span tracer.
+func NewTracer() *Tracer { return obsv.NewTracer() }
+
+// WithTracer installs a tracer on a context; every span recorded while
+// answering a query started under that context nests below the caller.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	return obsv.WithTracer(ctx, tr)
+}
 
 // Value constructors and kinds.
 var (
@@ -126,6 +143,15 @@ type Options struct {
 	// ExternalSolverPath is the MaxHS-compatible binary for
 	// SolverExternal.
 	ExternalSolverPath string
+	// Progress, when non-nil, receives periodic solver progress reports
+	// (every ProgressEvery conflicts, plus bound-change milestones).
+	Progress func(SolverProgress)
+	// ProgressEvery is the conflict interval between periodic reports;
+	// 0 means the solver default.
+	ProgressEvery int64
+	// Metrics, when non-nil, accumulates every query's metrics into a
+	// session-wide registry (obsv Prometheus exposition).
+	Metrics *obsv.Registry
 }
 
 // System answers queries over one instance.
@@ -139,9 +165,12 @@ func Open(in *Instance, opts Options) (*System, error) {
 	engOpts := core.Options{
 		Mode: core.KeysMode,
 		MaxSAT: maxsat.Options{
-			Algorithm:  opts.Solver,
-			SolverPath: opts.ExternalSolverPath,
+			Algorithm:     opts.Solver,
+			SolverPath:    opts.ExternalSolverPath,
+			Progress:      opts.Progress,
+			ProgressEvery: opts.ProgressEvery,
 		},
+		Metrics: opts.Metrics,
 	}
 	if len(opts.DenialConstraints) > 0 {
 		engOpts.Mode = core.DCMode
@@ -174,14 +203,25 @@ type Result struct {
 // consistent answers of every aggregate in its SELECT list, and applies
 // the statement's ORDER BY and TOP clauses to the consistent groups.
 func (s *System) Query(sql string) (*Result, error) {
+	return s.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query under a context that may carry a Tracer: the
+// whole statement is wrapped in a "query" span, with a "sql.parse" child
+// and one "query.range_answers" subtree per aggregate.
+func (s *System) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	ctx, sp := obsv.StartSpan(ctx, "query")
+	defer sp.End()
+	_, psp := obsv.StartSpan(ctx, "sql.parse")
 	tr, err := sqlparse.ParseAndTranslate(sql, s.in.Schema())
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
-	return s.run(tr)
+	return s.run(ctx, tr)
 }
 
-func (s *System) run(tr *sqlparse.Translation) (*Result, error) {
+func (s *System) run(ctx context.Context, tr *sqlparse.Translation) (*Result, error) {
 	res := &Result{}
 	for _, g := range tr.GroupCols {
 		res.Columns = append(res.Columns, g.String())
@@ -195,7 +235,7 @@ func (s *System) run(tr *sqlparse.Translation) (*Result, error) {
 	positions := []int{}
 	for ai, agg := range tr.Aggs {
 		res.Columns = append(res.Columns, agg.Item.String())
-		rep, err := s.engine.RangeAnswers(agg.Query)
+		rep, err := s.engine.RangeAnswersContext(ctx, agg.Query)
 		if err != nil {
 			return nil, err
 		}

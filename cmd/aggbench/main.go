@@ -7,21 +7,35 @@
 //
 // Output is plain text, one aligned table per experiment; EXPERIMENTS.md
 // is produced from a full run.
+//
+// Observability:
+//
+//	-json dir         write BENCH_<experiment>.json record files (one
+//	                  RunRecord per measurement: witness/constraint/
+//	                  encode/solve ms, SAT calls, CNF size, timeouts)
+//	-trace out.json   Chrome trace-event file covering the whole run
+//	-v                debug logging (per-experiment progress) on stderr
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	"aggcavsat/internal/bench"
+	"aggcavsat/internal/obsv"
 )
 
 func main() {
 	cfg := bench.DefaultConfig()
 	exp := flag.String("exp", "all", "experiment to run ('all' or one of -list)")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	jsonDir := flag.String("json", "", "directory for BENCH_<experiment>.json record files")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
+	verbose := flag.Bool("v", false, "debug logging")
 	flag.Float64Var(&cfg.SFSmall, "sf-small", cfg.SFSmall, "scale factor standing in for the paper's 1 GB repairs")
 	flag.Float64Var(&cfg.SFMedium, "sf-medium", cfg.SFMedium, "scale factor for 3 GB")
 	flag.Float64Var(&cfg.SFLarge, "sf-large", cfg.SFLarge, "scale factor for 5 GB")
@@ -29,11 +43,25 @@ func main() {
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
 	flag.Parse()
 
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
 	if *list {
 		fmt.Println(strings.Join(bench.Names(), "\n"))
 		return
 	}
 	r := bench.NewRunner(cfg)
+
+	var tracer *obsv.Tracer
+	if *trace != "" {
+		tracer = obsv.NewTracer()
+		r.WithContext(obsv.WithTracer(context.Background(), tracer))
+	}
+
 	var err error
 	if *exp == "all" {
 		err = r.All(os.Stdout)
@@ -43,5 +71,26 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aggbench:", err)
 		os.Exit(1)
+	}
+	if *jsonDir != "" {
+		if err := r.WriteRecords(*jsonDir); err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(1)
+		}
+		logger.Debug("records written", "dir", *jsonDir, "records", len(r.Records()))
+	}
+	if tracer != nil {
+		out, err := os.Create(*trace)
+		if err == nil {
+			err = tracer.WriteChromeTrace(out)
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(1)
+		}
+		logger.Debug("trace written", "path", *trace, "spans", tracer.Len(), "dropped", tracer.Dropped())
 	}
 }

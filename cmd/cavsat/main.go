@@ -15,16 +15,29 @@
 // Example:
 //
 //	cavsat -data ./bankdir "SELECT CITY, COUNT(*) FROM Cust GROUP BY CITY"
+//
+// Observability:
+//
+//	-stats            per-phase breakdown table on stderr
+//	-trace out.json   Chrome trace-event file (chrome://tracing, Perfetto)
+//	-progress         periodic solver progress on stderr
+//	-metrics out.prom Prometheus text exposition of the session metrics
+//	-v                debug logging (log/slog) on stderr
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
+	"text/tabwriter"
+	"time"
 
 	"aggcavsat"
+	"aggcavsat/internal/obsv"
 	"aggcavsat/internal/schemafile"
 )
 
@@ -32,8 +45,20 @@ func main() {
 	dataDir := flag.String("data", ".", "directory with schema.txt and <relation>.csv files")
 	solver := flag.String("solver", "maxhs", "MaxSAT algorithm: maxhs, rc2, lsu, external")
 	external := flag.String("external-solver", "", "path to a MaxHS-compatible binary (solver=external)")
-	stats := flag.Bool("stats", false, "print solving statistics")
+	stats := flag.Bool("stats", false, "print a per-phase statistics table")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON file of the query")
+	progress := flag.Bool("progress", false, "print periodic solver progress")
+	progressEvery := flag.Int64("progress-every", 0, "conflicts between progress reports (0 = solver default)")
+	metricsOut := flag.String("metrics", "", "write the Prometheus text exposition of the session metrics ('-' for stderr)")
+	verbose := flag.Bool("v", false, "debug logging")
 	flag.Parse()
+
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cavsat [-data dir] \"SELECT ...\"")
@@ -46,8 +71,10 @@ func main() {
 	parsed, err := schemafile.Read(sf)
 	sf.Close()
 	fatalIf(err)
+	loadStart := time.Now()
 	in, err := aggcavsat.LoadDir(parsed.Schema, *dataDir)
 	fatalIf(err)
+	logger.Debug("database loaded", "dir", *dataDir, "facts", in.NumFacts(), "elapsed", time.Since(loadStart))
 
 	opts := aggcavsat.Options{DenialConstraints: parsed.FDs, ExternalSolverPath: *external}
 	switch *solver {
@@ -62,10 +89,32 @@ func main() {
 	default:
 		fatalIf(fmt.Errorf("unknown solver %q", *solver))
 	}
+	if *progress || *verbose {
+		opts.ProgressEvery = *progressEvery
+		opts.Progress = func(p aggcavsat.SolverProgress) {
+			logger.Info("solver progress",
+				"alg", p.Algorithm.String(), "phase", p.Phase, "iter", p.Iteration,
+				"sat_calls", p.SATCalls, "conflicts", p.Conflicts,
+				"learnt", p.LearntLive, "trail", p.TrailDepth,
+				"lb", bound(p.LowerBound), "ub", bound(p.UpperBound))
+		}
+	}
+	var metrics *obsv.Registry
+	if *metricsOut != "" {
+		metrics = obsv.NewRegistry()
+		opts.Metrics = metrics
+	}
 	sys, err := aggcavsat.Open(in, opts)
 	fatalIf(err)
 
-	res, err := sys.Query(sql)
+	ctx := context.Background()
+	var tracer *obsv.Tracer
+	if *trace != "" {
+		tracer = obsv.NewTracer()
+		ctx = obsv.WithTracer(ctx, tracer)
+	}
+
+	res, err := sys.QueryContext(ctx, sql)
 	fatalIf(err)
 
 	fmt.Println(strings.Join(res.Columns, " | "))
@@ -80,12 +129,50 @@ func main() {
 		fmt.Println(strings.Join(cells, " | "))
 	}
 	if *stats {
-		st := res.Stats
-		fmt.Fprintf(os.Stderr,
-			"constraints %v, witnesses %v, encode %v, solve %v, %d SAT calls, %d MaxSAT runs, largest CNF %d vars / %d clauses\n",
-			st.ConstraintTime, st.WitnessTime, st.EncodeTime, st.SolveTime,
-			st.SATCalls, st.MaxSATRuns, st.MaxVars, st.MaxClauses)
+		printStats(res.Stats)
 	}
+	if tracer != nil {
+		out, err := os.Create(*trace)
+		fatalIf(err)
+		fatalIf(tracer.WriteChromeTrace(out))
+		fatalIf(out.Close())
+		logger.Debug("trace written", "path", *trace, "spans", tracer.Len(), "dropped", tracer.Dropped())
+	}
+	if metrics != nil {
+		w := os.Stderr
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			fatalIf(err)
+			defer f.Close()
+			w = f
+		}
+		fatalIf(metrics.WritePrometheus(w))
+	}
+}
+
+// printStats renders the per-phase breakdown table on stderr.
+func printStats(st aggcavsat.Stats) {
+	tw := tabwriter.NewWriter(os.Stderr, 2, 4, 2, ' ', 0)
+	total := st.WitnessTime + st.ConstraintTime + st.EncodeTime + st.SolveTime
+	fmt.Fprintf(tw, "phase\ttime\t\n")
+	fmt.Fprintf(tw, "witness\t%v\t\n", st.WitnessTime)
+	fmt.Fprintf(tw, "constraint\t%v\t\n", st.ConstraintTime)
+	fmt.Fprintf(tw, "encode\t%v\t\n", st.EncodeTime)
+	fmt.Fprintf(tw, "solve\t%v\t\n", st.SolveTime)
+	fmt.Fprintf(tw, "total\t%v\t\n", total)
+	fmt.Fprintf(tw, "\t\t\n")
+	fmt.Fprintf(tw, "SAT calls\t%d\t\n", st.SATCalls)
+	fmt.Fprintf(tw, "MaxSAT runs\t%d\t\n", st.MaxSATRuns)
+	fmt.Fprintf(tw, "consistent-part skips\t%d\t\n", st.ConsistentPartSkips)
+	fmt.Fprintf(tw, "largest CNF\t%d vars / %d clauses\t\n", st.MaxVars, st.MaxClauses)
+	tw.Flush()
+}
+
+func bound(v int64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
 }
 
 func fatalIf(err error) {

@@ -21,9 +21,11 @@ import (
 
 func main() {
 	alg := flag.String("alg", "maxhs", "algorithm: maxhs, rc2, lsu")
+	progress := flag.Bool("progress", false, "print periodic progress lines (stderr)")
+	progressEvery := flag.Int64("progress-every", maxsat.DefaultProgressEvery, "conflicts between progress lines")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: wcnfsolve [-alg maxhs|rc2|lsu] problem.wcnf")
+		fmt.Fprintln(os.Stderr, "usage: wcnfsolve [-alg maxhs|rc2|lsu] [-progress] problem.wcnf")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -42,6 +44,10 @@ func main() {
 		opts.Algorithm = maxsat.AlgLSU
 	default:
 		fatalIf(fmt.Errorf("unknown algorithm %q", *alg))
+	}
+	if *progress {
+		opts.ProgressEvery = *progressEvery
+		opts.Progress = progressPrinter()
 	}
 	res, err := maxsat.Solve(formula, opts)
 	fatalIf(err)
@@ -65,6 +71,27 @@ func main() {
 	sb.WriteString(" 0")
 	fmt.Println(sb.String())
 	os.Exit(30)
+}
+
+// progressPrinter returns a callback rendering MiniSat-style periodic
+// progress lines on stderr: one row per report, with the bound bracket
+// [lb, ub] on the optimum falsified weight.
+func progressPrinter() maxsat.ProgressFunc {
+	fmt.Fprintln(os.Stderr, "c ============================[ search progress ]=============================")
+	fmt.Fprintln(os.Stderr, "c |     phase    | sat calls | conflicts |   learnt |  trail |      lb |      ub |")
+	fmt.Fprintln(os.Stderr, "c ============================================================================")
+	return func(p maxsat.ProgressInfo) {
+		fmt.Fprintf(os.Stderr, "c | %-12s | %9d | %9d | %8d | %6d | %7s | %7s |\n",
+			p.Phase, p.SATCalls, p.Conflicts, p.LearntLive, p.TrailDepth,
+			bound(p.LowerBound), bound(p.UpperBound))
+	}
+}
+
+func bound(v int64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
 }
 
 func fatalIf(err error) {

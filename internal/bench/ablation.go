@@ -46,12 +46,15 @@ func (r *Runner) Ablation() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			r.curSetting = "alg=" + alg.String()
 			start := time.Now()
-			rep, err := eng.RangeAnswers(tr.Aggs[0].Query)
+			rep, err := eng.RangeAnswersContext(r.ctx(), tr.Aggs[0].Query)
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, fmt.Sprintf("%s | %d", ms(time.Since(start)), rep.Stats.SATCalls))
+			total := time.Since(start)
+			r.recordStats(name, rep.Stats, total, len(rep.Answers))
+			row = append(row, fmt.Sprintf("%s | %d", ms(total), rep.Stats.SATCalls))
 		}
 		t.Rows = append(t.Rows, row)
 	}

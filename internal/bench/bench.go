@@ -18,6 +18,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -111,7 +112,8 @@ func (t *Table) Fprint(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// Runner memoizes generated instances across experiments.
+// Runner memoizes generated instances across experiments and captures
+// a RunRecord per measurement (WriteRecords).
 type Runner struct {
 	cfg Config
 
@@ -120,6 +122,16 @@ type Runner struct {
 	pdbenchProf  map[int]pdbench.Profile
 	medigapInst  *db.Instance
 	medigapDCs   []constraints.DC
+
+	// runCtx, when set via WithContext, carries an obsv.Tracer into
+	// every engine call.
+	runCtx context.Context
+
+	// curExp/curSetting label the records appended by runQuery; the
+	// experiment drivers keep them current.
+	curExp     string
+	curSetting string
+	records    []RunRecord
 }
 
 // NewRunner creates a runner for the configuration.
@@ -191,22 +203,27 @@ type queryResult struct {
 	timeout bool
 }
 
-// runQuery executes one workload query on an engine. timedOut=true
+// runQuery executes one workload query on an engine and appends a
+// RunRecord under the runner's current experiment labels. timedOut=true
 // means a solver budget ran out (reported as "t/o" in the tables).
-func runQuery(eng *core.Engine, q tpch.Query) (queryResult, error) {
+func (r *Runner) runQuery(eng *core.Engine, q tpch.Query) (queryResult, error) {
 	tr, err := q.Translate()
 	if err != nil {
 		return queryResult{}, err
 	}
 	start := time.Now()
-	rep, err := eng.RangeAnswers(tr.Aggs[0].Query)
+	rep, err := eng.RangeAnswersContext(r.ctx(), tr.Aggs[0].Query)
 	if timedOut(err) {
-		return queryResult{timeout: true, total: time.Since(start)}, nil
+		res := queryResult{timeout: true, total: time.Since(start)}
+		r.record(q.Name, res)
+		return res, nil
 	}
 	if err != nil {
 		return queryResult{}, err
 	}
-	return queryResult{stats: rep.Stats, total: time.Since(start), answers: len(rep.Answers)}, nil
+	res := queryResult{stats: rep.Stats, total: time.Since(start), answers: len(rep.Answers)}
+	r.record(q.Name, res)
+	return res, nil
 }
 
 // runConquer times the rewriting baseline; supported=false mirrors the
@@ -247,7 +264,7 @@ func (r *Runner) versusConQuer(title string, in *db.Instance, queries []tpch.Que
 		Header: []string{"query", "witness_ms", "encode_ms", "solve_ms", "aggcavsat_ms", "conquer_ms", "groups"},
 	}
 	for _, q := range queries {
-		res, err := runQuery(eng, q)
+		res, err := r.runQuery(eng, q)
 		if err != nil {
 			return nil, err
 		}
@@ -335,6 +352,7 @@ func (r *Runner) pdbenchVersus(title string, queries []tpch.Query) (*Table, erro
 		if err != nil {
 			return nil, err
 		}
+		r.curSetting = fmt.Sprintf("inst=%d", inst)
 		for _, q := range queries {
 			c, ok := cells[q.Name]
 			if !ok {
@@ -342,7 +360,7 @@ func (r *Runner) pdbenchVersus(title string, queries []tpch.Query) (*Table, erro
 				cells[q.Name] = c
 				order = append(order, q.Name)
 			}
-			res, err := runQuery(eng, q)
+			res, err := r.runQuery(eng, q)
 			if err != nil {
 				return nil, err
 			}
@@ -440,8 +458,9 @@ func (r *Runner) inconsistencySweep(title string, queries []tpch.Query, withCall
 		if err != nil {
 			return nil, err
 		}
+		r.curSetting = fmt.Sprintf("pct=%g", pct)
 		for _, q := range queries {
-			res, err := runQuery(eng, q)
+			res, err := r.runQuery(eng, q)
 			if err != nil {
 				return nil, err
 			}
@@ -509,8 +528,9 @@ func (r *Runner) sizeSweep(title string, queries []tpch.Query, withCalls bool) (
 		if err != nil {
 			return nil, err
 		}
+		r.curSetting = fmt.Sprintf("sf=%g", size.sf)
 		for _, q := range queries {
-			res, err := runQuery(eng, q)
+			res, err := r.runQuery(eng, q)
 			if err != nil {
 				return nil, err
 			}
@@ -567,12 +587,13 @@ func (r *Runner) TableIIIab() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		r.curSetting = fmt.Sprintf("pct=%g", pct)
 		for _, name := range cnfQueries {
 			q, err := tpch.QueryByName(name)
 			if err != nil {
 				return nil, err
 			}
-			res, err := runQuery(eng, q)
+			res, err := r.runQuery(eng, q)
 			if err != nil {
 				return nil, err
 			}
@@ -603,12 +624,13 @@ func (r *Runner) TableIIIcd() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		r.curSetting = fmt.Sprintf("sf=%g", sf)
 		for _, name := range cnfQueries {
 			q, err := tpch.QueryByName(name)
 			if err != nil {
 				return nil, err
 			}
-			res, err := runQuery(eng, q)
+			res, err := r.runQuery(eng, q)
 			if err != nil {
 				return nil, err
 			}
@@ -661,12 +683,13 @@ func (r *Runner) Figure9() (*Table, error) {
 			return nil, err
 		}
 		start := time.Now()
-		rep, err := eng.RangeAnswers(tr.Aggs[0].Query)
+		rep, err := eng.RangeAnswersContext(r.ctx(), tr.Aggs[0].Query)
 		if err != nil {
 			return nil, err
 		}
 		total := time.Since(start)
 		st := rep.Stats
+		r.recordStats(q.Name, st, total, len(rep.Answers))
 		t.Rows = append(t.Rows, []string{
 			q.Name,
 			ms(st.ConstraintTime),
@@ -704,6 +727,7 @@ func (r *Runner) All(w io.Writer) error {
 		{"ablation", r.Ablation},
 	}
 	for _, e := range experiments {
+		r.setExperiment(e.name)
 		start := time.Now()
 		table, err := e.run()
 		if err != nil {
@@ -726,7 +750,9 @@ func (r *Runner) Experiment(name string, w io.Writer) error {
 }
 
 func (r *Runner) experimentByName(name string) (*Table, error) {
-	switch strings.ToLower(name) {
+	name = strings.ToLower(name)
+	r.setExperiment(name)
+	switch name {
 	case "fig1":
 		return r.Figure1()
 	case "fig2":

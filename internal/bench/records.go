@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"aggcavsat/internal/core"
+)
+
+// RunRecord is one benchmark measurement in machine-readable form: the
+// per-phase breakdown (witness enumeration, constraint preprocessing,
+// CNF encoding, MaxSAT solving) plus SAT statistics for one
+// (experiment, setting, query) run. WriteRecords emits the records as
+// BENCH_<experiment>.json files, so plots and regression checks can
+// consume the same numbers the text tables render.
+type RunRecord struct {
+	// Experiment is the table/figure identifier ("fig1", "table3ab", …).
+	Experiment string `json:"experiment"`
+	// Setting disambiguates sweep points within an experiment, e.g.
+	// "pct=15", "sf=0.003", "inst=2", "alg=rc2". Empty when the
+	// experiment has a single setting.
+	Setting string `json:"setting,omitempty"`
+	Query   string `json:"query"`
+
+	WitnessMS    float64 `json:"witness_ms"`
+	ConstraintMS float64 `json:"constraint_ms"`
+	EncodeMS     float64 `json:"encode_ms"`
+	SolveMS      float64 `json:"solve_ms"`
+	TotalMS      float64 `json:"total_ms"`
+
+	SATCalls   int64 `json:"sat_calls"`
+	MaxSATRuns int   `json:"maxsat_runs"`
+	Vars       int   `json:"cnf_vars"`
+	Clauses    int   `json:"cnf_clauses"`
+	Answers    int   `json:"answers"`
+	Timeout    bool  `json:"timeout"`
+}
+
+// WithContext sets the context used for every engine call, so a caller
+// can install an obsv.Tracer and capture a Chrome trace of a whole
+// benchmark run. Returns r for chaining.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	r.runCtx = ctx
+	return r
+}
+
+func (r *Runner) ctx() context.Context {
+	if r.runCtx != nil {
+		return r.runCtx
+	}
+	return context.Background()
+}
+
+// setExperiment switches the labels stamped on subsequent records.
+func (r *Runner) setExperiment(name string) {
+	r.curExp = name
+	r.curSetting = ""
+}
+
+// record appends one measurement under the current experiment labels.
+func (r *Runner) record(query string, res queryResult) {
+	r.records = append(r.records, RunRecord{
+		Experiment:   r.curExp,
+		Setting:      r.curSetting,
+		Query:        query,
+		WitnessMS:    msf(res.stats.WitnessTime),
+		ConstraintMS: msf(res.stats.ConstraintTime),
+		EncodeMS:     msf(res.stats.EncodeTime),
+		SolveMS:      msf(res.stats.SolveTime),
+		TotalMS:      msf(res.total),
+		SATCalls:     res.stats.SATCalls,
+		MaxSATRuns:   res.stats.MaxSATRuns,
+		Vars:         res.stats.MaxVars,
+		Clauses:      res.stats.MaxClauses,
+		Answers:      res.answers,
+		Timeout:      res.timeout,
+	})
+}
+
+// recordStats is record for call sites that time an engine call inline
+// instead of going through runQuery.
+func (r *Runner) recordStats(query string, st core.Stats, total time.Duration, answers int) {
+	r.record(query, queryResult{stats: st, total: total, answers: answers})
+}
+
+// Records returns every measurement captured so far, in run order.
+func (r *Runner) Records() []RunRecord {
+	return r.records
+}
+
+// WriteRecords writes the captured measurements into dir, one
+// BENCH_<experiment>.json per experiment (a JSON array of RunRecord),
+// in the order the experiments ran.
+func (r *Runner) WriteRecords(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	byExp := map[string][]RunRecord{}
+	var order []string
+	for _, rec := range r.records {
+		name := rec.Experiment
+		if name == "" {
+			name = "adhoc"
+		}
+		if _, ok := byExp[name]; !ok {
+			order = append(order, name)
+		}
+		byExp[name] = append(byExp[name], rec)
+	}
+	for _, name := range order {
+		data, err := json.MarshalIndent(byExp[name], "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", name))
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// msf renders a duration in milliseconds with microsecond resolution,
+// matching the text tables' ms() formatting.
+func msf(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"aggcavsat/internal/cnf"
 	"aggcavsat/internal/cq"
 	"aggcavsat/internal/db"
+	"aggcavsat/internal/obsv"
 	"aggcavsat/internal/sat"
 )
 
@@ -15,22 +17,47 @@ import (
 // consistent iff the hard repair clauses together with "every witness of
 // b is broken" are unsatisfiable.
 func (e *Engine) ConsistentAnswers(u cq.UCQ) ([]db.Tuple, Stats, error) {
-	var stats Stats
+	return e.ConsistentAnswersContext(context.Background(), u)
+}
+
+// ConsistentAnswersContext is ConsistentAnswers under a context that may
+// carry an obsv.Tracer.
+func (e *Engine) ConsistentAnswersContext(ctx context.Context, u cq.UCQ) ([]db.Tuple, Stats, error) {
 	if err := u.Validate(e.in.Schema()); err != nil {
-		return nil, stats, err
+		return nil, Stats{}, err
 	}
+	ctx, sp := obsv.StartSpan(ctx, "query.consistent_answers")
+	rc, local := e.newRecorder()
+	out, err := e.consistentAnswers(ctx, u, rc)
+	stats := StatsFromSnapshot(local.Snapshot())
+	if sp != nil {
+		sp.SetInt("answers", int64(len(out)))
+		sp.SetInt("sat_calls", stats.SATCalls)
+		sp.End()
+	}
+	return out, stats, err
+}
+
+func (e *Engine) consistentAnswers(ctx context.Context, u cq.UCQ, rc *recorder) ([]db.Tuple, error) {
+	_, wsp := obsv.StartSpan(ctx, "cq.witness")
 	start := time.Now()
 	bag := e.eval.WitnessBag(u)
-	stats.WitnessTime += time.Since(start)
+	rc.witness(time.Since(start))
+	rc.witnesses(len(bag))
+	if wsp != nil {
+		wsp.SetInt("witnesses", int64(len(bag)))
+		wsp.End()
+	}
 
 	arity := 0
 	if len(bag) > 0 {
 		arity = len(bag[0].Answer)
 	}
 	groups := cq.GroupWitnesses(bag, arity)
-	consistent, err := e.consistentGroups(groups, &stats)
+	rc.groups(len(groups))
+	consistent, err := e.consistentGroups(ctx, groups, rc)
 	if err != nil {
-		return nil, stats, err
+		return nil, err
 	}
 	var out []db.Tuple
 	for i, g := range groups {
@@ -38,16 +65,17 @@ func (e *Engine) ConsistentAnswers(u cq.UCQ) ([]db.Tuple, Stats, error) {
 			out = append(out, g.Key)
 		}
 	}
-	return out, stats, nil
+	return out, nil
 }
 
 // consistentGroups reports, for each witness group (one candidate answer
 // of the underlying query), whether it is a consistent answer. Groups
 // with a fully safe witness are accepted without SAT; the rest share one
 // incremental SAT solver with a fresh activation literal per candidate.
-func (e *Engine) consistentGroups(groups []cq.WitnessGroup, stats *Stats) ([]bool, error) {
-	ctx := e.context()
-	stats.ConstraintTime = ctx.buildTime
+func (e *Engine) consistentGroups(ctx context.Context, groups []cq.WitnessGroup, rc *recorder) ([]bool, error) {
+	cc := e.constraintCtx(ctx, rc)
+	_, csp := obsv.StartSpan(ctx, "core.consistent_groups")
+	defer csp.End()
 
 	out := make([]bool, len(groups))
 	encodeStart := time.Now()
@@ -64,14 +92,14 @@ func (e *Engine) consistentGroups(groups []cq.WitnessGroup, stats *Stats) ([]boo
 		sets := dedupFactSets(g.Witnesses)
 		safe := false
 		for _, fs := range sets {
-			if ctx.allSafe(fs) {
+			if cc.allSafe(fs) {
 				safe = true
 				break
 			}
 		}
 		if safe {
 			out[i] = true
-			stats.ConsistentPartSkips++
+			rc.skip()
 			continue
 		}
 		todo = append(todo, pending{index: i, factSets: sets})
@@ -82,14 +110,14 @@ func (e *Engine) consistentGroups(groups []cq.WitnessGroup, stats *Stats) ([]boo
 		}
 	}
 	if len(todo) == 0 {
-		stats.EncodeTime += time.Since(encodeStart)
+		rc.encode(time.Since(encodeStart))
 		return out, nil
 	}
 
-	enc := newEncoder(ctx, ctx.closure(seed))
+	enc := newEncoder(cc, cc.closure(seed))
 	solver := sat.New()
 	if !solver.AddFormulaHard(enc.formula) {
-		stats.EncodeTime += time.Since(encodeStart)
+		rc.encode(time.Since(encodeStart))
 		return nil, errInternalUnsat()
 	}
 	solver.EnsureVars(enc.formula.NumVars())
@@ -108,13 +136,17 @@ func (e *Engine) consistentGroups(groups []cq.WitnessGroup, stats *Stats) ([]boo
 			solver.AddClause(clause...)
 		}
 	}
-	stats.EncodeTime += time.Since(encodeStart)
-	stats.absorbFormula(enc.formula)
+	rc.encode(time.Since(encodeStart))
+	rc.absorbFormula(enc.formula)
+	if csp != nil {
+		csp.SetInt("groups", int64(len(groups)))
+		csp.SetInt("sat_checked", int64(len(todo)))
+	}
 
 	solveStart := time.Now()
 	for ti, p := range todo {
 		st := solver.Solve(acts[ti])
-		stats.SATCalls++
+		rc.satCalls(1)
 		switch st {
 		case sat.Unsat:
 			// No repair breaks all witnesses: b is consistent.
@@ -122,11 +154,11 @@ func (e *Engine) consistentGroups(groups []cq.WitnessGroup, stats *Stats) ([]boo
 		case sat.Sat:
 			out[p.index] = false
 		default:
-			stats.SolveTime += time.Since(solveStart)
+			rc.solve(time.Since(solveStart))
 			return nil, errBudget()
 		}
 	}
-	stats.SolveTime += time.Since(solveStart)
+	rc.solve(time.Since(solveStart))
 	return out, nil
 }
 

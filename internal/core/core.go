@@ -25,6 +25,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"aggcavsat/internal/cq"
 	"aggcavsat/internal/db"
 	"aggcavsat/internal/maxsat"
+	"aggcavsat/internal/obsv"
 )
 
 // ConstraintMode selects how repairs are defined.
@@ -55,6 +57,10 @@ type Options struct {
 	DCs []constraints.DC
 	// MaxSAT configures the underlying MaxSAT solver.
 	MaxSAT maxsat.Options
+	// Metrics, when non-nil, additionally accumulates every call's
+	// metrics into this session-wide registry (e.g. for a Prometheus
+	// scrape endpoint). Per-call Stats are unaffected.
+	Metrics *obsv.Registry
 }
 
 // Engine computes range consistent answers over one instance. The
@@ -138,10 +144,13 @@ func (s *Stats) absorbFormula(f *cnf.Formula) {
 	}
 }
 
-// Report is the result of RangeAnswers.
+// Report is the result of RangeAnswers. Stats is a typed view over
+// Metrics (see StatsFromSnapshot); Metrics carries the full per-call
+// metric snapshot, including the phase-duration histograms.
 type Report struct {
 	Answers []GroupAnswer
 	Stats   Stats
+	Metrics obsv.Snapshot
 }
 
 // RangeAnswers computes the range consistent answers of the aggregation
@@ -149,6 +158,14 @@ type Report struct {
 // GroupAnswer with an empty key; grouped queries yield one GroupAnswer
 // per consistent group (Algorithm 2).
 func (e *Engine) RangeAnswers(q cq.AggQuery) (*Report, error) {
+	return e.RangeAnswersContext(context.Background(), q)
+}
+
+// RangeAnswersContext is RangeAnswers under a context that may carry an
+// obsv.Tracer: the call is wrapped in a "query.range_answers" span with
+// child spans for witness evaluation, constraint building, per-group
+// encoding and every MaxSAT/SAT solve.
+func (e *Engine) RangeAnswersContext(ctx context.Context, q cq.AggQuery) (*Report, error) {
 	q = q.BuildHead()
 	if err := q.Validate(e.in.Schema()); err != nil {
 		return nil, err
@@ -159,16 +176,34 @@ func (e *Engine) RangeAnswers(q cq.AggQuery) (*Report, error) {
 	default:
 		return nil, fmt.Errorf("core: %s is not supported (open problem in the paper); use internal/exhaustive", q.Op)
 	}
+	ctx, sp := obsv.StartSpan(ctx, "query.range_answers", obsv.String("op", q.Op.String()))
+	rc, local := e.newRecorder()
+	rep, err := e.rangeAnswers(ctx, q, rc)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	rep.Metrics = local.Snapshot()
+	rep.Stats = StatsFromSnapshot(rep.Metrics)
+	if sp != nil {
+		sp.SetInt("answers", int64(len(rep.Answers)))
+		sp.SetInt("sat_calls", rep.Stats.SATCalls)
+		sp.End()
+	}
+	return rep, nil
+}
+
+func (e *Engine) rangeAnswers(ctx context.Context, q cq.AggQuery, rc *recorder) (*Report, error) {
 	if q.Scalar() {
 		rep := &Report{}
-		ans, err := e.scalarRange(q, nil, &rep.Stats)
+		ans, err := e.scalarRange(ctx, q, nil, rc)
 		if err != nil {
 			return nil, err
 		}
 		rep.Answers = []GroupAnswer{{Key: db.Tuple{}, Range: ans}}
 		return rep, nil
 	}
-	return e.groupedRange(q)
+	return e.groupedRange(ctx, q, rc)
 }
 
 // constraintContext is the per-instance constraint structure shared by

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"aggcavsat/internal/cq"
+	"aggcavsat/internal/obsv"
 )
 
 // groupedRange implements Algorithm 2: compute the consistent answers of
@@ -14,16 +16,26 @@ import (
 // Z ++ [A] and partitions the witness bag by Z: the witnesses of the
 // restricted query T(U, Z, A) ∧ Z = b are exactly the bag entries whose
 // answer prefix is b, so no per-group re-evaluation is needed.
-func (e *Engine) groupedRange(q cq.AggQuery) (*Report, error) {
+//
+// All groups share the caller's recorder, so the Report's Stats
+// aggregate the per-group scalar solves (SAT calls, encode/solve time)
+// on top of the shared witness evaluation and consistency filtering.
+func (e *Engine) groupedRange(ctx context.Context, q cq.AggQuery, rc *recorder) (*Report, error) {
 	rep := &Report{}
-	stats := &rep.Stats
 
+	_, wsp := obsv.StartSpan(ctx, "cq.witness")
 	start := time.Now()
 	bag := e.eval.WitnessBag(q.Underlying)
-	stats.WitnessTime += time.Since(start)
+	rc.witness(time.Since(start))
+	rc.witnesses(len(bag))
+	if wsp != nil {
+		wsp.SetInt("witnesses", int64(len(bag)))
+		wsp.End()
+	}
 
 	groups := cq.GroupWitnesses(bag, len(q.GroupBy))
-	consistent, err := e.consistentGroups(groups, stats)
+	rc.groups(len(groups))
+	consistent, err := e.consistentGroups(ctx, groups, rc)
 	if err != nil {
 		return nil, err
 	}
@@ -31,7 +43,12 @@ func (e *Engine) groupedRange(q cq.AggQuery) (*Report, error) {
 		if !consistent[i] {
 			continue
 		}
-		ans, err := e.scalarRange(q, g.Witnesses, stats)
+		gctx, gsp := obsv.StartSpan(ctx, "core.group")
+		ans, err := e.scalarRange(gctx, q, g.Witnesses, rc)
+		if gsp != nil {
+			gsp.SetInt("witnesses", int64(len(g.Witnesses)))
+			gsp.End()
+		}
 		if err != nil {
 			return nil, err
 		}

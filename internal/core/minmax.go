@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"aggcavsat/internal/cnf"
 	"aggcavsat/internal/cq"
 	"aggcavsat/internal/db"
+	"aggcavsat/internal/obsv"
 	"aggcavsat/internal/sat"
 )
 
@@ -28,11 +30,11 @@ import (
 // Endpoints range over the repairs with a non-empty result; if some
 // repair breaks every witness (MIN/MAX would be SQL NULL there),
 // EmptyPossible is set.
-func (e *Engine) minMaxFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (Range, error) {
-	ctx := e.context()
-	stats.ConstraintTime = ctx.buildTime
+func (e *Engine) minMaxFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witness, rc *recorder) (Range, error) {
+	cc := e.constraintCtx(ctx, rc)
 
 	encodeStart := time.Now()
+	_, esp := obsv.StartSpan(ctx, "core.encode")
 	// Collect witnesses per distinct value.
 	type valueGroup struct {
 		value    db.Value
@@ -58,7 +60,8 @@ func (e *Engine) minMaxFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (Ran
 		g.factSets = append(g.factSets, w.Facts)
 	}
 	if len(byValue) == 0 {
-		stats.EncodeTime += time.Since(encodeStart)
+		rc.encode(time.Since(encodeStart))
+		esp.End()
 		return Range{GLB: db.Null(), LUB: db.Null(), EmptyPossible: true}, nil
 	}
 	values := make([]*valueGroup, 0, len(byValue))
@@ -77,7 +80,7 @@ func (e *Engine) minMaxFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (Ran
 			}
 		}
 	}
-	enc := newEncoder(ctx, ctx.closure(seed))
+	enc := newEncoder(cc, cc.closure(seed))
 	// Allocate witness-presence literals first so every defining clause
 	// lands in enc.formula before the solver copies it.
 	presentLits := make([][]cnf.Lit, len(values))
@@ -89,6 +92,7 @@ func (e *Engine) minMaxFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (Ran
 	}
 	solver := sat.New()
 	if !solver.AddFormulaHard(enc.formula) {
+		esp.End()
 		return Range{}, errInternalUnsat()
 	}
 	solver.EnsureVars(enc.formula.NumVars())
@@ -115,15 +119,25 @@ func (e *Engine) minMaxFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (Ran
 		disj = append(disj, presentLits[i]...)
 		solver.AddClause(disj...)
 	}
-	stats.EncodeTime += time.Since(encodeStart)
-	stats.absorbFormula(enc.formula)
+	rc.encode(time.Since(encodeStart))
+	rc.absorbFormula(enc.formula)
+	endEncodeSpan(esp, enc.formula)
 
+	_, ssp := obsv.StartSpan(ctx, "core.minmax_probes")
+	probes := 0
 	solveStart := time.Now()
-	defer func() { stats.SolveTime += time.Since(solveStart) }()
+	defer func() {
+		rc.solve(time.Since(solveStart))
+		if ssp != nil {
+			ssp.SetInt("probes", int64(probes))
+			ssp.End()
+		}
+	}()
 
 	solve := func(assumptions ...cnf.Lit) (bool, error) {
 		st := solver.Solve(assumptions...)
-		stats.SATCalls++
+		rc.satCalls(1)
+		probes++
 		switch st {
 		case sat.Sat:
 			return true, nil

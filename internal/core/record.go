@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"aggcavsat/internal/cnf"
+	"aggcavsat/internal/obsv"
+)
+
+// recorder funnels the instrumentation of one engine call into obsv
+// registries: a call-local registry (from which the call's Stats view is
+// built) and, when Options.Metrics is set, a session-wide registry that
+// accumulates across calls. Durations land in *_ns counters (exact
+// per-call diffs) and in phase-duration histograms.
+type recorder struct {
+	regs [2]*obsv.Registry
+	n    int
+}
+
+// newRecorder creates the call-local registry and links the session one.
+func (e *Engine) newRecorder() (*recorder, *obsv.Registry) {
+	local := obsv.NewRegistry()
+	rc := &recorder{}
+	rc.regs[0] = local
+	rc.n = 1
+	if e.opts.Metrics != nil {
+		rc.regs[1] = e.opts.Metrics
+		rc.n = 2
+	}
+	return rc, local
+}
+
+func (rc *recorder) counter(name string, n int64) {
+	for i := 0; i < rc.n; i++ {
+		rc.regs[i].Counter(name).Add(n)
+	}
+}
+
+func (rc *recorder) gaugeSet(name string, v int64) {
+	for i := 0; i < rc.n; i++ {
+		rc.regs[i].Gauge(name).Set(v)
+	}
+}
+
+func (rc *recorder) gaugeMax(name string, v int64) {
+	for i := 0; i < rc.n; i++ {
+		rc.regs[i].Gauge(name).SetMax(v)
+	}
+}
+
+func (rc *recorder) observe(name string, d time.Duration) {
+	for i := 0; i < rc.n; i++ {
+		rc.regs[i].Histogram(name, nil).Observe(d.Seconds())
+	}
+}
+
+func (rc *recorder) witness(d time.Duration) {
+	rc.counter(obsv.MetricWitnessNS, int64(d))
+	rc.observe(obsv.MetricPhaseSecondsPrefix+"witness", d)
+}
+
+// constraint records the (cached) constraint-context build time. It is a
+// gauge, not a counter: the grouped path re-records the same cached
+// build time once per group and the value must stay idempotent.
+func (rc *recorder) constraint(d time.Duration) {
+	rc.gaugeSet(obsv.MetricConstraintNS, int64(d))
+}
+
+func (rc *recorder) encode(d time.Duration) {
+	rc.counter(obsv.MetricEncodeNS, int64(d))
+	rc.observe(obsv.MetricPhaseSecondsPrefix+"encode", d)
+}
+
+func (rc *recorder) solve(d time.Duration) {
+	rc.counter(obsv.MetricSolveNS, int64(d))
+	rc.observe(obsv.MetricPhaseSecondsPrefix+"solve", d)
+}
+
+func (rc *recorder) satCalls(n int64) { rc.counter(obsv.MetricSATCalls, n) }
+func (rc *recorder) maxsatRun()       { rc.counter(obsv.MetricMaxSATRuns, 1) }
+func (rc *recorder) skip()            { rc.counter(obsv.MetricConsistentSkips, 1) }
+func (rc *recorder) witnesses(n int)  { rc.counter(obsv.MetricWitnesses, int64(n)) }
+func (rc *recorder) groups(n int)     { rc.counter(obsv.MetricGroups, int64(n)) }
+
+func (rc *recorder) absorbFormula(f *cnf.Formula) {
+	st := f.Stats()
+	rc.counter(obsv.MetricCNFVars, int64(st.Vars))
+	rc.counter(obsv.MetricCNFClauses, int64(st.Clauses))
+	rc.gaugeMax(obsv.MetricCNFVarsMax, int64(st.Vars))
+	rc.gaugeMax(obsv.MetricCNFClausesMax, int64(st.Clauses))
+}
+
+// endEncodeSpan stamps a "core.encode" span with the formula size and
+// ends it (nil-safe).
+func endEncodeSpan(sp *obsv.Span, f *cnf.Formula) {
+	if sp == nil {
+		return
+	}
+	st := f.Stats()
+	sp.SetInt("vars", int64(st.Vars))
+	sp.SetInt("clauses", int64(st.Clauses))
+	sp.End()
+}
+
+// StatsFromSnapshot builds the typed Stats view from an obsv metrics
+// snapshot. Stats is a projection: every field is defined as the value
+// of one metric from the vocabulary in internal/obsv.
+func StatsFromSnapshot(s obsv.Snapshot) Stats {
+	return Stats{
+		WitnessTime:         time.Duration(s.Counters[obsv.MetricWitnessNS]),
+		ConstraintTime:      time.Duration(s.Gauges[obsv.MetricConstraintNS]),
+		EncodeTime:          time.Duration(s.Counters[obsv.MetricEncodeNS]),
+		SolveTime:           time.Duration(s.Counters[obsv.MetricSolveNS]),
+		SATCalls:            s.Counters[obsv.MetricSATCalls],
+		MaxSATRuns:          int(s.Counters[obsv.MetricMaxSATRuns]),
+		Vars:                int(s.Counters[obsv.MetricCNFVars]),
+		Clauses:             int(s.Counters[obsv.MetricCNFClauses]),
+		MaxVars:             int(s.Gauges[obsv.MetricCNFVarsMax]),
+		MaxClauses:          int(s.Gauges[obsv.MetricCNFClausesMax]),
+		ConsistentPartSkips: int(s.Counters[obsv.MetricConsistentSkips]),
+	}
+}
+
+// constraintCtx returns the lazily-built constraint context, wrapping
+// the first (real) build in a "core.constraints" span and recording the
+// cached build time into the call's metrics.
+func (e *Engine) constraintCtx(ctx context.Context, rc *recorder) *constraintContext {
+	if e.ctx == nil {
+		_, sp := obsv.StartSpan(ctx, "core.constraints")
+		cc := e.context()
+		if sp != nil {
+			if cc.mode == KeysMode {
+				sp.SetStr("mode", "keys")
+				sp.SetInt("key_groups", int64(len(cc.groups)))
+			} else {
+				sp.SetStr("mode", "dc")
+				sp.SetInt("violations", int64(len(cc.violations)))
+			}
+			sp.End()
+		}
+		rc.observe(obsv.MetricPhaseSecondsPrefix+"constraint", cc.buildTime)
+	}
+	cc := e.context()
+	rc.constraint(cc.buildTime)
+	return cc
+}

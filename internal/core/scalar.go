@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,24 +9,31 @@ import (
 	"aggcavsat/internal/cq"
 	"aggcavsat/internal/db"
 	"aggcavsat/internal/maxsat"
+	"aggcavsat/internal/obsv"
 )
 
 // scalarRange computes the range consistent answer of a scalar
 // aggregation query. The witness bag is computed here; grouped queries
 // call scalarFromBag directly with per-group bags.
-func (e *Engine) scalarRange(q cq.AggQuery, bag []cq.Witness, stats *Stats) (Range, error) {
+func (e *Engine) scalarRange(ctx context.Context, q cq.AggQuery, bag []cq.Witness, rc *recorder) (Range, error) {
 	if bag == nil {
+		_, sp := obsv.StartSpan(ctx, "cq.witness")
 		start := time.Now()
 		bag = e.eval.WitnessBag(q.Underlying)
-		stats.WitnessTime += time.Since(start)
+		rc.witness(time.Since(start))
+		rc.witnesses(len(bag))
+		if sp != nil {
+			sp.SetInt("witnesses", int64(len(bag)))
+			sp.End()
+		}
 	}
 	switch q.Op {
 	case cq.Min, cq.Max:
-		return e.minMaxFromBag(q.Op, bag, stats)
+		return e.minMaxFromBag(ctx, q.Op, bag, rc)
 	case cq.CountDistinct, cq.SumDistinct:
-		return e.distinctFromBag(q.Op, bag, stats)
+		return e.distinctFromBag(ctx, q.Op, bag, rc)
 	default:
-		return e.sumCountFromBag(q.Op, bag, stats)
+		return e.sumCountFromBag(ctx, q.Op, bag, rc)
 	}
 }
 
@@ -87,9 +95,8 @@ func abs64(x int64) int64 {
 
 // sumCountFromBag implements Reduction IV.1 (steps 2a/2b) and the
 // Proposition IV.1 decoding for COUNT(*), COUNT(A) and SUM(A).
-func (e *Engine) sumCountFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (Range, error) {
-	ctx := e.context()
-	stats.ConstraintTime = ctx.buildTime
+func (e *Engine) sumCountFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witness, rc *recorder) (Range, error) {
+	cc := e.constraintCtx(ctx, rc)
 
 	ws, err := prepareWitnesses(op, bag)
 	if err != nil {
@@ -102,7 +109,7 @@ func (e *Engine) sumCountFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (R
 	var base int64
 	unsafe := ws[:0]
 	for _, w := range ws {
-		if ctx.allSafe(w.facts) {
+		if cc.allSafe(w.facts) {
 			if w.negative {
 				base -= w.weight
 			} else {
@@ -113,8 +120,8 @@ func (e *Engine) sumCountFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (R
 		unsafe = append(unsafe, w)
 	}
 	if len(unsafe) == 0 {
-		stats.EncodeTime += time.Since(encodeStart)
-		stats.ConsistentPartSkips++
+		rc.encode(time.Since(encodeStart))
+		rc.skip()
 		return Range{GLB: db.Int(base), LUB: db.Int(base), FromConsistentPart: true}, nil
 	}
 
@@ -125,13 +132,14 @@ func (e *Engine) sumCountFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (R
 	for i, w := range unsafe {
 		witnessFacts[i] = w.facts
 	}
-	split := splitComponents(ctx, witnessFacts)
-	stats.EncodeTime += time.Since(encodeStart)
+	split := splitComponents(cc, witnessFacts)
+	rc.encode(time.Since(encodeStart))
 
 	var minFTotal, maxFTotal, negOffset int64
 	for ci := range split.groups {
 		encodeStart = time.Now()
-		enc := newEncoder(ctx, split.facts[ci])
+		_, esp := obsv.StartSpan(ctx, "core.encode")
+		enc := newEncoder(cc, split.facts[ci])
 		// Soft clauses: step 2a/2b.
 		for _, wi := range split.groups[ci] {
 			w := unsafe[wi]
@@ -151,10 +159,11 @@ func (e *Engine) sumCountFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (R
 			enc.formula.AddSoft(w.weight, y)
 			negOffset += w.weight
 		}
-		stats.EncodeTime += time.Since(encodeStart)
-		stats.absorbFormula(enc.formula)
+		rc.encode(time.Since(encodeStart))
+		rc.absorbFormula(enc.formula)
+		endEncodeSpan(esp, enc.formula)
 
-		minF, maxF, err := e.solveBothDirections(enc.formula, stats)
+		minF, maxF, err := e.solveBothDirections(ctx, enc.formula, rc)
 		if err != nil {
 			return Range{}, err
 		}
@@ -172,9 +181,8 @@ func (e *Engine) sumCountFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (R
 
 // distinctFromBag implements Algorithm 1 for COUNT(DISTINCT A) and
 // SUM(DISTINCT A).
-func (e *Engine) distinctFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (Range, error) {
-	ctx := e.context()
-	stats.ConstraintTime = ctx.buildTime
+func (e *Engine) distinctFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witness, rc *recorder) (Range, error) {
+	cc := e.constraintCtx(ctx, rc)
 
 	encodeStart := time.Now()
 	minimal := cq.MinimalWitnesses(bag)
@@ -219,7 +227,7 @@ func (e *Engine) distinctFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (R
 		g := byAnswer[k]
 		certain := false
 		for _, facts := range g.witnesses {
-			if ctx.allSafe(facts) {
+			if cc.allSafe(facts) {
 				certain = true
 				break
 			}
@@ -231,8 +239,8 @@ func (e *Engine) distinctFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (R
 		uncertain = append(uncertain, g)
 	}
 	if len(uncertain) == 0 {
-		stats.EncodeTime += time.Since(encodeStart)
-		stats.ConsistentPartSkips++
+		rc.encode(time.Since(encodeStart))
+		rc.skip()
 		return Range{GLB: db.Int(base), LUB: db.Int(base), FromConsistentPart: true}, nil
 	}
 
@@ -244,13 +252,14 @@ func (e *Engine) distinctFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (R
 			answerFacts[i] = append(answerFacts[i], facts...)
 		}
 	}
-	split := splitComponents(ctx, answerFacts)
-	stats.EncodeTime += time.Since(encodeStart)
+	split := splitComponents(cc, answerFacts)
+	rc.encode(time.Since(encodeStart))
 
 	var minFTotal, maxFTotal, negOffset int64
 	for ci := range split.groups {
 		encodeStart = time.Now()
-		enc := newEncoder(ctx, split.facts[ci])
+		_, esp := obsv.StartSpan(ctx, "core.encode")
+		enc := newEncoder(cc, split.facts[ci])
 		for _, ui := range split.groups[ci] {
 			g := uncertain[ui]
 			// v^b ↔ ⋀_j z_j^b where z_j^b ↔ witness j broken.
@@ -284,10 +293,11 @@ func (e *Engine) distinctFromBag(op cq.AggOp, bag []cq.Witness, stats *Stats) (R
 				negOffset += w
 			}
 		}
-		stats.EncodeTime += time.Since(encodeStart)
-		stats.absorbFormula(enc.formula)
+		rc.encode(time.Since(encodeStart))
+		rc.absorbFormula(enc.formula)
+		endEncodeSpan(esp, enc.formula)
 
-		minF, maxF, err := e.solveBothDirections(enc.formula, stats)
+		minF, maxF, err := e.solveBothDirections(ctx, enc.formula, rc)
 		if err != nil {
 			return Range{}, err
 		}
@@ -311,17 +321,17 @@ func distinctContribution(op cq.AggOp, v db.Value) int64 {
 // (maximize satisfied soft weight, i.e. minimize falsified weight) and —
 // via Kügel's CNF-negation — the lub direction (minimize satisfied, i.e.
 // maximize falsified). It returns (minFalsified, maxFalsified).
-func (e *Engine) solveBothDirections(f *cnf.Formula, stats *Stats) (minF, maxF int64, err error) {
+func (e *Engine) solveBothDirections(ctx context.Context, f *cnf.Formula, rc *recorder) (minF, maxF int64, err error) {
 	total := f.TotalSoftWeight()
 
-	res, err := e.runMaxSAT(f, stats)
+	res, err := e.runMaxSAT(ctx, f, rc)
 	if err != nil {
 		return 0, 0, err
 	}
 	minF = total - res.Optimum
 	negated := f.NegateSoft()
-	stats.absorbFormula(negated)
-	res, err = e.runMaxSAT(negated, stats)
+	rc.absorbFormula(negated)
+	res, err = e.runMaxSAT(ctx, negated, rc)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -329,15 +339,15 @@ func (e *Engine) solveBothDirections(f *cnf.Formula, stats *Stats) (minF, maxF i
 	return minF, maxF, nil
 }
 
-func (e *Engine) runMaxSAT(f *cnf.Formula, stats *Stats) (maxsat.Result, error) {
+func (e *Engine) runMaxSAT(ctx context.Context, f *cnf.Formula, rc *recorder) (maxsat.Result, error) {
 	start := time.Now()
-	res, err := maxsat.Solve(f, e.opts.MaxSAT)
-	stats.SolveTime += time.Since(start)
+	res, err := maxsat.SolveContext(ctx, f, e.opts.MaxSAT)
+	rc.solve(time.Since(start))
 	if err != nil {
 		return res, err
 	}
-	stats.SATCalls += res.SATCalls
-	stats.MaxSATRuns++
+	rc.satCalls(res.SATCalls)
+	rc.maxsatRun()
 	if !res.Satisfiable {
 		return res, fmt.Errorf("core: hard clauses unsatisfiable; every instance must have a repair (internal bug)")
 	}

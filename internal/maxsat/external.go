@@ -3,6 +3,7 @@ package maxsat
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"os/exec"
@@ -10,6 +11,7 @@ import (
 	"strings"
 
 	"aggcavsat/internal/cnf"
+	"aggcavsat/internal/obsv"
 )
 
 // solveExternal writes the formula in DIMACS WCNF and runs an external
@@ -19,10 +21,12 @@ import (
 //
 // This mirrors the paper's architecture, where AggCAvSAT invokes MaxHS
 // v3.2 as a separate process.
-func solveExternal(f *cnf.Formula, opts Options) (Result, error) {
+func solveExternal(ctx context.Context, f *cnf.Formula, opts Options) (Result, error) {
 	if opts.SolverPath == "" {
 		return Result{}, fmt.Errorf("maxsat: external algorithm requires Options.SolverPath")
 	}
+	_, sp := obsv.StartSpan(ctx, "maxsat.external", obsv.String("solver", opts.SolverPath))
+	defer sp.End()
 	tmp, err := os.CreateTemp("", "aggcavsat-*.wcnf")
 	if err != nil {
 		return Result{}, err

@@ -1,6 +1,7 @@
 package maxsat
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -69,7 +70,7 @@ func buildGTE(s *sat.Solver, inputs []wlit) []wlit {
 // repeatedly find a model, measure the falsified soft weight U, and add
 // hard unit clauses banning every attainable violated weight ≥ U. The
 // last model before UNSAT is optimal.
-func solveLSU(f *cnf.Formula, opts Options) (Result, error) {
+func solveLSU(ctx context.Context, f *cnf.Formula, opts Options) (Result, error) {
 	s := sat.New()
 	if opts.ConflictBudget > 0 {
 		s.SetConflictBudget(opts.ConflictBudget)
@@ -79,6 +80,7 @@ func solveLSU(f *cnf.Formula, opts Options) (Result, error) {
 	}
 	s.EnsureVars(f.NumVars())
 	weights := selectors(s, f)
+	tr := newTracker(opts, AlgLSU, s)
 
 	// Violation indicators: the negations of the selectors.
 	inputs := make([]wlit, 0, len(weights))
@@ -91,7 +93,8 @@ func solveLSU(f *cnf.Formula, opts Options) (Result, error) {
 	haveBest := false
 	banned := len(outputs) // index of the first banned output
 	for {
-		st := s.Solve()
+		tr.step()
+		st := satSolve(ctx, s, AlgLSU)
 		switch st {
 		case sat.Unknown:
 			return Result{}, fmt.Errorf("maxsat: conflict budget exhausted (lsu)")
@@ -113,6 +116,8 @@ func solveLSU(f *cnf.Formula, opts Options) (Result, error) {
 				Model:           trimModel(f, model),
 			}
 			haveBest = true
+			tr.bounds(-1, falsified)
+			tr.event("model")
 			if falsified == 0 {
 				best.SATCalls = s.Stats.Solves
 				best.Conflicts = s.Stats.Conflicts

@@ -1,6 +1,7 @@
 package maxsat
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -29,7 +30,7 @@ import (
 // overlapping cores — for the repair structures produced by the
 // reductions, most cores are disjoint and the clusters stay small.
 // MaxHS proper delegates this to an ILP solver (CPLEX).
-func solveMaxHS(f *cnf.Formula, opts Options) (Result, error) {
+func solveMaxHS(ctx context.Context, f *cnf.Formula, opts Options) (Result, error) {
 	s := sat.New()
 	if opts.ConflictBudget > 0 {
 		s.SetConflictBudget(opts.ConflictBudget)
@@ -40,6 +41,7 @@ func solveMaxHS(f *cnf.Formula, opts Options) (Result, error) {
 	s.EnsureVars(f.NumVars())
 	weights := selectors(s, f)
 	all := sortedSelectors(weights)
+	tr := newTracker(opts, AlgMaxHS, s)
 
 	hs := newHittingSets(weights)
 	if opts.HSNodeBudget > 0 {
@@ -55,9 +57,22 @@ func solveMaxHS(f *cnf.Formula, opts Options) (Result, error) {
 		// only to certify optimality once the greedy set stops producing
 		// cores.
 		exact := needExact
+		tr.step()
 		H, err := hs.hittingSet(exact)
 		if err != nil {
 			return Result{}, err
+		}
+		if tr != nil {
+			// The weight of an *exact* hitting set of the cores found so
+			// far is a valid lower bound on the optimum falsified weight.
+			var hw int64
+			for l := range H {
+				hw += weights[l]
+			}
+			if exact {
+				tr.bounds(hw, -1)
+			}
+			tr.event("hitting-set")
 		}
 		excluded := make(map[cnf.Lit]bool, len(H))
 		for l := range H {
@@ -71,7 +86,7 @@ func solveMaxHS(f *cnf.Formula, opts Options) (Result, error) {
 					assumptions = append(assumptions, l)
 				}
 			}
-			st := s.Solve(assumptions...)
+			st := satSolve(ctx, s, AlgMaxHS, assumptions...)
 			if st == sat.Unknown {
 				return Result{}, fmt.Errorf("maxsat: conflict budget exhausted (maxhs)")
 			}
@@ -87,6 +102,8 @@ func solveMaxHS(f *cnf.Formula, opts Options) (Result, error) {
 					// optimal.
 					model := s.Model()
 					opt := evalOriginal(f, model)
+					tr.bounds(-1, f.TotalSoftWeight()-opt)
+					tr.event("model")
 					return Result{
 						Satisfiable:     true,
 						Optimum:         opt,
@@ -103,7 +120,7 @@ func solveMaxHS(f *cnf.Formula, opts Options) (Result, error) {
 				return Result{Satisfiable: false, SATCalls: s.Stats.Solves, Conflicts: s.Stats.Conflicts}, nil
 			}
 			for rounds := 0; rounds < 5 && len(core) > 1; rounds++ {
-				st := s.Solve(core...)
+				st := satSolve(ctx, s, AlgMaxHS, core...)
 				if st != sat.Unsat {
 					return Result{}, fmt.Errorf("maxsat: core no longer unsat during trimming (%v)", st)
 				}
@@ -114,6 +131,7 @@ func solveMaxHS(f *cnf.Formula, opts Options) (Result, error) {
 				core = trimmed
 			}
 			hs.add(core)
+			tr.event("core")
 			foundCore = true
 			needExact = false
 			for _, l := range core {

@@ -22,9 +22,11 @@
 package maxsat
 
 import (
+	"context"
 	"fmt"
 
 	"aggcavsat/internal/cnf"
+	"aggcavsat/internal/obsv"
 	"aggcavsat/internal/sat"
 )
 
@@ -73,6 +75,12 @@ type Options struct {
 	// before it degrades to the RC2 fallback; 0 means the built-in
 	// default (hsNodeBudget).
 	HSNodeBudget int64
+	// Progress, when non-nil, receives periodic and milestone progress
+	// reports during the solve (see ProgressInfo).
+	Progress ProgressFunc
+	// ProgressEvery is the conflict interval between periodic "search"
+	// reports; 0 means DefaultProgressEvery.
+	ProgressEvery int64
 }
 
 // Result reports the outcome of a MaxSAT solve.
@@ -95,9 +103,30 @@ type Result struct {
 
 // Solve computes the WPMaxSAT optimum of f.
 func Solve(f *cnf.Formula, opts Options) (Result, error) {
+	return SolveContext(context.Background(), f, opts)
+}
+
+// SolveContext is Solve with a context carrying an optional obsv.Tracer:
+// each SAT call becomes a "sat.solve" span under the caller's current
+// span, and the whole solve is wrapped in a "maxsat.solve" span.
+func SolveContext(ctx context.Context, f *cnf.Formula, opts Options) (Result, error) {
+	ctx, sp := obsv.StartSpan(ctx, "maxsat.solve", obsv.String("alg", opts.Algorithm.String()))
+	res, err := solveDispatch(ctx, f, opts)
+	if sp != nil {
+		sp.SetInt("sat_calls", res.SATCalls)
+		sp.SetInt("conflicts", res.Conflicts)
+		if err == nil && res.Satisfiable {
+			sp.SetInt("optimum", res.Optimum)
+		}
+		sp.End()
+	}
+	return res, err
+}
+
+func solveDispatch(ctx context.Context, f *cnf.Formula, opts Options) (Result, error) {
 	switch opts.Algorithm {
 	case AlgMaxHS:
-		res, err := solveMaxHS(f, opts)
+		res, err := solveMaxHS(ctx, f, opts)
 		if err == errHSBudget {
 			if opts.ConflictBudget > 0 {
 				// The caller runs with explicit budgets (benchmark
@@ -108,15 +137,15 @@ func Solve(f *cnf.Formula, opts Options) (Result, error) {
 			// A pathological hitting-set cluster: degrade gracefully to
 			// core-guided search, which has no comparable blow-up mode
 			// (only the slower weight-splitting convergence).
-			return solveRC2(f, opts)
+			return solveRC2(ctx, f, opts)
 		}
 		return res, err
 	case AlgRC2:
-		return solveRC2(f, opts)
+		return solveRC2(ctx, f, opts)
 	case AlgLSU:
-		return solveLSU(f, opts)
+		return solveLSU(ctx, f, opts)
 	case AlgExternal:
-		return solveExternal(f, opts)
+		return solveExternal(ctx, f, opts)
 	default:
 		return Result{}, fmt.Errorf("maxsat: unknown algorithm %v", opts.Algorithm)
 	}

@@ -1,6 +1,7 @@
 package maxsat
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -23,7 +24,7 @@ import (
 //   - *lazy totalizer bounds*: a new totalizer contributes a single soft
 //     selector "¬(≥2 violated)"; the next bound's selector is added only
 //     when the current one exhausts its weight.
-func solveRC2(f *cnf.Formula, opts Options) (Result, error) {
+func solveRC2(ctx context.Context, f *cnf.Formula, opts Options) (Result, error) {
 	s := sat.New()
 	if opts.ConflictBudget > 0 {
 		s.SetConflictBudget(opts.ConflictBudget)
@@ -33,6 +34,7 @@ func solveRC2(f *cnf.Formula, opts Options) (Result, error) {
 	}
 	s.EnsureVars(f.NumVars())
 	weights := selectors(s, f)
+	tr := newTracker(opts, AlgRC2, s)
 
 	// totInfo tracks a lazily-bounded totalizer: outputs[bound] is the
 	// output literal whose negation is the currently active selector.
@@ -80,11 +82,12 @@ func solveRC2(f *cnf.Formula, opts Options) (Result, error) {
 	for {
 		assumptions := activeSelectors(weights, threshold)
 		iter++
+		tr.step()
 		if debug && iter%200 == 0 {
 			fmt.Fprintf(os.Stderr, "rc2 iter=%d cost=%d thr=%d assumptions=%d conflicts=%d learnt=%d clauses=%d\n",
 				iter, cost, threshold, len(assumptions), s.Stats.Conflicts, s.Stats.Learnt, s.NumClauses())
 		}
-		st := s.Solve(assumptions...)
+		st := satSolve(ctx, s, AlgRC2, assumptions...)
 		switch st {
 		case sat.Unknown:
 			return Result{}, fmt.Errorf("maxsat: conflict budget exhausted (rc2)")
@@ -99,6 +102,8 @@ func solveRC2(f *cnf.Formula, opts Options) (Result, error) {
 				bestUB = fals
 				bestModel = trimModel(f, model)
 			}
+			tr.bounds(cost, bestUB)
+			tr.event("model")
 			harden()
 			// Optimal for this stratum; descend to the next one, or
 			// finish when every selector was active. At that point the
@@ -117,6 +122,7 @@ func solveRC2(f *cnf.Formula, opts Options) (Result, error) {
 				}, nil
 			}
 			threshold = next
+			tr.event("stratum")
 			continue
 		case sat.Unsat:
 			core := s.Core()
@@ -125,7 +131,7 @@ func solveRC2(f *cnf.Formula, opts Options) (Result, error) {
 			}
 			// Trim: re-solving against the core alone usually shrinks it.
 			for rounds := 0; rounds < 5 && len(core) > 1; rounds++ {
-				st := s.Solve(core...)
+				st := satSolve(ctx, s, AlgRC2, core...)
 				if st != sat.Unsat {
 					return Result{}, fmt.Errorf("maxsat: core no longer unsat during trimming (%v)", st)
 				}
@@ -142,6 +148,8 @@ func solveRC2(f *cnf.Formula, opts Options) (Result, error) {
 				}
 			}
 			cost += minW
+			tr.bounds(cost, -1)
+			tr.event("core")
 			for _, l := range core {
 				weights[l] -= minW
 				if weights[l] != 0 {

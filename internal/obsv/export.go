@@ -1,0 +1,131 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteTree renders the trace as a human-readable indented tree, one
+// span per line with its wall time and attributes, children beneath
+// their parents in start order:
+//
+//	query 12.4ms
+//	  sql.parse 0.2ms
+//	  query.range_answers 12.1ms op=SUM groups=3
+//	    cq.witness 1.4ms witnesses=42
+func (t *Tracer) WriteTree(w io.Writer) error {
+	spans := t.Spans()
+	children := make(map[int32][]*Span)
+	for _, sp := range spans {
+		children[sp.parent] = append(children[sp.parent], sp)
+	}
+	var walk func(parent int32, depth int) error
+	walk = func(parent int32, depth int) error {
+		for _, sp := range children[parent] {
+			dur := "open"
+			if sp.done {
+				dur = sp.Duration().Round(time.Microsecond).String()
+			}
+			line := strings.Repeat("  ", depth) + sp.Name + " " + dur
+			for _, a := range sp.Attrs {
+				if a.IsInt {
+					line += fmt.Sprintf(" %s=%d", a.Key, a.Int)
+				} else {
+					line += fmt.Sprintf(" %s=%s", a.Key, a.Str)
+				}
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+			if err := walk(sp.id, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(-1, 0); err != nil {
+		return err
+	}
+	if d := t.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "(... %d spans dropped beyond MaxSpans)\n", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one complete ("ph":"X") event of the Chrome trace-event
+// format, loadable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds since trace start
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the trace in Chrome trace-event JSON. Open
+// chrome://tracing (or https://ui.perfetto.dev) and load the file to see
+// the parse → witness → encode → solve waterfall. Unfinished spans are
+// emitted with zero duration.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	var origin time.Time
+	for i, sp := range spans {
+		if i == 0 || sp.Start.Before(origin) {
+			origin = sp.Start
+		}
+	}
+	// All spans share one pid/tid: complete events on the same track
+	// nest by time containment, which matches the caller hierarchy.
+	events := make([]chromeEvent, 0, len(spans))
+	for _, sp := range spans {
+		var args map[string]any
+		if len(sp.Attrs) > 0 {
+			args = make(map[string]any, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				if a.IsInt {
+					args[a.Key] = a.Int
+				} else {
+					args[a.Key] = a.Str
+				}
+			}
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Name,
+			Cat:  category(sp.Name),
+			Ph:   "X",
+			Ts:   float64(sp.Start.Sub(origin)) / float64(time.Microsecond),
+			Dur:  float64(sp.Duration()) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  1,
+			Args: args,
+		})
+	}
+	// Chrome sorts by ts itself, but a deterministic file is easier to
+	// diff and test against.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// category maps a span name to its trace category (the part before the
+// first dot), so Perfetto can color phases consistently.
+func category(name string) string {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		return name[:i]
+	}
+	return name
+}

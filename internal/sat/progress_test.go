@@ -1,0 +1,60 @@
+package sat
+
+import "testing"
+
+func TestProgressCallbackFires(t *testing.T) {
+	s := New()
+	pigeonhole(s, 7, 6) // UNSAT with plenty of conflicts
+	var reports []Progress
+	s.SetProgress(1, func(p Progress) { reports = append(reports, p) })
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP(7,6) = %v, want UNSAT", st)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no progress reports with every=1")
+	}
+	prev := int64(0)
+	for i, p := range reports {
+		if p.Conflicts < prev {
+			t.Fatalf("report %d: conflicts %d < previous %d", i, p.Conflicts, prev)
+		}
+		prev = p.Conflicts
+		if p.TrailDepth < 0 || p.TrailDepth > p.Vars {
+			t.Fatalf("report %d: trail depth %d out of [0, %d]", i, p.TrailDepth, p.Vars)
+		}
+		if p.Vars != 42 { // 7 pigeons × 6 holes
+			t.Fatalf("report %d: vars = %d, want 42", i, p.Vars)
+		}
+	}
+	if got := reports[len(reports)-1].Conflicts; got > s.Stats.Conflicts {
+		t.Fatalf("last report conflicts %d > final %d", got, s.Stats.Conflicts)
+	}
+}
+
+func TestProgressEveryThrottles(t *testing.T) {
+	dense := New()
+	pigeonhole(dense, 7, 6)
+	nDense := 0
+	dense.SetProgress(1, func(Progress) { nDense++ })
+	dense.Solve()
+
+	sparse := New()
+	pigeonhole(sparse, 7, 6)
+	nSparse := 0
+	sparse.SetProgress(50, func(Progress) { nSparse++ })
+	sparse.Solve()
+
+	if nSparse >= nDense {
+		t.Fatalf("every=50 fired %d times, every=1 fired %d — no throttling", nSparse, nDense)
+	}
+}
+
+func TestProgressDisabled(t *testing.T) {
+	s := New()
+	pigeonhole(s, 6, 5)
+	s.SetProgress(1, func(Progress) { t.Fatal("report after disable") })
+	s.SetProgress(0, nil)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP(6,5) = %v, want UNSAT", st)
+	}
+}

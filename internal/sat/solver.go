@@ -106,6 +106,25 @@ type Statistics struct {
 	Restarts     int64
 }
 
+// Progress is a point-in-time snapshot of search state, delivered to the
+// callback registered with SetProgress — the raw material of
+// MiniSat-style periodic progress lines.
+type Progress struct {
+	Statistics
+	// TrailDepth is the number of currently assigned literals.
+	TrailDepth int
+	// Vars and Clauses describe the current clause database (including
+	// learnt clauses).
+	Vars, Clauses int
+	// LearntLive is the number of learnt clauses currently retained.
+	LearntLive int
+}
+
+// ProgressFunc receives periodic search progress. It is called from
+// inside the search loop: keep it fast and do not call back into the
+// solver.
+type ProgressFunc func(Progress)
+
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
 type Solver struct {
 	clauses []clause
@@ -144,6 +163,10 @@ type Solver struct {
 
 	budgetConflicts int64 // <=0 means unlimited
 
+	progressEvery int64
+	progressNext  int64
+	progressFn    ProgressFunc
+
 	Stats Statistics
 }
 
@@ -160,6 +183,33 @@ func New() *Solver {
 // SetConflictBudget bounds the number of conflicts per Solve call;
 // exceeding it returns Unknown. Zero or negative means unlimited.
 func (s *Solver) SetConflictBudget(n int64) { s.budgetConflicts = n }
+
+// SetProgress registers fn to be invoked every 'every' conflicts during
+// search (and once per Solve start when a callback is set). A nil fn or
+// every <= 0 disables reporting. The disabled-path cost inside the
+// conflict loop is one nil check.
+func (s *Solver) SetProgress(every int64, fn ProgressFunc) {
+	if fn == nil || every <= 0 {
+		s.progressFn = nil
+		s.progressEvery = 0
+		return
+	}
+	s.progressEvery = every
+	s.progressFn = fn
+	s.progressNext = s.Stats.Conflicts + every
+}
+
+// ProgressSnapshot captures the current search state (the same data the
+// SetProgress callback receives).
+func (s *Solver) ProgressSnapshot() Progress {
+	return Progress{
+		Statistics: s.Stats,
+		TrailDepth: len(s.trail),
+		Vars:       len(s.assigns),
+		Clauses:    len(s.clauses),
+		LearntLive: s.learntCount,
+	}
+}
 
 // NumVars returns the number of variables known to the solver.
 func (s *Solver) NumVars() int { return len(s.assigns) }
@@ -632,6 +682,10 @@ func (s *Solver) search(nConflicts int64) Status {
 		if confl >= 0 {
 			s.Stats.Conflicts++
 			conflicts++
+			if s.progressFn != nil && s.Stats.Conflicts >= s.progressNext {
+				s.progressNext = s.Stats.Conflicts + s.progressEvery
+				s.progressFn(s.ProgressSnapshot())
+			}
 			if s.decisionLevel() == 0 {
 				s.okay = false
 				return Unsat
