@@ -13,10 +13,14 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-hammers the concurrency-sensitive packages: the metrics registry
-# and the SAT solver (progress callbacks fire from inside the search).
+# Race-hammers the concurrency-sensitive packages: the metrics registry,
+# the SAT solver (progress callbacks and cooperative interrupts fire
+# from inside the search), the MaxSAT algorithms under cancellation, and
+# the core worker pool (parallel groups/components/candidate shards).
+# -short skips the slowest property-test sweeps so the run stays usable
+# on small CI boxes.
 race:
-	$(GO) test -race ./internal/obsv/... ./internal/sat/...
+	$(GO) test -race -short ./internal/obsv/... ./internal/sat/... ./internal/maxsat/... ./internal/core/...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/bench/

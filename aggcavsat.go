@@ -33,6 +33,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"aggcavsat/internal/constraints"
 	"aggcavsat/internal/core"
@@ -75,6 +76,14 @@ type (
 	Tracer = obsv.Tracer
 	// SolverProgress is one progress report from the MaxSAT solver.
 	SolverProgress = maxsat.ProgressInfo
+)
+
+// Typed failure modes, re-exported for errors.Is matching:
+// ErrTimeout reports a cancelled or expired context (Options.Timeout or
+// a caller deadline); ErrBudget reports an exhausted solver budget.
+var (
+	ErrTimeout = core.ErrTimeout
+	ErrBudget  = core.ErrBudget
 )
 
 // NewTracer creates an empty span tracer.
@@ -143,6 +152,15 @@ type Options struct {
 	// ExternalSolverPath is the MaxHS-compatible binary for
 	// SolverExternal.
 	ExternalSolverPath string
+	// Parallelism bounds the worker pool that solves independent
+	// groups/components concurrently; 0 means GOMAXPROCS, 1 forces
+	// sequential solving. Answers are identical at every setting.
+	Parallelism int
+	// Timeout, when positive, bounds the wall-clock time of every query;
+	// on expiry the running SAT searches are interrupted and the call
+	// returns an error matching ErrTimeout. A deadline on the context
+	// passed to QueryContext has the same effect.
+	Timeout time.Duration
 	// Progress, when non-nil, receives periodic solver progress reports
 	// (every ProgressEvery conflicts, plus bound-change milestones).
 	Progress func(SolverProgress)
@@ -170,7 +188,9 @@ func Open(in *Instance, opts Options) (*System, error) {
 			Progress:      opts.Progress,
 			ProgressEvery: opts.ProgressEvery,
 		},
-		Metrics: opts.Metrics,
+		Parallelism: opts.Parallelism,
+		Timeout:     opts.Timeout,
+		Metrics:     opts.Metrics,
 	}
 	if len(opts.DenialConstraints) > 0 {
 		engOpts.Mode = core.DCMode

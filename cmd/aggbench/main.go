@@ -15,6 +15,15 @@
 //	                  encode/solve ms, SAT calls, CNF size, timeouts)
 //	-trace out.json   Chrome trace-event file covering the whole run
 //	-v                debug logging (per-experiment progress) on stderr
+//
+// Concurrency and timeouts:
+//
+//	-parallel N       worker-pool size inside each measured query
+//	                  (0 = GOMAXPROCS, 1 = sequential); parallel runs
+//	                  produce identical answers but per-phase times sum
+//	                  worker durations and can exceed wall clock
+//	-timeout D        wall-clock bound per query (e.g. 30s); expired
+//	                  queries count in the experiment's timeout column
 package main
 
 import (
@@ -41,6 +50,8 @@ func main() {
 	flag.Float64Var(&cfg.SFLarge, "sf-large", cfg.SFLarge, "scale factor for 5 GB")
 	flag.Float64Var(&cfg.MedigapScale, "medigap-scale", cfg.MedigapScale, "Medigap dataset scale (1.0 = 61K tuples)")
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	flag.IntVar(&cfg.Parallelism, "parallel", cfg.Parallelism, "worker-pool size per query (0 = GOMAXPROCS, 1 = sequential)")
+	flag.DurationVar(&cfg.Timeout, "timeout", cfg.Timeout, "wall-clock bound per query, e.g. 30s (0 = none)")
 	flag.Parse()
 
 	level := slog.LevelWarn

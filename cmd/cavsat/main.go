@@ -23,6 +23,14 @@
 //	-progress         periodic solver progress on stderr
 //	-metrics out.prom Prometheus text exposition of the session metrics
 //	-v                debug logging (log/slog) on stderr
+//
+// Concurrency and timeouts:
+//
+//	-parallel N       worker-pool size for independent groups/components
+//	                  (0 = GOMAXPROCS, 1 = sequential; answers identical)
+//	-timeout D        wall-clock bound for the whole query (e.g. 30s);
+//	                  on expiry the solve is interrupted and the command
+//	                  exits with a timeout error
 package main
 
 import (
@@ -50,6 +58,8 @@ func main() {
 	progress := flag.Bool("progress", false, "print periodic solver progress")
 	progressEvery := flag.Int64("progress-every", 0, "conflicts between progress reports (0 = solver default)")
 	metricsOut := flag.String("metrics", "", "write the Prometheus text exposition of the session metrics ('-' for stderr)")
+	parallel := flag.Int("parallel", 0, "solver worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound for the query, e.g. 30s (0 = none)")
 	verbose := flag.Bool("v", false, "debug logging")
 	flag.Parse()
 
@@ -76,7 +86,12 @@ func main() {
 	fatalIf(err)
 	logger.Debug("database loaded", "dir", *dataDir, "facts", in.NumFacts(), "elapsed", time.Since(loadStart))
 
-	opts := aggcavsat.Options{DenialConstraints: parsed.FDs, ExternalSolverPath: *external}
+	opts := aggcavsat.Options{
+		DenialConstraints:  parsed.FDs,
+		ExternalSolverPath: *external,
+		Parallelism:        *parallel,
+		Timeout:            *timeout,
+	}
 	switch *solver {
 	case "maxhs":
 		opts.Solver = aggcavsat.SolverMaxHS

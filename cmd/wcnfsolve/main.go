@@ -2,14 +2,17 @@
 // DIMACS WCNF files, speaking the MaxSAT-evaluation output convention
 // ("o <cost>", "s OPTIMUM FOUND" / "s UNSATISFIABLE", "v <literals>").
 //
-//	wcnfsolve [-alg maxhs|rc2|lsu] problem.wcnf
+//	wcnfsolve [-alg maxhs|rc2|lsu] [-timeout 30s] problem.wcnf
 //
 // It doubles as a drop-in "external solver" for aggcavsat itself
 // (Options.ExternalSolverPath), which closes the loop on the paper's
-// process-level MaxHS integration without shipping a binary.
+// process-level MaxHS integration without shipping a binary. With
+// -timeout the search is interrupted cooperatively at the deadline and
+// the command exits with an error instead of an optimum.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,9 +26,10 @@ func main() {
 	alg := flag.String("alg", "maxhs", "algorithm: maxhs, rc2, lsu")
 	progress := flag.Bool("progress", false, "print periodic progress lines (stderr)")
 	progressEvery := flag.Int64("progress-every", maxsat.DefaultProgressEvery, "conflicts between progress lines")
+	timeout := flag.Duration("timeout", 0, "wall-clock bound for the solve, e.g. 30s (0 = none)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: wcnfsolve [-alg maxhs|rc2|lsu] [-progress] problem.wcnf")
+		fmt.Fprintln(os.Stderr, "usage: wcnfsolve [-alg maxhs|rc2|lsu] [-progress] [-timeout 30s] problem.wcnf")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -49,7 +53,13 @@ func main() {
 		opts.ProgressEvery = *progressEvery
 		opts.Progress = progressPrinter()
 	}
-	res, err := maxsat.Solve(formula, opts)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := maxsat.SolveContext(ctx, formula, opts)
 	fatalIf(err)
 
 	if !res.Satisfiable {

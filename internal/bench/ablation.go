@@ -40,8 +40,10 @@ func (r *Runner) Ablation() (*Table, error) {
 		row := []string{name}
 		for _, alg := range algorithms {
 			eng, err := core.New(in, core.Options{
-				Mode:   core.KeysMode,
-				MaxSAT: maxsat.Options{Algorithm: alg},
+				Mode:        core.KeysMode,
+				MaxSAT:      maxsat.Options{Algorithm: alg},
+				Parallelism: r.cfg.Parallelism,
+				Timeout:     r.cfg.Timeout,
 			})
 			if err != nil {
 				return nil, err

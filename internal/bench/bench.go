@@ -44,6 +44,13 @@ type Config struct {
 	MedigapScale float64
 	Seed         uint64
 	Solver       maxsat.Options
+	// Parallelism is the engine worker-pool size (0 = GOMAXPROCS,
+	// 1 = sequential). Results are identical at every setting.
+	Parallelism int
+	// Timeout is a per-query wall-clock bound; like the conflict budget,
+	// an expiry is reported as "t/o" rather than stalling the suite. The
+	// paper's own evaluation uses wall-clock timeouts. 0 means none.
+	Timeout time.Duration
 }
 
 // DefaultConfig returns the calibration used by EXPERIMENTS.md. The
@@ -67,9 +74,10 @@ func DefaultConfig() Config {
 }
 
 // timedOut reports whether a query failed only because a solver budget
-// ran out.
+// or the wall-clock timeout ran out (the typed sentinels of
+// internal/core), as opposed to a real error.
 func timedOut(err error) bool {
-	return err != nil && strings.Contains(err.Error(), "budget")
+	return errors.Is(err, core.ErrBudget) || errors.Is(err, core.ErrTimeout)
 }
 
 // Table is a printable experiment result.
@@ -250,7 +258,12 @@ func ms(d time.Duration) string {
 }
 
 func (r *Runner) engine(in *db.Instance) (*core.Engine, error) {
-	return core.New(in, core.Options{Mode: core.KeysMode, MaxSAT: r.cfg.Solver})
+	return core.New(in, core.Options{
+		Mode:        core.KeysMode,
+		MaxSAT:      r.cfg.Solver,
+		Parallelism: r.cfg.Parallelism,
+		Timeout:     r.cfg.Timeout,
+	})
 }
 
 // versusConQuer is the shared shape of Figures 1, 2, 5 and 6.
@@ -669,7 +682,13 @@ func (r *Runner) Figure9() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := core.New(in, core.Options{Mode: core.DCMode, DCs: dcs, MaxSAT: r.cfg.Solver})
+	eng, err := core.New(in, core.Options{
+		Mode:        core.DCMode,
+		DCs:         dcs,
+		MaxSAT:      r.cfg.Solver,
+		Parallelism: r.cfg.Parallelism,
+		Timeout:     r.cfg.Timeout,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -26,6 +26,11 @@ func (e *Engine) ConsistentAnswersContext(ctx context.Context, u cq.UCQ) ([]db.T
 	if err := u.Validate(e.in.Schema()); err != nil {
 		return nil, Stats{}, err
 	}
+	if e.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
+		defer cancel()
+	}
 	ctx, sp := obsv.StartSpan(ctx, "query.consistent_answers")
 	rc, local := e.newRecorder()
 	out, err := e.consistentAnswers(ctx, u, rc)
@@ -82,11 +87,7 @@ func (e *Engine) consistentGroups(ctx context.Context, groups []cq.WitnessGroup,
 
 	// Deduplicate witness fact sets per group and apply the safe-witness
 	// shortcut.
-	type pending struct {
-		index    int
-		factSets [][]db.FactID
-	}
-	var todo []pending
+	var todo []consCandidate
 	seed := map[db.FactID]bool{}
 	for i, g := range groups {
 		sets := dedupFactSets(g.Witnesses)
@@ -102,7 +103,7 @@ func (e *Engine) consistentGroups(ctx context.Context, groups []cq.WitnessGroup,
 			rc.skip()
 			continue
 		}
-		todo = append(todo, pending{index: i, factSets: sets})
+		todo = append(todo, consCandidate{index: i, factSets: sets})
 		for _, fs := range sets {
 			for _, f := range fs {
 				seed[f] = true
@@ -115,14 +116,65 @@ func (e *Engine) consistentGroups(ctx context.Context, groups []cq.WitnessGroup,
 	}
 
 	enc := newEncoder(cc, cc.closure(seed))
+	rc.encode(time.Since(encodeStart))
+	rc.absorbFormula(enc.formula)
+	if csp != nil {
+		csp.SetInt("groups", int64(len(groups)))
+		csp.SetInt("sat_checked", int64(len(todo)))
+	}
+
+	// Shard the candidates across the worker pool in contiguous chunks:
+	// each shard owns an incremental solver over the shared formula
+	// (read-only after newEncoder) and checks its candidates against it.
+	// With one shard this is exactly the classic single-solver loop, so
+	// sequential runs keep the full learnt-clause reuse across
+	// candidates. Shards write disjoint out[...] slots, so the verdicts
+	// are identical and in place regardless of scheduling.
+	shards := e.parallelism()
+	if shards > len(todo) {
+		shards = len(todo)
+	}
+	per := (len(todo) + shards - 1) / shards
+	solveStart := time.Now()
+	err := forEach(ctx, shards, shards, func(ctx context.Context, w int) error {
+		lo := w * per
+		hi := min(lo+per, len(todo))
+		if lo >= hi {
+			return nil
+		}
+		return e.checkCandidates(ctx, enc, todo[lo:hi], out, rc)
+	})
+	rc.solve(time.Since(solveStart))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// consCandidate is one not-obviously-consistent answer of the underlying
+// query, awaiting its Algorithm-2 SAT check.
+type consCandidate struct {
+	index    int
+	factSets [][]db.FactID
+}
+
+// checkCandidates runs the consistency check for a slice of candidates
+// on a fresh incremental solver seeded with the shared hard formula.
+// Activation literals a_b → (witness broken) are added per candidate;
+// out[p.index] receives the verdict (indices are disjoint across
+// shards, so no synchronization is needed on the writes).
+func (e *Engine) checkCandidates(ctx context.Context, enc *encoder, todo []consCandidate, out []bool, rc *recorder) error {
 	solver := sat.New()
+	if b := e.opts.MaxSAT.ConflictBudget; b > 0 {
+		solver.SetConflictBudget(b)
+	}
 	if !solver.AddFormulaHard(enc.formula) {
-		rc.encode(time.Since(encodeStart))
-		return nil, errInternalUnsat()
+		return errInternalUnsat()
 	}
 	solver.EnsureVars(enc.formula.NumVars())
+	release := sat.StopOnDone(ctx, solver)
+	defer release()
 
-	// Activation literals: a_b → (witness broken) for every witness of b.
 	acts := make([]cnf.Lit, len(todo))
 	for ti, p := range todo {
 		a := cnf.Lit(solver.NewVar())
@@ -136,14 +188,6 @@ func (e *Engine) consistentGroups(ctx context.Context, groups []cq.WitnessGroup,
 			solver.AddClause(clause...)
 		}
 	}
-	rc.encode(time.Since(encodeStart))
-	rc.absorbFormula(enc.formula)
-	if csp != nil {
-		csp.SetInt("groups", int64(len(groups)))
-		csp.SetInt("sat_checked", int64(len(todo)))
-	}
-
-	solveStart := time.Now()
 	for ti, p := range todo {
 		st := solver.Solve(acts[ti])
 		rc.satCalls(1)
@@ -154,12 +198,10 @@ func (e *Engine) consistentGroups(ctx context.Context, groups []cq.WitnessGroup,
 		case sat.Sat:
 			out[p.index] = false
 		default:
-			rc.solve(time.Since(solveStart))
-			return nil, errBudget()
+			return stopCause(ctx)
 		}
 	}
-	rc.solve(time.Since(solveStart))
-	return out, nil
+	return nil
 }
 
 func dedupFactSets(ws []cq.Witness) [][]db.FactID {
@@ -175,9 +217,16 @@ func dedupFactSets(ws []cq.Witness) [][]db.FactID {
 	return out
 }
 
+// factSetKey builds an order-insensitive key for a witness fact set: the
+// same facts can arrive in different orders from different join
+// orderings or union branches, so the IDs are sorted (on a copy) before
+// serialization — otherwise dedupFactSets would keep permuted
+// duplicates and the SAT check would carry redundant clauses.
 func factSetKey(facts []db.FactID) string {
-	b := make([]byte, 0, len(facts)*4)
-	for _, f := range facts {
+	sorted := append([]db.FactID(nil), facts...)
+	sortFactIDs(sorted)
+	b := make([]byte, 0, len(sorted)*4)
+	for _, f := range sorted {
 		v := uint32(f)
 		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
@@ -186,10 +235,6 @@ func factSetKey(facts []db.FactID) string {
 
 func errInternalUnsat() error {
 	return errString("core: hard repair clauses unsatisfiable (internal bug)")
-}
-
-func errBudget() error {
-	return errString("core: SAT conflict budget exhausted")
 }
 
 type errString string

@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"aggcavsat/internal/cnf"
@@ -57,6 +58,20 @@ type Options struct {
 	DCs []constraints.DC
 	// MaxSAT configures the underlying MaxSAT solver.
 	MaxSAT maxsat.Options
+	// Parallelism bounds the worker pool that fans out independent solve
+	// units (per-group scalar ranges, per-component WPMaxSAT instances,
+	// per-candidate consistency checks). 0 means GOMAXPROCS; 1 forces
+	// fully sequential solving. Answers are deterministic and identical
+	// at every setting: workers write into index-addressed slots and the
+	// merge preserves the original group/component order.
+	Parallelism int
+	// Timeout, when positive, bounds the wall-clock time of every engine
+	// call (RangeAnswers / ConsistentAnswers). On expiry the in-flight
+	// SAT searches are interrupted cooperatively and the call returns an
+	// error matching ErrTimeout — distinct from ErrBudget, which reports
+	// an exhausted conflict budget. A deadline or cancellation on the
+	// caller's context has the same effect.
+	Timeout time.Duration
 	// Metrics, when non-nil, additionally accumulates every call's
 	// metrics into this session-wide registry (e.g. for a Prometheus
 	// scrape endpoint). Per-call Stats are unaffected.
@@ -71,7 +86,11 @@ type Engine struct {
 	eval *cq.Evaluator
 	opts Options
 
-	ctx *constraintContext
+	// ctx is built at most once, under ctxOnce: parallel workers race to
+	// be the builder, everyone else blocks until the build finishes and
+	// then shares the immutable result.
+	ctxOnce sync.Once
+	ctx     *constraintContext
 }
 
 // New creates an engine for the instance. For DCMode the constraints are
@@ -176,6 +195,11 @@ func (e *Engine) RangeAnswersContext(ctx context.Context, q cq.AggQuery) (*Repor
 	default:
 		return nil, fmt.Errorf("core: %s is not supported (open problem in the paper); use internal/exhaustive", q.Op)
 	}
+	if e.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.Timeout)
+		defer cancel()
+	}
 	ctx, sp := obsv.StartSpan(ctx, "query.range_answers", obsv.String("op", q.Op.String()))
 	rc, local := e.newRecorder()
 	rep, err := e.rangeAnswers(ctx, q, rc)
@@ -225,11 +249,14 @@ type constraintContext struct {
 	buildTime time.Duration
 }
 
-// context lazily builds the constraint context.
+// context lazily builds the constraint context (concurrency-safe).
 func (e *Engine) context() *constraintContext {
-	if e.ctx != nil {
-		return e.ctx
-	}
+	e.ctxOnce.Do(func() { e.ctx = e.buildContext() })
+	return e.ctx
+}
+
+// buildContext performs the actual (one-time) construction.
+func (e *Engine) buildContext() *constraintContext {
 	start := time.Now()
 	ctx := &constraintContext{mode: e.opts.Mode}
 	n := e.in.NumFacts()
@@ -259,7 +286,6 @@ func (e *Engine) context() *constraintContext {
 		}
 	}
 	ctx.buildTime = time.Since(start)
-	e.ctx = ctx
 	return ctx
 }
 

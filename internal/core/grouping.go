@@ -39,10 +39,22 @@ func (e *Engine) groupedRange(ctx context.Context, q cq.AggQuery, rc *recorder) 
 	if err != nil {
 		return nil, err
 	}
-	for i, g := range groups {
-		if !consistent[i] {
-			continue
+	// Each consistent group is an independent scalar instance: fan them
+	// out across the worker pool. Workers write into index-addressed
+	// slots, so the merged answers keep the original group order no
+	// matter how the scheduler interleaves them.
+	var todo []int
+	for i := range groups {
+		if consistent[i] {
+			todo = append(todo, i)
 		}
+	}
+	if len(todo) == 0 {
+		return rep, nil
+	}
+	answers := make([]GroupAnswer, len(todo))
+	err = forEach(ctx, e.parallelism(), len(todo), func(ctx context.Context, ti int) error {
+		g := groups[todo[ti]]
 		gctx, gsp := obsv.StartSpan(ctx, "core.group")
 		ans, err := e.scalarRange(gctx, q, g.Witnesses, rc)
 		if gsp != nil {
@@ -50,9 +62,14 @@ func (e *Engine) groupedRange(ctx context.Context, q cq.AggQuery, rc *recorder) 
 			gsp.End()
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rep.Answers = append(rep.Answers, GroupAnswer{Key: g.Key, Range: ans})
+		answers[ti] = GroupAnswer{Key: g.Key, Range: ans}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	rep.Answers = answers
 	return rep, nil
 }

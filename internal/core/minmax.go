@@ -91,11 +91,16 @@ func (e *Engine) minMaxFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witnes
 		}
 	}
 	solver := sat.New()
+	if b := e.opts.MaxSAT.ConflictBudget; b > 0 {
+		solver.SetConflictBudget(b)
+	}
 	if !solver.AddFormulaHard(enc.formula) {
 		esp.End()
 		return Range{}, errInternalUnsat()
 	}
 	solver.EnsureVars(enc.formula.NumVars())
+	release := sat.StopOnDone(ctx, solver)
+	defer release()
 
 	// Per value v: suppress[v] assumes every witness of value v broken;
 	// present[v] assumes some witness of value v fully present.
@@ -144,7 +149,7 @@ func (e *Engine) minMaxFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witnes
 		case sat.Unsat:
 			return false, nil
 		default:
-			return false, errBudget()
+			return false, stopCause(ctx)
 		}
 	}
 

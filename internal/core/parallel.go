@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"aggcavsat/internal/maxsat"
+)
+
+// ErrTimeout is returned when an engine call is cut short by its context
+// — Options.Timeout, a caller-supplied deadline, or an explicit cancel.
+// It is distinct from ErrBudget, which reports that a solver resource
+// budget (not wall clock) ran out. Match with errors.Is.
+var ErrTimeout = errors.New("core: solve cancelled or timed out")
+
+// ErrBudget is returned when a solver budget (the SAT conflict budget of
+// Options.MaxSAT.ConflictBudget, or the MaxHS hitting-set node budget)
+// was exhausted before the solve finished. Match with errors.Is.
+var ErrBudget = errors.New("core: solver budget exhausted")
+
+// stopCause classifies an aborted SAT call or an abandoned work loop:
+// a dead context means cancellation (ErrTimeout); otherwise the solver
+// stopped on its own conflict budget (ErrBudget).
+func stopCause(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	return ErrBudget
+}
+
+// mapSolveErr translates an error from the maxsat layer into the
+// package's typed sentinels so callers can distinguish a wall-clock
+// timeout from a budget stop with errors.Is; unrelated errors pass
+// through unchanged.
+func mapSolveErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	case errors.Is(err, maxsat.ErrBudget):
+		return fmt.Errorf("%w: %v", ErrBudget, err)
+	}
+	return err
+}
+
+// parallelism resolves Options.Parallelism: 0 (or negative) means
+// GOMAXPROCS, anything else is taken as given (1 forces sequential).
+func (e *Engine) parallelism() int {
+	if p := e.opts.Parallelism; p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(i) for every i in [0, n) on at most workers
+// goroutines. Work items are claimed from a shared atomic counter, so
+// callers must make fn(i) write its result into slot i of a
+// caller-owned slice — that is what keeps the merged output
+// deterministic regardless of scheduling.
+//
+// The first error cancels the context handed to the remaining fn calls
+// and is returned after all workers drain; when the parent context
+// itself is dead, the (typed) cancellation error wins over whichever
+// per-item error happened to be recorded first, so callers see
+// ErrTimeout rather than an arbitrary casualty of the cancellation.
+// With workers <= 1 the loop degenerates to a plain sequential for loop
+// on the caller's goroutine.
+func forEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return stopCause(ctx)
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		once     sync.Once
+		firstErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || wctx.Err() != nil {
+					return
+				}
+				if err := fn(wctx, i); err != nil {
+					once.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return stopCause(ctx)
+	}
+	return firstErr
+}

@@ -124,24 +124,31 @@ func StatsFromSnapshot(s obsv.Snapshot) Stats {
 
 // constraintCtx returns the lazily-built constraint context, wrapping
 // the first (real) build in a "core.constraints" span and recording the
-// cached build time into the call's metrics.
+// cached build time into the call's metrics. Safe for concurrent use:
+// parallel workers race into the sync.Once, exactly one performs the
+// build (and the one-time span/histogram record), the rest block until
+// it finishes.
 func (e *Engine) constraintCtx(ctx context.Context, rc *recorder) *constraintContext {
-	if e.ctx == nil {
+	built := false
+	e.ctxOnce.Do(func() {
 		_, sp := obsv.StartSpan(ctx, "core.constraints")
-		cc := e.context()
+		e.ctx = e.buildContext()
+		built = true
 		if sp != nil {
-			if cc.mode == KeysMode {
+			if e.ctx.mode == KeysMode {
 				sp.SetStr("mode", "keys")
-				sp.SetInt("key_groups", int64(len(cc.groups)))
+				sp.SetInt("key_groups", int64(len(e.ctx.groups)))
 			} else {
 				sp.SetStr("mode", "dc")
-				sp.SetInt("violations", int64(len(cc.violations)))
+				sp.SetInt("violations", int64(len(e.ctx.violations)))
 			}
 			sp.End()
 		}
+	})
+	cc := e.ctx
+	if built {
 		rc.observe(obsv.MetricPhaseSecondsPrefix+"constraint", cc.buildTime)
 	}
-	cc := e.context()
 	rc.constraint(cc.buildTime)
 	return cc
 }

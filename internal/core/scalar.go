@@ -135,11 +135,17 @@ func (e *Engine) sumCountFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 	split := splitComponents(cc, witnessFacts)
 	rc.encode(time.Since(encodeStart))
 
-	var minFTotal, maxFTotal, negOffset int64
-	for ci := range split.groups {
-		encodeStart = time.Now()
+	// Components are independent WPMaxSAT instances: encode and solve
+	// each on the worker pool, then sum the per-component results (the
+	// sum is order-independent, and the per-slot writes keep the
+	// accounting deterministic).
+	type compResult struct{ minF, maxF, negOffset int64 }
+	results := make([]compResult, len(split.groups))
+	err = forEach(ctx, e.parallelism(), len(split.groups), func(ctx context.Context, ci int) error {
+		encodeStart := time.Now()
 		_, esp := obsv.StartSpan(ctx, "core.encode")
 		enc := newEncoder(cc, split.facts[ci])
+		var negOffset int64
 		// Soft clauses: step 2a/2b.
 		for _, wi := range split.groups[ci] {
 			w := unsafe[wi]
@@ -165,10 +171,19 @@ func (e *Engine) sumCountFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 
 		minF, maxF, err := e.solveBothDirections(ctx, enc.formula, rc)
 		if err != nil {
-			return Range{}, err
+			return err
 		}
-		minFTotal += minF
-		maxFTotal += maxF
+		results[ci] = compResult{minF: minF, maxF: maxF, negOffset: negOffset}
+		return nil
+	})
+	if err != nil {
+		return Range{}, err
+	}
+	var minFTotal, maxFTotal, negOffset int64
+	for _, r := range results {
+		minFTotal += r.minF
+		maxFTotal += r.maxF
+		negOffset += r.negOffset
 	}
 
 	// Proposition IV.1: falsified weight F = agg + negOffset, so
@@ -255,11 +270,15 @@ func (e *Engine) distinctFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 	split := splitComponents(cc, answerFacts)
 	rc.encode(time.Since(encodeStart))
 
-	var minFTotal, maxFTotal, negOffset int64
-	for ci := range split.groups {
-		encodeStart = time.Now()
+	// As in sumCountFromBag: one independent WPMaxSAT instance per
+	// component, fanned out and merged by component index.
+	type compResult struct{ minF, maxF, negOffset int64 }
+	results := make([]compResult, len(split.groups))
+	err := forEach(ctx, e.parallelism(), len(split.groups), func(ctx context.Context, ci int) error {
+		encodeStart := time.Now()
 		_, esp := obsv.StartSpan(ctx, "core.encode")
 		enc := newEncoder(cc, split.facts[ci])
+		var negOffset int64
 		for _, ui := range split.groups[ci] {
 			g := uncertain[ui]
 			// v^b ↔ ⋀_j z_j^b where z_j^b ↔ witness j broken.
@@ -299,10 +318,19 @@ func (e *Engine) distinctFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 
 		minF, maxF, err := e.solveBothDirections(ctx, enc.formula, rc)
 		if err != nil {
-			return Range{}, err
+			return err
 		}
-		minFTotal += minF
-		maxFTotal += maxF
+		results[ci] = compResult{minF: minF, maxF: maxF, negOffset: negOffset}
+		return nil
+	})
+	if err != nil {
+		return Range{}, err
+	}
+	var minFTotal, maxFTotal, negOffset int64
+	for _, r := range results {
+		minFTotal += r.minF
+		maxFTotal += r.maxF
+		negOffset += r.negOffset
 	}
 	return Range{
 		GLB: db.Int(base + minFTotal - negOffset),
@@ -344,7 +372,8 @@ func (e *Engine) runMaxSAT(ctx context.Context, f *cnf.Formula, rc *recorder) (m
 	res, err := maxsat.SolveContext(ctx, f, e.opts.MaxSAT)
 	rc.solve(time.Since(start))
 	if err != nil {
-		return res, err
+		rc.satCalls(res.SATCalls)
+		return res, mapSolveErr(err)
 	}
 	rc.satCalls(res.SATCalls)
 	rc.maxsatRun()

@@ -1,0 +1,195 @@
+package maxsat
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"aggcavsat/internal/cnf"
+)
+
+// hardPigeonhole builds PHP(holes+1, holes) as hard clauses plus one
+// soft unit, the stock "takes forever to refute" instance for
+// cancellation tests.
+func hardPigeonhole(holes int) *cnf.Formula {
+	f := cnf.New(0)
+	v := func(p, h int) cnf.Lit { return cnf.Lit(p*holes + h + 1) }
+	for p := 0; p < holes+1; p++ {
+		lits := make([]cnf.Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = v(p, h)
+		}
+		f.AddHard(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < holes+1; p1++ {
+			for p2 := p1 + 1; p2 < holes+1; p2++ {
+				f.AddHard(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	f.AddSoft(1, 1)
+	return f
+}
+
+func TestPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, alg := range algorithms() {
+		_, err := SolveContext(ctx, hardPigeonhole(5), Options{Algorithm: alg})
+		if err == nil {
+			t.Errorf("%v: pre-canceled context should error", alg)
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: error %v should wrap context.Canceled", alg, err)
+		}
+	}
+}
+
+func TestCancelMidSolve(t *testing.T) {
+	// PHP(11, 10) needs far more conflicts to refute than the interrupt
+	// latency allows, so canceling at the first conflict (via the
+	// progress callback, which fires synchronously from inside the CDCL
+	// loop) stops every algorithm mid-search.
+	for _, alg := range algorithms() {
+		ctx, cancel := context.WithCancel(context.Background())
+		opts := Options{
+			Algorithm:     alg,
+			ProgressEvery: 1,
+			Progress:      func(ProgressInfo) { cancel() },
+		}
+		start := time.Now()
+		_, err := SolveContext(ctx, hardPigeonhole(10), opts)
+		elapsed := time.Since(start)
+		cancel()
+		if err == nil {
+			t.Errorf("%v: canceled solve should error", alg)
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: error %v should wrap context.Canceled", alg, err)
+		}
+		if elapsed > 30*time.Second {
+			t.Errorf("%v: cancellation took %v to take effect", alg, elapsed)
+		}
+	}
+}
+
+func TestBudgetErrorIsTyped(t *testing.T) {
+	// Conflict-budget exhaustion must match ErrBudget — and must not be
+	// conflated with a context cancellation.
+	_, err := Solve(hardPigeonhole(8), Options{Algorithm: AlgRC2, ConflictBudget: 3})
+	if err == nil {
+		t.Fatal("budget exhaustion should error")
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("error %v should wrap ErrBudget", err)
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("budget error %v must not look like a cancellation", err)
+	}
+}
+
+func TestMaxHSFallbackAccumulatesStats(t *testing.T) {
+	// Three pairwise-conflicting softs force at least one core and a
+	// hitting-set search; HSNodeBudget=1 aborts that search immediately,
+	// so MaxHS degrades to the RC2 fallback. The result must still be
+	// the true optimum, and the stats must cover BOTH attempts: strictly
+	// more SAT calls than RC2 alone on the same formula.
+	f := cnf.New(3)
+	f.AddHard(-1, -2)
+	f.AddHard(-2, -3)
+	f.AddHard(-1, -3)
+	f.AddSoft(3, 1)
+	f.AddSoft(5, 2)
+	f.AddSoft(4, 3)
+
+	rc2, err := Solve(f, Options{Algorithm: AlgRC2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(f, Options{Algorithm: AlgMaxHS, HSNodeBudget: 1})
+	if err != nil {
+		t.Fatalf("fallback should succeed, got %v", err)
+	}
+	if !res.Satisfiable || res.Optimum != 5 || res.FalsifiedWeight != 7 {
+		t.Errorf("fallback result %+v, want optimum 5 / falsified 7", res)
+	}
+	if res.SATCalls <= rc2.SATCalls {
+		t.Errorf("fallback SATCalls = %d, want > RC2-alone %d (MaxHS attempt must be counted)",
+			res.SATCalls, rc2.SATCalls)
+	}
+}
+
+func TestMaxHSBudgetWithConflictBudgetErrors(t *testing.T) {
+	// With an explicit conflict budget the caller asked for bounded
+	// work: the hitting-set budget must surface as ErrBudget instead of
+	// silently restarting with RC2.
+	f := cnf.New(3)
+	f.AddHard(-1, -2)
+	f.AddHard(-2, -3)
+	f.AddHard(-1, -3)
+	f.AddSoft(3, 1)
+	f.AddSoft(5, 2)
+	f.AddSoft(4, 3)
+	_, err := Solve(f, Options{Algorithm: AlgMaxHS, HSNodeBudget: 1, ConflictBudget: 1 << 40})
+	if err == nil {
+		t.Fatal("hitting-set budget with ConflictBudget set should error")
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("error %v should wrap ErrBudget", err)
+	}
+}
+
+func TestExternalHangingSolverKilled(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("shell-script fake solver")
+	}
+	dir := t.TempDir()
+	script := filepath.Join(dir, "hang.sh")
+	if err := os.WriteFile(script, []byte("#!/bin/sh\nexec sleep 60\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f := cnf.New(1)
+	f.AddSoft(1, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := SolveContext(ctx, f, Options{Algorithm: AlgExternal, SolverPath: script})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("hanging external solver should error once the context expires")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v should wrap context.DeadlineExceeded", err)
+	}
+	if elapsed > 30*time.Second {
+		t.Errorf("external solver outlived the deadline by %v", elapsed)
+	}
+}
+
+func TestExternalInvalidModelError(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("shell-script fake solver")
+	}
+	dir := t.TempDir()
+	script := filepath.Join(dir, "liar.sh")
+	// Claims an optimum whose model violates the hard clause ¬x1: this
+	// must surface as an error, not a panic.
+	body := "#!/bin/sh\necho 's OPTIMUM FOUND'\necho 'o 0'\necho 'v 1 0'\n"
+	if err := os.WriteFile(script, []byte(body), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f := cnf.New(1)
+	f.AddHard(-1)
+	f.AddSoft(2, 1)
+	_, err := Solve(f, Options{Algorithm: AlgExternal, SolverPath: script})
+	if err == nil {
+		t.Fatal("invalid external model should error")
+	}
+}

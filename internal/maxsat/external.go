@@ -9,6 +9,7 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
+	"time"
 
 	"aggcavsat/internal/cnf"
 	"aggcavsat/internal/obsv"
@@ -41,7 +42,11 @@ func solveExternal(ctx context.Context, f *cnf.Formula, opts Options) (Result, e
 	}
 
 	args := append(append([]string{}, opts.SolverArgs...), tmp.Name())
-	cmd := exec.Command(opts.SolverPath, args...)
+	cmd := exec.CommandContext(ctx, opts.SolverPath, args...)
+	// On cancellation CommandContext kills the process; WaitDelay bounds
+	// how long Run then waits for I/O pipes to drain before giving up on
+	// a child that ignores the kill (e.g. one that re-spawned itself).
+	cmd.WaitDelay = 5 * time.Second
 	var out bytes.Buffer
 	cmd.Stdout = &out
 	cmd.Stderr = &out
@@ -49,6 +54,11 @@ func solveExternal(ctx context.Context, f *cnf.Formula, opts Options) (Result, e
 	// nonzero status codes by convention (10/20/30), so run errors are
 	// only fatal when no result line is present.
 	runErr := cmd.Run()
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		// A killed solver may have emitted partial (even well-formed)
+		// output; the cancellation takes precedence over parsing it.
+		return Result{}, fmt.Errorf("maxsat: external solver terminated: %w", ctxErr)
+	}
 
 	res, parseErr := ParseSolverOutput(f, out.Bytes())
 	if parseErr != nil {
@@ -123,7 +133,12 @@ func ParseSolverOutput(f *cnf.Formula, output []byte) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("maxsat: external solver produced no model")
 	}
-	opt := evalOriginal(f, model)
+	// The model comes from an untrusted subprocess: validate it instead
+	// of trusting the invariant the built-in algorithms maintain.
+	opt, err := evalModel(f, model)
+	if err != nil {
+		return Result{}, fmt.Errorf("maxsat: external solver returned an invalid model: %w", err)
+	}
 	res := Result{
 		Satisfiable:     true,
 		Optimum:         opt,

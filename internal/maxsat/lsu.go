@@ -79,6 +79,8 @@ func solveLSU(ctx context.Context, f *cnf.Formula, opts Options) (Result, error)
 		return Result{Satisfiable: false}, nil
 	}
 	s.EnsureVars(f.NumVars())
+	release := sat.StopOnDone(ctx, s)
+	defer release()
 	weights := selectors(s, f)
 	tr := newTracker(opts, AlgLSU, s)
 
@@ -93,11 +95,17 @@ func solveLSU(ctx context.Context, f *cnf.Formula, opts Options) (Result, error)
 	haveBest := false
 	banned := len(outputs) // index of the first banned output
 	for {
+		if err := interrupted(ctx); err != nil {
+			return statsOf(s), err
+		}
 		tr.step()
 		st := satSolve(ctx, s, AlgLSU)
 		switch st {
 		case sat.Unknown:
-			return Result{}, fmt.Errorf("maxsat: conflict budget exhausted (lsu)")
+			if err := interrupted(ctx); err != nil {
+				return statsOf(s), err
+			}
+			return statsOf(s), fmt.Errorf("%w: conflicts (lsu)", ErrBudget)
 		case sat.Unsat:
 			if !haveBest {
 				return Result{Satisfiable: false, SATCalls: s.Stats.Solves, Conflicts: s.Stats.Conflicts}, nil

@@ -39,6 +39,8 @@ func solveMaxHS(ctx context.Context, f *cnf.Formula, opts Options) (Result, erro
 		return Result{Satisfiable: false}, nil
 	}
 	s.EnsureVars(f.NumVars())
+	release := sat.StopOnDone(ctx, s)
+	defer release()
 	weights := selectors(s, f)
 	all := sortedSelectors(weights)
 	tr := newTracker(opts, AlgMaxHS, s)
@@ -49,6 +51,9 @@ func solveMaxHS(ctx context.Context, f *cnf.Formula, opts Options) (Result, erro
 	}
 	needExact := false
 	for {
+		if err := interrupted(ctx); err != nil {
+			return statsOf(s), err
+		}
 		// One hitting-set recomputation per *batch* of cores: after the
 		// first core of a batch, keep harvesting further cores disjoint
 		// from everything excluded so far (Davies-Bacchus "disjoint
@@ -60,7 +65,7 @@ func solveMaxHS(ctx context.Context, f *cnf.Formula, opts Options) (Result, erro
 		tr.step()
 		H, err := hs.hittingSet(exact)
 		if err != nil {
-			return Result{}, err
+			return statsOf(s), err
 		}
 		if tr != nil {
 			// The weight of an *exact* hitting set of the cores found so
@@ -88,7 +93,10 @@ func solveMaxHS(ctx context.Context, f *cnf.Formula, opts Options) (Result, erro
 			}
 			st := satSolve(ctx, s, AlgMaxHS, assumptions...)
 			if st == sat.Unknown {
-				return Result{}, fmt.Errorf("maxsat: conflict budget exhausted (maxhs)")
+				if err := interrupted(ctx); err != nil {
+					return statsOf(s), err
+				}
+				return statsOf(s), fmt.Errorf("%w: conflicts (maxhs)", ErrBudget)
 			}
 			if st == sat.Sat {
 				if !foundCore {
@@ -122,7 +130,10 @@ func solveMaxHS(ctx context.Context, f *cnf.Formula, opts Options) (Result, erro
 			for rounds := 0; rounds < 5 && len(core) > 1; rounds++ {
 				st := satSolve(ctx, s, AlgMaxHS, core...)
 				if st != sat.Unsat {
-					return Result{}, fmt.Errorf("maxsat: core no longer unsat during trimming (%v)", st)
+					if err := interrupted(ctx); err != nil {
+						return statsOf(s), err
+					}
+					return statsOf(s), fmt.Errorf("maxsat: core no longer unsat during trimming (%v)", st)
 				}
 				trimmed := s.Core()
 				if len(trimmed) >= len(core) {
@@ -362,8 +373,9 @@ func greedyClusterHS(cores [][]cnf.Lit, weights map[cnf.Lit]int64, warm map[cnf.
 // errHSBudget signals that the exact hitting-set search exceeded its
 // node budget; solveMaxHS surfaces it so Solve can fall back to the
 // core-guided algorithm (which is slower on these instances but has no
-// comparable worst case).
-var errHSBudget = fmt.Errorf("maxsat: hitting-set node budget exceeded")
+// comparable worst case). It wraps ErrBudget so callers that only care
+// about "some budget ran out" match it with errors.Is.
+var errHSBudget = fmt.Errorf("%w: exact hitting-set node budget (maxhs)", ErrBudget)
 
 // hsNodeBudget bounds one exact cluster solve. The calibrated workloads
 // stay far below it; it exists so a pathological cluster degrades into

@@ -23,12 +23,40 @@ package maxsat
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"aggcavsat/internal/cnf"
 	"aggcavsat/internal/obsv"
 	"aggcavsat/internal/sat"
 )
+
+// ErrBudget is the sentinel wrapped by every budget-exhaustion error the
+// built-in algorithms return (SAT conflict budgets and the MaxHS exact
+// hitting-set node budget alike). Callers distinguish it from a
+// cancellation with errors.Is: a cancelled or expired context surfaces
+// as an error wrapping context.Canceled / context.DeadlineExceeded
+// instead, never as ErrBudget.
+var ErrBudget = errors.New("maxsat: solver budget exhausted")
+
+// interrupted returns the context's error wrapped for maxsat callers, or
+// nil if ctx is still live. The algorithms consult it between SAT calls
+// and whenever a SAT call returns Unknown, so a cancellation is
+// classified as such even though the underlying solver reports the same
+// Unknown status for budget exhaustion and cooperative interruption.
+func interrupted(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("maxsat: solve interrupted: %w", err)
+	}
+	return nil
+}
+
+// statsOf packages the solver's call/conflict counters into a Result so
+// error paths still report the work performed (the bench harness records
+// these even for timed-out runs).
+func statsOf(s *sat.Solver) Result {
+	return Result{SATCalls: s.Stats.Solves, Conflicts: s.Stats.Conflicts}
+}
 
 // Algorithm selects the solving strategy.
 type Algorithm int
@@ -127,7 +155,7 @@ func solveDispatch(ctx context.Context, f *cnf.Formula, opts Options) (Result, e
 	switch opts.Algorithm {
 	case AlgMaxHS:
 		res, err := solveMaxHS(ctx, f, opts)
-		if err == errHSBudget {
+		if errors.Is(err, errHSBudget) {
 			if opts.ConflictBudget > 0 {
 				// The caller runs with explicit budgets (benchmark
 				// timeouts): surface the budget error immediately
@@ -136,8 +164,14 @@ func solveDispatch(ctx context.Context, f *cnf.Formula, opts Options) (Result, e
 			}
 			// A pathological hitting-set cluster: degrade gracefully to
 			// core-guided search, which has no comparable blow-up mode
-			// (only the slower weight-splitting convergence).
-			return solveRC2(ctx, f, opts)
+			// (only the slower weight-splitting convergence). The failed
+			// attempt's SAT calls and conflicts still happened: fold them
+			// into whatever the fallback reports so the recorded stats
+			// count all the work done.
+			rres, rerr := solveRC2(ctx, f, opts)
+			rres.SATCalls += res.SATCalls
+			rres.Conflicts += res.Conflicts
+			return rres, rerr
 		}
 		return res, err
 	case AlgRC2:
@@ -180,16 +214,28 @@ func selectors(s *sat.Solver, f *cnf.Formula) map[cnf.Lit]int64 {
 	return weights
 }
 
-// evalOriginal evaluates the original formula under a (possibly larger)
-// model and returns the satisfied soft weight; it panics if a hard clause
-// of the original formula is falsified (an internal invariant violation).
-func evalOriginal(f *cnf.Formula, model []bool) int64 {
+// evalModel evaluates the original formula under a (possibly larger)
+// model and returns the satisfied soft weight, or an error if the model
+// falsifies a hard clause of the original formula.
+func evalModel(f *cnf.Formula, model []bool) (int64, error) {
 	trimmed := model
 	if len(trimmed) > f.NumVars()+1 {
 		trimmed = trimmed[:f.NumVars()+1]
 	}
 	hardOK, satW, _ := f.Eval(trimmed)
 	if !hardOK {
+		return 0, errors.New("maxsat: model violates a hard clause")
+	}
+	return satW, nil
+}
+
+// evalOriginal is evalModel for the built-in algorithms, whose models
+// come from our own SAT solver: a hard-clause violation there is an
+// internal invariant violation, so it panics. Untrusted models (external
+// solver output) go through evalModel and surface an error instead.
+func evalOriginal(f *cnf.Formula, model []bool) int64 {
+	satW, err := evalModel(f, model)
+	if err != nil {
 		panic("maxsat: optimal model violates a hard clause")
 	}
 	return satW

@@ -33,6 +33,8 @@ func solveRC2(ctx context.Context, f *cnf.Formula, opts Options) (Result, error)
 		return Result{Satisfiable: false}, nil
 	}
 	s.EnsureVars(f.NumVars())
+	release := sat.StopOnDone(ctx, s)
+	defer release()
 	weights := selectors(s, f)
 	tr := newTracker(opts, AlgRC2, s)
 
@@ -80,6 +82,9 @@ func solveRC2(ctx context.Context, f *cnf.Formula, opts Options) (Result, error)
 	}
 
 	for {
+		if err := interrupted(ctx); err != nil {
+			return statsOf(s), err
+		}
 		assumptions := activeSelectors(weights, threshold)
 		iter++
 		tr.step()
@@ -90,7 +95,10 @@ func solveRC2(ctx context.Context, f *cnf.Formula, opts Options) (Result, error)
 		st := satSolve(ctx, s, AlgRC2, assumptions...)
 		switch st {
 		case sat.Unknown:
-			return Result{}, fmt.Errorf("maxsat: conflict budget exhausted (rc2)")
+			if err := interrupted(ctx); err != nil {
+				return statsOf(s), err
+			}
+			return statsOf(s), fmt.Errorf("%w: conflicts (rc2)", ErrBudget)
 		case sat.Sat:
 			// Every stratum model is an upper bound; keep the incumbent
 			// best and harden against it. The incumbent, not the current
@@ -133,7 +141,10 @@ func solveRC2(ctx context.Context, f *cnf.Formula, opts Options) (Result, error)
 			for rounds := 0; rounds < 5 && len(core) > 1; rounds++ {
 				st := satSolve(ctx, s, AlgRC2, core...)
 				if st != sat.Unsat {
-					return Result{}, fmt.Errorf("maxsat: core no longer unsat during trimming (%v)", st)
+					if err := interrupted(ctx); err != nil {
+						return statsOf(s), err
+					}
+					return statsOf(s), fmt.Errorf("maxsat: core no longer unsat during trimming (%v)", st)
 				}
 				trimmed := s.Core()
 				if len(trimmed) >= len(core) {

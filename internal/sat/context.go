@@ -1,0 +1,34 @@
+package sat
+
+import "context"
+
+// StopOnDone ties the solver's cooperative stop to ctx: a watcher
+// goroutine calls s.Interrupt() the moment ctx is cancelled or its
+// deadline expires, which makes any in-flight or future Solve call
+// return Unknown. The caller must invoke the returned release function
+// (typically via defer) to reclaim the watcher; release is idempotent
+// in effect and never blocks.
+//
+// When ctx can never be cancelled (ctx.Done() == nil) no goroutine is
+// spawned and release is a no-op, so wiring StopOnDone unconditionally
+// costs nothing on the plain-Background path.
+func StopOnDone(ctx context.Context, s *Solver) (release func()) {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.Interrupt()
+		case <-quit:
+		}
+	}()
+	var released bool
+	return func() {
+		if !released {
+			released = true
+			close(quit)
+		}
+	}
+}

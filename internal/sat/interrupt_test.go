@@ -1,0 +1,93 @@
+package sat
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestInterruptBeforeSolve(t *testing.T) {
+	s := New()
+	pigeonhole(s, 7, 6)
+	s.Interrupt()
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("interrupted solve = %v, want Unknown", st)
+	}
+	if !s.Interrupted() {
+		t.Error("Interrupted() should stay set")
+	}
+}
+
+func TestInterruptDuringSearch(t *testing.T) {
+	// PHP(11, 10) needs an exponential resolution proof — far longer than
+	// the interrupt latency — so the progress callback (fired at the
+	// first conflict) reliably stops the search mid-flight.
+	s := New()
+	pigeonhole(s, 11, 10)
+	s.SetProgress(1, func(Progress) { s.Interrupt() })
+	start := time.Now()
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("solve = %v, want Unknown after interrupt", st)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("interrupt took %v to take effect", elapsed)
+	}
+}
+
+func TestStopOnDoneCancel(t *testing.T) {
+	s := New()
+	pigeonhole(s, 11, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	release := StopOnDone(ctx, s)
+	defer release()
+	s.SetProgress(1, func(Progress) { cancel() })
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("solve = %v, want Unknown after context cancel", st)
+	}
+}
+
+func TestStopOnDoneAlreadyCanceled(t *testing.T) {
+	s := New()
+	pigeonhole(s, 7, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	release := StopOnDone(ctx, s)
+	defer release()
+	// The watcher goroutine interrupts asynchronously; wait for it.
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Interrupted() {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never interrupted the solver")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("solve = %v, want Unknown", st)
+	}
+}
+
+func TestStopOnDoneNoDeadline(t *testing.T) {
+	// A background context can never be done: StopOnDone must not spawn
+	// a watcher or perturb the solve.
+	s := New()
+	s.AddClause(1)
+	release := StopOnDone(context.Background(), s)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("solve = %v, want Sat", st)
+	}
+	release()
+	release() // must be idempotent
+}
+
+func TestStopOnDoneReleaseIdempotent(t *testing.T) {
+	s := New()
+	s.AddClause(1, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	release := StopOnDone(ctx, s)
+	release()
+	release()
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("solve = %v, want Sat", st)
+	}
+}

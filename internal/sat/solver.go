@@ -11,6 +11,7 @@ package sat
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"aggcavsat/internal/cnf"
 )
@@ -163,6 +164,8 @@ type Solver struct {
 
 	budgetConflicts int64 // <=0 means unlimited
 
+	stop atomic.Bool // cooperative interrupt, set from other goroutines
+
 	progressEvery int64
 	progressNext  int64
 	progressFn    ProgressFunc
@@ -183,6 +186,15 @@ func New() *Solver {
 // SetConflictBudget bounds the number of conflicts per Solve call;
 // exceeding it returns Unknown. Zero or negative means unlimited.
 func (s *Solver) SetConflictBudget(n int64) { s.budgetConflicts = n }
+
+// Interrupt requests a cooperative stop: the current (or next) Solve
+// call returns Unknown as soon as the search loop observes the flag.
+// Safe to call from any goroutine; the flag is sticky, so an
+// interrupted solver stays interrupted for all subsequent Solve calls.
+func (s *Solver) Interrupt() { s.stop.Store(true) }
+
+// Interrupted reports whether Interrupt has been called.
+func (s *Solver) Interrupted() bool { return s.stop.Load() }
 
 // SetProgress registers fn to be invoked every 'every' conflicts during
 // search (and once per Solve start when a callback is set). A nil fn or
@@ -648,6 +660,10 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 		s.conflictSet = nil
 		return Unsat
 	}
+	if s.stop.Load() {
+		s.conflictSet = nil
+		return Unknown
+	}
 	s.assumptions = s.assumptions[:0]
 	for _, a := range assumptions {
 		s.EnsureVars(a.Var())
@@ -666,6 +682,9 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 		if st != Unknown {
 			return st
 		}
+		if s.stop.Load() {
+			return Unknown
+		}
 		s.Stats.Restarts++
 		if s.budgetConflicts > 0 && s.Stats.Conflicts-conflictsAtStart >= s.budgetConflicts {
 			return Unknown
@@ -678,6 +697,13 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 func (s *Solver) search(nConflicts int64) Status {
 	var conflicts int64
 	for {
+		// One atomic load per propagate/decision round: negligible next
+		// to propagation, and bounds the latency of Interrupt to a
+		// single propagation pass.
+		if s.stop.Load() {
+			s.cancelUntil(s.assumptionLevel())
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl >= 0 {
 			s.Stats.Conflicts++
