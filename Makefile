@@ -22,7 +22,10 @@ vet:
 race:
 	$(GO) test -race -short ./internal/obsv/... ./internal/sat/... ./internal/maxsat/... ./internal/core/...
 
+# Micro-benchmarks: the clone-vs-rebuild and shared-base suites in
+# sat/maxsat/core (the PR 3 incremental-solving win) plus the end-to-end
+# harness benchmarks. Pipe two runs through benchstat to compare.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./internal/bench/
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sat/ ./internal/maxsat/ ./internal/core/ ./internal/bench/
 
 ci: build vet test race

@@ -170,6 +170,13 @@ type Options struct {
 	// Metrics, when non-nil, accumulates every query's metrics into a
 	// session-wide registry (obsv Prometheus exposition).
 	Metrics *obsv.Registry
+	// DisableIncremental forces the legacy solve path: one fresh SAT
+	// solver per MaxSAT run, with an explicit negated formula for the
+	// upper-bound direction, instead of cloning a shared per-component
+	// hard-clause base. Answers are identical either way; this is the
+	// escape hatch behind the CLI -incremental flag. External solvers
+	// always take the legacy path.
+	DisableIncremental bool
 }
 
 // System answers queries over one instance.
@@ -188,9 +195,10 @@ func Open(in *Instance, opts Options) (*System, error) {
 			Progress:      opts.Progress,
 			ProgressEvery: opts.ProgressEvery,
 		},
-		Parallelism: opts.Parallelism,
-		Timeout:     opts.Timeout,
-		Metrics:     opts.Metrics,
+		Parallelism:        opts.Parallelism,
+		Timeout:            opts.Timeout,
+		Metrics:            opts.Metrics,
+		DisableIncremental: opts.DisableIncremental,
 	}
 	if len(opts.DenialConstraints) > 0 {
 		engOpts.Mode = core.DCMode

@@ -18,6 +18,9 @@
 //
 // Concurrency and timeouts:
 //
+//	-incremental=false  run every experiment on the legacy
+//	                  one-solver-per-run path (the pr3 experiment
+//	                  measures both paths regardless)
 //	-parallel N       worker-pool size inside each measured query
 //	                  (0 = GOMAXPROCS, 1 = sequential); parallel runs
 //	                  produce identical answers but per-phase times sum
@@ -51,8 +54,10 @@ func main() {
 	flag.Float64Var(&cfg.MedigapScale, "medigap-scale", cfg.MedigapScale, "Medigap dataset scale (1.0 = 61K tuples)")
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
 	flag.IntVar(&cfg.Parallelism, "parallel", cfg.Parallelism, "worker-pool size per query (0 = GOMAXPROCS, 1 = sequential)")
+	incremental := flag.Bool("incremental", true, "share per-component hard-clause solver bases inside each engine (false = legacy one-solver-per-run path; the pr3 experiment measures both regardless)")
 	flag.DurationVar(&cfg.Timeout, "timeout", cfg.Timeout, "wall-clock bound per query, e.g. 30s (0 = none)")
 	flag.Parse()
+	cfg.DisableIncremental = !*incremental
 
 	level := slog.LevelWarn
 	if *verbose {

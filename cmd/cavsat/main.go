@@ -28,6 +28,9 @@
 //
 //	-parallel N       worker-pool size for independent groups/components
 //	                  (0 = GOMAXPROCS, 1 = sequential; answers identical)
+//	-incremental=false  disable the shared per-component hard-clause
+//	                  solver base and run the legacy one-solver-per-run
+//	                  path (answers identical; for comparison/debugging)
 //	-timeout D        wall-clock bound for the whole query (e.g. 30s);
 //	                  on expiry the solve is interrupted and the command
 //	                  exits with a timeout error
@@ -59,6 +62,7 @@ func main() {
 	progressEvery := flag.Int64("progress-every", 0, "conflicts between progress reports (0 = solver default)")
 	metricsOut := flag.String("metrics", "", "write the Prometheus text exposition of the session metrics ('-' for stderr)")
 	parallel := flag.Int("parallel", 0, "solver worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+	incremental := flag.Bool("incremental", true, "share a per-component hard-clause solver base across solve directions (false = legacy one-solver-per-run path)")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound for the query, e.g. 30s (0 = none)")
 	verbose := flag.Bool("v", false, "debug logging")
 	flag.Parse()
@@ -91,6 +95,7 @@ func main() {
 		ExternalSolverPath: *external,
 		Parallelism:        *parallel,
 		Timeout:            *timeout,
+		DisableIncremental: !*incremental,
 	}
 	switch *solver {
 	case "maxhs":

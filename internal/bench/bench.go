@@ -51,6 +51,10 @@ type Config struct {
 	// an expiry is reported as "t/o" rather than stalling the suite. The
 	// paper's own evaluation uses wall-clock timeouts. 0 means none.
 	Timeout time.Duration
+	// DisableIncremental runs every engine on the legacy solve path
+	// (fresh solver per MaxSAT run, no shared hard-clause bases); the
+	// pr3 experiment ignores it and always measures both paths.
+	DisableIncremental bool
 }
 
 // DefaultConfig returns the calibration used by EXPERIMENTS.md. The
@@ -259,10 +263,11 @@ func ms(d time.Duration) string {
 
 func (r *Runner) engine(in *db.Instance) (*core.Engine, error) {
 	return core.New(in, core.Options{
-		Mode:        core.KeysMode,
-		MaxSAT:      r.cfg.Solver,
-		Parallelism: r.cfg.Parallelism,
-		Timeout:     r.cfg.Timeout,
+		Mode:               core.KeysMode,
+		MaxSAT:             r.cfg.Solver,
+		Parallelism:        r.cfg.Parallelism,
+		Timeout:            r.cfg.Timeout,
+		DisableIncremental: r.cfg.DisableIncremental,
 	})
 }
 
@@ -683,11 +688,12 @@ func (r *Runner) Figure9() (*Table, error) {
 		return nil, err
 	}
 	eng, err := core.New(in, core.Options{
-		Mode:        core.DCMode,
-		DCs:         dcs,
-		MaxSAT:      r.cfg.Solver,
-		Parallelism: r.cfg.Parallelism,
-		Timeout:     r.cfg.Timeout,
+		Mode:               core.DCMode,
+		DCs:                dcs,
+		MaxSAT:             r.cfg.Solver,
+		Parallelism:        r.cfg.Parallelism,
+		Timeout:            r.cfg.Timeout,
+		DisableIncremental: r.cfg.DisableIncremental,
 	})
 	if err != nil {
 		return nil, err
@@ -744,6 +750,7 @@ func (r *Runner) All(w io.Writer) error {
 		{"table4", r.TableIV},
 		{"fig9", r.Figure9},
 		{"ablation", r.Ablation},
+		{"pr3", r.IncrementalCompare},
 	}
 	for _, e := range experiments {
 		r.setExperiment(e.name)
@@ -800,6 +807,8 @@ func (r *Runner) experimentByName(name string) (*Table, error) {
 		return r.TableIV()
 	case "ablation":
 		return r.Ablation()
+	case "pr3", "incremental":
+		return r.IncrementalCompare()
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q", name)
 	}
@@ -809,6 +818,6 @@ func (r *Runner) experimentByName(name string) (*Table, error) {
 func Names() []string {
 	return []string{
 		"fig1", "fig2", "table2", "fig3", "table3ab", "fig4", "table3cd",
-		"fig5", "fig6", "fig7", "fig8", "table4", "fig9", "ablation",
+		"fig5", "fig6", "fig7", "fig8", "table4", "fig9", "ablation", "pr3",
 	}
 }

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"aggcavsat/internal/core"
+	"aggcavsat/internal/tpch"
+)
+
+// IncrementalCompare (experiment "pr3") measures the incremental
+// shared-base solve path against the legacy one-solver-per-run path on
+// the same instances and queries, in one process and one run. The
+// legacy engine (DisableIncremental) reproduces the pre-incremental
+// code path exactly, so its column is the in-run baseline.
+//
+// Every query runs reps times per mode on one engine per mode; the
+// reported solve time is the best repetition. Repetitions are where the
+// incremental path earns its keep — the component base cache and the
+// learnt clauses released back to it persist across calls on the same
+// engine, which is the intended deployment shape (an engine serves many
+// queries over one instance) — while the legacy engine re-encodes and
+// re-loads every solver from scratch each time by construction.
+func (r *Runner) IncrementalCompare() (*Table, error) {
+	r.setExperiment("PR3") // records land in BENCH_PR3.json
+	const reps = 3
+	in, err := r.dbgen(r.cfg.SFSmall, 25)
+	if err != nil {
+		return nil, err
+	}
+	queries := append(append([]tpch.Query{}, tpch.ScalarQueries()...), tpch.GroupedQueries()...)
+
+	t := &Table{
+		Title: fmt.Sprintf("PR3 — incremental vs legacy solve path, DBGen 25%%, sf=%g (best of %d)",
+			r.cfg.SFSmall, reps),
+		Header: []string{"query", "legacy_solve_ms", "incr_solve_ms", "solve_reduction", "legacy_total_ms", "incr_total_ms"},
+	}
+	type meas struct {
+		stats   core.Stats
+		total   time.Duration
+		answers int
+	}
+	run := func(disable bool) (map[string]meas, error) {
+		eng, err := core.New(in, core.Options{
+			Mode:               core.KeysMode,
+			MaxSAT:             r.cfg.Solver,
+			Parallelism:        r.cfg.Parallelism,
+			Timeout:            r.cfg.Timeout,
+			DisableIncremental: disable,
+		})
+		if err != nil {
+			return nil, err
+		}
+		best := map[string]meas{}
+		for rep := 0; rep < reps; rep++ {
+			for _, q := range queries {
+				tr, err := q.Translate()
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				rep2, err := eng.RangeAnswersContext(r.ctx(), tr.Aggs[0].Query)
+				if err != nil {
+					return nil, err
+				}
+				m := meas{stats: rep2.Stats, total: time.Since(start), answers: len(rep2.Answers)}
+				if prev, ok := best[q.Name]; !ok || m.stats.SolveTime < prev.stats.SolveTime {
+					best[q.Name] = m
+				}
+			}
+		}
+		return best, nil
+	}
+
+	legacy, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	incr, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range queries {
+		l, i := legacy[q.Name], incr[q.Name]
+		r.curSetting = "mode=legacy"
+		r.recordStats(q.Name, l.stats, l.total, l.answers)
+		r.curSetting = "mode=incremental"
+		r.recordStats(q.Name, i.stats, i.total, i.answers)
+		reduction := "n/a"
+		if l.stats.SolveTime > 0 {
+			reduction = fmt.Sprintf("%.1f%%",
+				100*(1-float64(i.stats.SolveTime)/float64(l.stats.SolveTime)))
+		}
+		t.Rows = append(t.Rows, []string{
+			q.Name,
+			ms(l.stats.SolveTime),
+			ms(i.stats.SolveTime),
+			reduction,
+			ms(l.total),
+			ms(i.total),
+		})
+	}
+	return t, nil
+}

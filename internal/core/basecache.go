@@ -1,0 +1,61 @@
+package core
+
+import (
+	"sync"
+
+	"aggcavsat/internal/db"
+	"aggcavsat/internal/maxsat"
+)
+
+// incremental reports whether the engine runs the shared-base solve
+// path: hard clauses loaded into a solver once per component and cloned
+// per MaxSAT run, with both optimization directions (and the MaxHS→RC2
+// fallback) served from the same base. External solvers cannot share a
+// base — each invocation consumes a standalone WCNF file — so they
+// always run legacy regardless of the option.
+func (e *Engine) incremental() bool {
+	return !e.opts.DisableIncremental && e.opts.MaxSAT.Algorithm != maxsat.AlgExternal
+}
+
+// baseEntry is one cached component: built at most once under once,
+// then shared read-only (the HardBase is only ever cloned, and varOf is
+// never written after construction).
+type baseEntry struct {
+	once sync.Once
+	enc  *encoder
+	base *maxsat.HardBase
+}
+
+// componentKey serializes a component's sorted closure fact list into a
+// map key (4 bytes per fact, little-endian — the factSetKey idiom).
+// Closure fact sets are canonical: two solve units entangle the same
+// facts iff their components coincide, so the key identifies the hard
+// formula exactly.
+func componentKey(facts []db.FactID) string {
+	b := make([]byte, 0, 4*len(facts))
+	for _, f := range facts {
+		b = append(b, byte(f), byte(f>>8), byte(f>>16), byte(f>>24))
+	}
+	return string(b)
+}
+
+// componentBase returns the hard-clause encoding of one component
+// together with its loaded solver base, building both on first use and
+// serving every later request — concurrent workers of the same query or
+// later queries over the same component — from the cache.
+//
+// The returned encoder wraps the cached formula in a copy-on-append
+// Snapshot: callers append their own soft clauses (and auxiliary hard
+// clauses — presentLit/brokenLit definitions) without contaminating the
+// cache. varOf is shared and must be treated as read-only, which every
+// caller honours (fact variables are only ever looked up after the
+// encoder is built).
+func (e *Engine) componentBase(cc *constraintContext, facts []db.FactID) (*encoder, *maxsat.HardBase) {
+	v, _ := e.bases.LoadOrStore(componentKey(facts), &baseEntry{})
+	ent := v.(*baseEntry)
+	ent.once.Do(func() {
+		ent.enc = newEncoder(cc, facts)
+		ent.base = maxsat.NewHardBase(ent.enc.formula)
+	})
+	return &encoder{formula: ent.enc.formula.Snapshot(), varOf: ent.enc.varOf}, ent.base
+}

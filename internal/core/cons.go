@@ -7,6 +7,7 @@ import (
 	"aggcavsat/internal/cnf"
 	"aggcavsat/internal/cq"
 	"aggcavsat/internal/db"
+	"aggcavsat/internal/maxsat"
 	"aggcavsat/internal/obsv"
 	"aggcavsat/internal/sat"
 )
@@ -115,7 +116,17 @@ func (e *Engine) consistentGroups(ctx context.Context, groups []cq.WitnessGroup,
 		return out, nil
 	}
 
-	enc := newEncoder(cc, cc.closure(seed))
+	closure := cc.closure(seed)
+	var enc *encoder
+	var base *maxsat.HardBase
+	if e.incremental() {
+		// Shards clone the cached hard base instead of each re-adding
+		// the shared formula clause by clause; repeated calls over the
+		// same closure (Algorithm 2 on similar queries) skip the encode.
+		enc, base = e.componentBase(cc, closure)
+	} else {
+		enc = newEncoder(cc, closure)
+	}
 	rc.encode(time.Since(encodeStart))
 	rc.absorbFormula(enc.formula)
 	if csp != nil {
@@ -142,7 +153,7 @@ func (e *Engine) consistentGroups(ctx context.Context, groups []cq.WitnessGroup,
 		if lo >= hi {
 			return nil
 		}
-		return e.checkCandidates(ctx, enc, todo[lo:hi], out, rc)
+		return e.checkCandidates(ctx, enc, base, todo[lo:hi], out, rc)
 	})
 	rc.solve(time.Since(solveStart))
 	if err != nil {
@@ -163,15 +174,23 @@ type consCandidate struct {
 // Activation literals a_b → (witness broken) are added per candidate;
 // out[p.index] receives the verdict (indices are disjoint across
 // shards, so no synchronization is needed on the writes).
-func (e *Engine) checkCandidates(ctx context.Context, enc *encoder, todo []consCandidate, out []bool, rc *recorder) error {
-	solver := sat.New()
+func (e *Engine) checkCandidates(ctx context.Context, enc *encoder, base *maxsat.HardBase, todo []consCandidate, out []bool, rc *recorder) error {
+	var solver *sat.Solver
+	if base != nil {
+		solver = base.Fork(enc.formula)
+		if !solver.Okay() {
+			return errInternalUnsat()
+		}
+	} else {
+		solver = sat.New()
+		if !solver.AddFormulaHard(enc.formula) {
+			return errInternalUnsat()
+		}
+		solver.EnsureVars(enc.formula.NumVars())
+	}
 	if b := e.opts.MaxSAT.ConflictBudget; b > 0 {
 		solver.SetConflictBudget(b)
 	}
-	if !solver.AddFormulaHard(enc.formula) {
-		return errInternalUnsat()
-	}
-	solver.EnsureVars(enc.formula.NumVars())
 	release := sat.StopOnDone(ctx, solver)
 	defer release()
 

@@ -76,6 +76,13 @@ type Options struct {
 	// metrics into this session-wide registry (e.g. for a Prometheus
 	// scrape endpoint). Per-call Stats are unaffected.
 	Metrics *obsv.Registry
+	// DisableIncremental forces the legacy solve path: one fresh solver
+	// per MaxSAT run and an explicit NegateSoft formula for the lub
+	// direction, with no sharing of hard-clause bases across directions,
+	// components, or queries. The escape hatch for the incremental path,
+	// which is on by default (external solvers always run legacy: they
+	// consume a WCNF file per invocation).
+	DisableIncremental bool
 }
 
 // Engine computes range consistent answers over one instance. The
@@ -91,6 +98,13 @@ type Engine struct {
 	// then shares the immutable result.
 	ctxOnce sync.Once
 	ctx     *constraintContext
+
+	// bases caches, per component (keyed by its sorted closure fact
+	// set), the hard-clause encoder output and the loaded solver base,
+	// so grouped queries and repeated calls whose components coincide
+	// clone the base instead of re-encoding and re-loading identical
+	// hard clauses. See componentBase.
+	bases sync.Map // componentKey(facts) → *baseEntry
 }
 
 // New creates an engine for the instance. For DCMode the constraints are

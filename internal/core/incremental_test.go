@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"aggcavsat/internal/cq"
+	"aggcavsat/internal/db"
+	"aggcavsat/internal/maxsat"
+)
+
+// TestIncrementalMatchesLegacy is the PR's identity property test: the
+// incremental shared-base path and the legacy one-solver-per-run path
+// must return byte-identical answers on random inconsistent instances,
+// for every operator, scalar and grouped, all three built-in MaxSAT
+// algorithms, and both a sequential and a parallel worker pool.
+func TestIncrementalMatchesLegacy(t *testing.T) {
+	ops := []cq.AggOp{cq.CountStar, cq.Count, cq.Sum, cq.CountDistinct, cq.SumDistinct, cq.Min, cq.Max}
+	algs := []maxsat.Algorithm{maxsat.AlgMaxHS, maxsat.AlgRC2, maxsat.AlgLSU}
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	for seed := 1; seed <= trials; seed++ {
+		r := rng(seed*15485863 + 9)
+		in := randomInstance(&r)
+		for _, alg := range algs {
+			for _, par := range []int{1, 4} {
+				inc, err := New(in, Options{Mode: KeysMode, Parallelism: par,
+					MaxSAT: maxsat.Options{Algorithm: alg}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				leg, err := New(in, Options{Mode: KeysMode, Parallelism: par,
+					MaxSAT: maxsat.Options{Algorithm: alg}, DisableIncremental: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, op := range ops {
+					for _, grouped := range []bool{false, true} {
+						q := joinQuery(op, grouped)
+						label := fmt.Sprintf("seed %d alg %v par %d op %v grouped %v", seed, alg, par, op, grouped)
+						a, err := inc.RangeAnswers(q)
+						if err != nil {
+							t.Fatalf("%s: incremental: %v", label, err)
+						}
+						b, err := leg.RangeAnswers(q)
+						if err != nil {
+							t.Fatalf("%s: legacy: %v", label, err)
+						}
+						if len(a.Answers) != len(b.Answers) {
+							t.Fatalf("%s: %d vs %d answers", label, len(a.Answers), len(b.Answers))
+						}
+						for i := range a.Answers {
+							ga, gb := a.Answers[i], b.Answers[i]
+							if ga.Key.Compare(gb.Key) != 0 ||
+								!valuesMatch(ga.GLB, gb.GLB) || !valuesMatch(ga.LUB, gb.LUB) ||
+								ga.EmptyPossible != gb.EmptyPossible {
+								t.Fatalf("%s: answer %d incremental %+v vs legacy %+v", label, i, ga, gb)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalConsistentAnswersMatch covers the Algorithm-2 path: the
+// candidate consistency checks fork from a cached hard base when
+// incremental, and must accept exactly the same answers either way.
+func TestIncrementalConsistentAnswersMatch(t *testing.T) {
+	u := cq.Single(cq.CQ{
+		Head: []string{"g"},
+		Atoms: []cq.Atom{
+			{Rel: "R", Args: []cq.Term{cq.V("k"), cq.V("g"), cq.V("v")}},
+			{Rel: "S", Args: []cq.Term{cq.V("k"), cq.V("w")}},
+		},
+	})
+	for seed := 1; seed <= 20; seed++ {
+		r := rng(seed*32452843 + 13)
+		in := randomInstance(&r)
+		for _, par := range []int{1, 4} {
+			inc, _ := New(in, Options{Mode: KeysMode, Parallelism: par})
+			leg, _ := New(in, Options{Mode: KeysMode, Parallelism: par, DisableIncremental: true})
+			a, _, err := inc.ConsistentAnswers(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := leg.ConsistentAnswers(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("seed %d par %d: %d vs %d consistent answers", seed, par, len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Compare(b[i]) != 0 {
+					t.Fatalf("seed %d par %d: answer %d %v vs %v", seed, par, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestComponentBaseCached pins the memoization: two calls for the same
+// component return the same HardBase, and the returned encoder's formula
+// is a private snapshot (appending to it does not grow the cache).
+func TestComponentBaseCached(t *testing.T) {
+	r := rng(42)
+	in := randomInstance(&r)
+	e, _ := New(in, Options{Mode: KeysMode})
+	cc := e.context()
+	var facts []db.FactID
+	for f := 0; f < in.NumFacts(); f++ {
+		facts = append(facts, db.FactID(f))
+	}
+	comp := cc.closure(map[db.FactID]bool{facts[0]: true})
+	enc1, base1 := e.componentBase(cc, comp)
+	enc2, base2 := e.componentBase(cc, comp)
+	if base1 != base2 {
+		t.Fatal("componentBase rebuilt the HardBase for an identical component")
+	}
+	n := enc2.formula.NumClauses()
+	enc1.formula.AddSoft(1, enc1.lit(comp[0]))
+	enc1.formula.AddHard(enc1.lit(comp[0]), enc1.lit(comp[0]).Neg())
+	if got := enc2.formula.NumClauses(); got != n {
+		t.Fatalf("snapshot leaked: sibling encoder grew from %d to %d clauses", n, got)
+	}
+	if _, base3 := e.componentBase(cc, comp); base3.NumClauses() != n {
+		t.Fatalf("cache contaminated: base covers %d clauses, want %d", base3.NumClauses(), n)
+	}
+}
+
+// benchInstance builds an inconsistent instance shaped like the paper's
+// benchmark databases: nKeys key-equal groups of 2–3 alternatives each,
+// values spread over a handful of grouping attributes so a grouped query
+// revisits the same components across groups.
+func benchInstance(nKeys int) *db.Instance {
+	s := db.NewSchema()
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "R",
+		Attrs: []db.Attribute{
+			{Name: "k", Kind: db.KindInt},
+			{Name: "g", Kind: db.KindString},
+			{Name: "v", Kind: db.KindInt},
+		},
+		Key: []int{0},
+	})
+	in := db.NewInstance(s)
+	groups := []string{"a", "b", "c", "d"}
+	for k := 0; k < nKeys; k++ {
+		alts := 2 + k%2
+		for a := 0; a < alts; a++ {
+			in.MustInsert("R",
+				db.Int(int64(k)),
+				db.Str(groups[(k+a)%len(groups)]),
+				db.Int(int64(1+(k*7+a*13)%23)))
+		}
+	}
+	return in
+}
+
+// BenchmarkGroupedSumIncremental measures the end-to-end grouped SUM
+// pipeline — Algorithm 2 grouping plus one WPMaxSAT component per
+// key-equal group per direction — with the shared-base path on and off.
+func BenchmarkGroupedSumIncremental(b *testing.B) {
+	in := benchInstance(150)
+	q := singleRelQuery(cq.Sum, true)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"incremental", false}, {"legacy", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e, err := New(in, Options{Mode: KeysMode, Parallelism: 1, DisableIncremental: mode.disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.RangeAnswers(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

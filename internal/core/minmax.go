@@ -9,6 +9,7 @@ import (
 	"aggcavsat/internal/cnf"
 	"aggcavsat/internal/cq"
 	"aggcavsat/internal/db"
+	"aggcavsat/internal/maxsat"
 	"aggcavsat/internal/obsv"
 	"aggcavsat/internal/sat"
 )
@@ -80,7 +81,17 @@ func (e *Engine) minMaxFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witnes
 			}
 		}
 	}
-	enc := newEncoder(cc, cc.closure(seed))
+	closure := cc.closure(seed)
+	var enc *encoder
+	var base *maxsat.HardBase
+	if e.incremental() {
+		// The probe solver forks from the component's cached hard base:
+		// grouped MIN/MAX queries whose groups share a closure skip the
+		// re-encode and clause re-load entirely.
+		enc, base = e.componentBase(cc, closure)
+	} else {
+		enc = newEncoder(cc, closure)
+	}
 	// Allocate witness-presence literals first so every defining clause
 	// lands in enc.formula before the solver copies it.
 	presentLits := make([][]cnf.Lit, len(values))
@@ -90,15 +101,24 @@ func (e *Engine) minMaxFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witnes
 			presentLits[i][j] = enc.presentLit(fs)
 		}
 	}
-	solver := sat.New()
+	var solver *sat.Solver
+	if base != nil {
+		solver = base.Fork(enc.formula)
+		if !solver.Okay() {
+			esp.End()
+			return Range{}, errInternalUnsat()
+		}
+	} else {
+		solver = sat.New()
+		if !solver.AddFormulaHard(enc.formula) {
+			esp.End()
+			return Range{}, errInternalUnsat()
+		}
+		solver.EnsureVars(enc.formula.NumVars())
+	}
 	if b := e.opts.MaxSAT.ConflictBudget; b > 0 {
 		solver.SetConflictBudget(b)
 	}
-	if !solver.AddFormulaHard(enc.formula) {
-		esp.End()
-		return Range{}, errInternalUnsat()
-	}
-	solver.EnsureVars(enc.formula.NumVars())
 	release := sat.StopOnDone(ctx, solver)
 	defer release()
 

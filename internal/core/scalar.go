@@ -144,7 +144,13 @@ func (e *Engine) sumCountFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 	err = forEach(ctx, e.parallelism(), len(split.groups), func(ctx context.Context, ci int) error {
 		encodeStart := time.Now()
 		_, esp := obsv.StartSpan(ctx, "core.encode")
-		enc := newEncoder(cc, split.facts[ci])
+		var enc *encoder
+		var base *maxsat.HardBase
+		if e.incremental() {
+			enc, base = e.componentBase(cc, split.facts[ci])
+		} else {
+			enc = newEncoder(cc, split.facts[ci])
+		}
 		var negOffset int64
 		// Soft clauses: step 2a/2b.
 		for _, wi := range split.groups[ci] {
@@ -169,7 +175,7 @@ func (e *Engine) sumCountFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 		rc.absorbFormula(enc.formula)
 		endEncodeSpan(esp, enc.formula)
 
-		minF, maxF, err := e.solveBothDirections(ctx, enc.formula, rc)
+		minF, maxF, err := e.solveBothDirections(ctx, enc.formula, base, rc)
 		if err != nil {
 			return err
 		}
@@ -277,7 +283,13 @@ func (e *Engine) distinctFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 	err := forEach(ctx, e.parallelism(), len(split.groups), func(ctx context.Context, ci int) error {
 		encodeStart := time.Now()
 		_, esp := obsv.StartSpan(ctx, "core.encode")
-		enc := newEncoder(cc, split.facts[ci])
+		var enc *encoder
+		var base *maxsat.HardBase
+		if e.incremental() {
+			enc, base = e.componentBase(cc, split.facts[ci])
+		} else {
+			enc = newEncoder(cc, split.facts[ci])
+		}
 		var negOffset int64
 		for _, ui := range split.groups[ci] {
 			g := uncertain[ui]
@@ -316,7 +328,7 @@ func (e *Engine) distinctFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 		rc.absorbFormula(enc.formula)
 		endEncodeSpan(esp, enc.formula)
 
-		minF, maxF, err := e.solveBothDirections(ctx, enc.formula, rc)
+		minF, maxF, err := e.solveBothDirections(ctx, enc.formula, base, rc)
 		if err != nil {
 			return err
 		}
@@ -349,8 +361,32 @@ func distinctContribution(op cq.AggOp, v db.Value) int64 {
 // (maximize satisfied soft weight, i.e. minimize falsified weight) and —
 // via Kügel's CNF-negation — the lub direction (minimize satisfied, i.e.
 // maximize falsified). It returns (minFalsified, maxFalsified).
-func (e *Engine) solveBothDirections(ctx context.Context, f *cnf.Formula, rc *recorder) (minF, maxF int64, err error) {
+//
+// On the incremental path both directions run over one maxsat.Instance
+// sharing a single solver base (cloned per algorithm run), seeded from
+// the component's cached HardBase when the caller has one; the negation
+// is a weight view, so no negated formula is materialized. The legacy
+// path builds a fresh solver per run and an explicit NegateSoft copy.
+func (e *Engine) solveBothDirections(ctx context.Context, f *cnf.Formula, base *maxsat.HardBase, rc *recorder) (minF, maxF int64, err error) {
 	total := f.TotalSoftWeight()
+
+	if e.incremental() {
+		inst := maxsat.NewInstance(f, base, e.opts.MaxSAT)
+		// Hand learnt clauses back to the component's cached base (when
+		// provably sound) so sibling groups and later queries start from
+		// them.
+		defer inst.Release()
+		res, err := e.runInstance(ctx, inst.SolveMin, rc)
+		if err != nil {
+			return 0, 0, err
+		}
+		minF = total - res.Optimum
+		res, err = e.runInstance(ctx, inst.SolveMax, rc)
+		if err != nil {
+			return 0, 0, err
+		}
+		return minF, res.Optimum, nil
+	}
 
 	res, err := e.runMaxSAT(ctx, f, rc)
 	if err != nil {
@@ -365,6 +401,23 @@ func (e *Engine) solveBothDirections(ctx context.Context, f *cnf.Formula, rc *re
 	}
 	maxF = res.Optimum
 	return minF, maxF, nil
+}
+
+// runInstance times and accounts one direction of an incremental solve,
+// mirroring runMaxSAT's bookkeeping and error mapping.
+func (e *Engine) runInstance(ctx context.Context, solve func(context.Context) (maxsat.Result, error), rc *recorder) (maxsat.Result, error) {
+	start := time.Now()
+	res, err := solve(ctx)
+	rc.solve(time.Since(start))
+	rc.satCalls(res.SATCalls)
+	if err != nil {
+		return res, mapSolveErr(err)
+	}
+	rc.maxsatRun()
+	if !res.Satisfiable {
+		return res, fmt.Errorf("core: hard clauses unsatisfiable; every instance must have a repair (internal bug)")
+	}
+	return res, nil
 }
 
 func (e *Engine) runMaxSAT(ctx context.Context, f *cnf.Formula, rc *recorder) (maxsat.Result, error) {

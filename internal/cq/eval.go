@@ -3,6 +3,7 @@ package cq
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"aggcavsat/internal/db"
 )
@@ -15,9 +16,14 @@ type Row struct {
 }
 
 // Evaluator evaluates conjunctive queries over a fixed instance, caching
-// hash indexes across queries. It is not safe for concurrent use.
+// hash indexes across queries. It is safe for concurrent use: the lazy
+// index cache is guarded by a mutex (double-checked), and a built index
+// is immutable thereafter, so engine worker pools may evaluate queries
+// on one shared evaluator.
 type Evaluator struct {
-	in      *db.Instance
+	in *db.Instance
+
+	mu      sync.RWMutex
 	indexes map[indexKey]map[string][]db.FactID
 }
 
@@ -42,10 +48,19 @@ func (e *Evaluator) index(rel string, positions []int) map[string][]db.FactID {
 		mask |= 1 << uint(p)
 	}
 	key := indexKey{rel: rel, mask: mask}
+	e.mu.RLock()
+	idx, ok := e.indexes[key]
+	e.mu.RUnlock()
+	if ok {
+		return idx
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Double-check: another goroutine may have built it while we waited.
 	if idx, ok := e.indexes[key]; ok {
 		return idx
 	}
-	idx := make(map[string][]db.FactID)
+	idx = make(map[string][]db.FactID)
 	for _, id := range e.in.RelFacts(rel) {
 		k := e.in.Fact(id).Tuple.Key(positions)
 		idx[k] = append(idx[k], id)

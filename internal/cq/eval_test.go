@@ -2,6 +2,7 @@ package cq
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"aggcavsat/internal/db"
@@ -424,5 +425,36 @@ func TestVarsSorted(t *testing.T) {
 	}
 	if len(vars) != 6 {
 		t.Errorf("vars = %v", vars)
+	}
+}
+
+// TestEvaluatorConcurrentEval exercises the lazy index cache from many
+// goroutines at once (run under -race): concurrent Eval calls must
+// build each index exactly once semantically and return identical rows.
+func TestEvaluatorConcurrentEval(t *testing.T) {
+	in := bank()
+	e := NewEvaluator(in)
+	want := e.Eval(maryBalances())
+	queries := []CQ{maryBalances(), sameCity()}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				q := queries[(g+rep)%len(queries)]
+				rows := e.Eval(q)
+				if q.Head != nil && len(q.Head) == 1 && len(rows) != len(want) {
+					errs <- "row count drifted under concurrency"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
 	}
 }

@@ -70,18 +70,22 @@ func buildGTE(s *sat.Solver, inputs []wlit) []wlit {
 // repeatedly find a model, measure the falsified soft weight U, and add
 // hard unit clauses banning every attainable violated weight ≥ U. The
 // last model before UNSAT is optimal.
-func solveLSU(ctx context.Context, f *cnf.Formula, opts Options) (Result, error) {
-	s := sat.New()
+// The solver comes from p.fork(). LSU builds its counter immediately
+// and adds ban units as it improves, so p.adopt almost always rejects
+// the solver at exit; trivially easy runs that added nothing still get
+// adopted.
+func solveLSU(ctx context.Context, p *problem, opts Options) (Result, error) {
+	s := p.fork()
+	if !s.Okay() {
+		return Result{Satisfiable: false}, nil
+	}
+	defer p.adoptSolver(s) // registered first: runs after release()
 	if opts.ConflictBudget > 0 {
 		s.SetConflictBudget(opts.ConflictBudget)
 	}
-	if !s.AddFormulaHard(f) {
-		return Result{Satisfiable: false}, nil
-	}
-	s.EnsureVars(f.NumVars())
 	release := sat.StopOnDone(ctx, s)
 	defer release()
-	weights := selectors(s, f)
+	weights := p.weights
 	tr := newTracker(opts, AlgLSU, s)
 
 	// Violation indicators: the negations of the selectors.
@@ -115,13 +119,13 @@ func solveLSU(ctx context.Context, f *cnf.Formula, opts Options) (Result, error)
 			return best, nil
 		case sat.Sat:
 			model := s.Model()
-			opt := evalOriginal(f, model)
-			falsified := f.TotalSoftWeight() - opt
+			opt := p.score(model)
+			falsified := p.total - opt
 			best = Result{
 				Satisfiable:     true,
 				Optimum:         opt,
 				FalsifiedWeight: falsified,
-				Model:           trimModel(f, model),
+				Model:           p.trim(model),
 			}
 			haveBest = true
 			tr.bounds(-1, falsified)

@@ -30,18 +30,25 @@ import (
 // overlapping cores — for the repair structures produced by the
 // reductions, most cores are disjoint and the clusters stay small.
 // MaxHS proper delegates this to an ILP solver (CPLEX).
-func solveMaxHS(ctx context.Context, f *cnf.Formula, opts Options) (Result, error) {
-	s := sat.New()
+//
+// The solver comes from p.fork() — a fresh build on the legacy path, a
+// clone of the shared base under an Instance. MaxHS only ever solves
+// under assumptions and never adds clauses, so the solver is offered
+// back via p.adopt on every exit: its learnt clauses are implied by the
+// shared clause set and carry over to the other direction and to any
+// RC2 fallback.
+func solveMaxHS(ctx context.Context, p *problem, opts Options) (Result, error) {
+	s := p.fork()
+	if !s.Okay() {
+		return Result{Satisfiable: false}, nil
+	}
+	defer p.adoptSolver(s) // registered first: runs after release()
 	if opts.ConflictBudget > 0 {
 		s.SetConflictBudget(opts.ConflictBudget)
 	}
-	if !s.AddFormulaHard(f) {
-		return Result{Satisfiable: false}, nil
-	}
-	s.EnsureVars(f.NumVars())
 	release := sat.StopOnDone(ctx, s)
 	defer release()
-	weights := selectors(s, f)
+	weights := p.weights
 	all := sortedSelectors(weights)
 	tr := newTracker(opts, AlgMaxHS, s)
 
@@ -50,6 +57,11 @@ func solveMaxHS(ctx context.Context, f *cnf.Formula, opts Options) (Result, erro
 		hs.nodeBudget = opts.HSNodeBudget
 	}
 	needExact := false
+	// Scratch buffers reused across every SAT call: the inner loop used
+	// to allocate a fresh O(#selectors) assumptions slice and excluded
+	// map per call, which dominated allocation on large components.
+	assumptions := make([]cnf.Lit, 0, len(all))
+	excluded := make(map[cnf.Lit]bool, len(all))
 	for {
 		if err := interrupted(ctx); err != nil {
 			return statsOf(s), err
@@ -79,13 +91,13 @@ func solveMaxHS(ctx context.Context, f *cnf.Formula, opts Options) (Result, erro
 			}
 			tr.event("hitting-set")
 		}
-		excluded := make(map[cnf.Lit]bool, len(H))
+		clear(excluded)
 		for l := range H {
 			excluded[l] = true
 		}
 		foundCore := false
 		for {
-			assumptions := make([]cnf.Lit, 0, len(all))
+			assumptions = assumptions[:0]
 			for _, l := range all {
 				if !excluded[l] {
 					assumptions = append(assumptions, l)
@@ -109,14 +121,14 @@ func solveMaxHS(ctx context.Context, f *cnf.Formula, opts Options) (Result, erro
 					// SAT under the optimal hitting set: the model is
 					// optimal.
 					model := s.Model()
-					opt := evalOriginal(f, model)
-					tr.bounds(-1, f.TotalSoftWeight()-opt)
+					opt := p.score(model)
+					tr.bounds(-1, p.total-opt)
 					tr.event("model")
 					return Result{
 						Satisfiable:     true,
 						Optimum:         opt,
-						FalsifiedWeight: f.TotalSoftWeight() - opt,
-						Model:           trimModel(f, model),
+						FalsifiedWeight: p.total - opt,
+						Model:           p.trim(model),
 						SATCalls:        s.Stats.Solves,
 						Conflicts:       s.Stats.Conflicts,
 					}, nil

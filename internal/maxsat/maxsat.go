@@ -153,31 +153,12 @@ func SolveContext(ctx context.Context, f *cnf.Formula, opts Options) (Result, er
 
 func solveDispatch(ctx context.Context, f *cnf.Formula, opts Options) (Result, error) {
 	switch opts.Algorithm {
-	case AlgMaxHS:
-		res, err := solveMaxHS(ctx, f, opts)
-		if errors.Is(err, errHSBudget) {
-			if opts.ConflictBudget > 0 {
-				// The caller runs with explicit budgets (benchmark
-				// timeouts): surface the budget error immediately
-				// instead of grinding through the fallback.
-				return res, err
-			}
-			// A pathological hitting-set cluster: degrade gracefully to
-			// core-guided search, which has no comparable blow-up mode
-			// (only the slower weight-splitting convergence). The failed
-			// attempt's SAT calls and conflicts still happened: fold them
-			// into whatever the fallback reports so the recorded stats
-			// count all the work done.
-			rres, rerr := solveRC2(ctx, f, opts)
-			rres.SATCalls += res.SATCalls
-			rres.Conflicts += res.Conflicts
-			return rres, rerr
-		}
-		return res, err
-	case AlgRC2:
-		return solveRC2(ctx, f, opts)
-	case AlgLSU:
-		return solveLSU(ctx, f, opts)
+	case AlgMaxHS, AlgRC2, AlgLSU:
+		// The built-ins run through the problem abstraction; on this
+		// one-shot path each fork rebuilds from the formula (the MaxHS→
+		// RC2 fallback lives inside solveProblem). Incremental callers
+		// use NewInstance instead and share one hard-clause base.
+		return solveProblem(ctx, formulaProblem(f), opts)
 	case AlgExternal:
 		return solveExternal(ctx, f, opts)
 	default:
@@ -227,26 +208,6 @@ func evalModel(f *cnf.Formula, model []bool) (int64, error) {
 		return 0, errors.New("maxsat: model violates a hard clause")
 	}
 	return satW, nil
-}
-
-// evalOriginal is evalModel for the built-in algorithms, whose models
-// come from our own SAT solver: a hard-clause violation there is an
-// internal invariant violation, so it panics. Untrusted models (external
-// solver output) go through evalModel and surface an error instead.
-func evalOriginal(f *cnf.Formula, model []bool) int64 {
-	satW, err := evalModel(f, model)
-	if err != nil {
-		panic("maxsat: optimal model violates a hard clause")
-	}
-	return satW
-}
-
-// trimModel copies the model down to the original formula's variables.
-func trimModel(f *cnf.Formula, model []bool) []bool {
-	n := f.NumVars() + 1
-	out := make([]bool, n)
-	copy(out, model[:min(len(model), n)])
-	return out
 }
 
 func min(a, b int) int {

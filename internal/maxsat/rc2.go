@@ -24,18 +24,22 @@ import (
 //   - *lazy totalizer bounds*: a new totalizer contributes a single soft
 //     selector "¬(≥2 violated)"; the next bound's selector is added only
 //     when the current one exhausts its weight.
-func solveRC2(ctx context.Context, f *cnf.Formula, opts Options) (Result, error) {
-	s := sat.New()
+// The solver comes from p.fork(); RC2 consumes the selector weights
+// destructively, so it works on a private copy. It normally extends the
+// clause set (totalizers, hardening), in which case p.adopt rejects the
+// solver at exit; a run that happened to add nothing is adopted.
+func solveRC2(ctx context.Context, p *problem, opts Options) (Result, error) {
+	s := p.fork()
+	if !s.Okay() {
+		return Result{Satisfiable: false}, nil
+	}
+	defer p.adoptSolver(s) // registered first: runs after release()
 	if opts.ConflictBudget > 0 {
 		s.SetConflictBudget(opts.ConflictBudget)
 	}
-	if !s.AddFormulaHard(f) {
-		return Result{Satisfiable: false}, nil
-	}
-	s.EnsureVars(f.NumVars())
 	release := sat.StopOnDone(ctx, s)
 	defer release()
-	weights := selectors(s, f)
+	weights := p.weightsCopy()
 	tr := newTracker(opts, AlgRC2, s)
 
 	// totInfo tracks a lazily-bounded totalizer: outputs[bound] is the
@@ -105,10 +109,10 @@ func solveRC2(ctx context.Context, f *cnf.Formula, opts Options) (Result, error)
 			// model, is returned at termination: hardening can retire
 			// below-threshold selectors that the current model violates.
 			model := s.Model()
-			opt := evalOriginal(f, model)
-			if fals := f.TotalSoftWeight() - opt; bestUB < 0 || fals < bestUB {
+			opt := p.score(model)
+			if fals := p.total - opt; bestUB < 0 || fals < bestUB {
 				bestUB = fals
-				bestModel = trimModel(f, model)
+				bestModel = p.trim(model)
 			}
 			tr.bounds(cost, bestUB)
 			tr.event("model")
@@ -122,7 +126,7 @@ func solveRC2(ctx context.Context, f *cnf.Formula, opts Options) (Result, error)
 			if next == 0 {
 				return Result{
 					Satisfiable:     true,
-					Optimum:         f.TotalSoftWeight() - bestUB,
+					Optimum:         p.total - bestUB,
 					FalsifiedWeight: bestUB,
 					Model:           bestModel,
 					SATCalls:        s.Stats.Solves,

@@ -1,0 +1,70 @@
+package sat
+
+// Clone returns a deep snapshot of the solver: clause headers, the flat
+// literal arena, watch lists, the level-0 trail, assignments, variable
+// activities, saved phases, and the branching heap are all copied, so
+// the clone resumes exactly where the original stands while sharing no
+// mutable memory with it. Learnt clauses present at snapshot time carry
+// over — they are implied by the clause database alone, so they remain
+// valid for any use of the clone.
+//
+// Clone must be called at decision level 0 with no Solve in flight (the
+// natural state between Solve calls); it panics during search. The
+// clone starts with fresh Statistics, a clear interrupt flag, no
+// conflict budget, and no progress callback. Cloning the same solver
+// from multiple goroutines is safe as long as nothing mutates it.
+func (s *Solver) Clone() *Solver {
+	if len(s.trailLim) != 0 {
+		panic("sat: Clone called during search")
+	}
+	c := &Solver{
+		okay:            s.okay,
+		qhead:           s.qhead,
+		varInc:          s.varInc,
+		claInc:          s.claInc,
+		learntCount:     s.learntCount,
+		maxLearnts:      s.maxLearnts,
+		originalClauses: s.originalClauses,
+		lbdStamp:        s.lbdStamp,
+	}
+	c.clauses = append([]clause(nil), s.clauses...)
+	c.arena = append([]lit(nil), s.arena...)
+	// Watch lists are rebuilt over one flat backing array. Each
+	// per-literal slice gets capacity == length, so a later append in
+	// the clone reallocates privately instead of clobbering the
+	// neighbouring list.
+	total := 0
+	for _, ws := range s.watches {
+		total += len(ws)
+	}
+	backing := make([]watcher, 0, total)
+	c.watches = make([][]watcher, len(s.watches))
+	for i, ws := range s.watches {
+		if len(ws) == 0 {
+			continue
+		}
+		start := len(backing)
+		backing = append(backing, ws...)
+		c.watches[i] = backing[start:len(backing):len(backing)]
+	}
+	c.assigns = append([]lbool(nil), s.assigns...)
+	c.level = append([]int32(nil), s.level...)
+	c.reason = append([]int32(nil), s.reason...)
+	c.phase = append([]bool(nil), s.phase...)
+	c.trail = append([]lit(nil), s.trail...)
+	c.activity = append([]float64(nil), s.activity...)
+	c.seen = make([]bool, len(s.seen))
+	c.lbdSeen = append([]uint64(nil), s.lbdSeen...)
+	c.heap.heap = append([]int(nil), s.heap.heap...)
+	c.heap.pos = append([]int(nil), s.heap.pos...)
+	return c
+}
+
+// AddedSinceClone reports how many clauses have been added through
+// AddClause (units included, tautologies and already-satisfied clauses
+// excluded) since this solver was created by New or Clone. Learnt
+// clauses do not count: they are consequences of the clause set, not
+// extensions of it. A clone that still reports zero therefore holds
+// only consequences of its origin's clauses — the soundness condition
+// for adopting its learnt clauses back into a shared base.
+func (s *Solver) AddedSinceClone() int { return s.addedClauses }

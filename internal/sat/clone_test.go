@@ -1,0 +1,262 @@
+package sat
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"aggcavsat/internal/cnf"
+)
+
+// randomClauses builds a small random 3-SAT-ish formula from a seed,
+// mirroring the generator of TestRandomAgainstBruteForce.
+func randomClauses(seed uint64) (nVars int, clauses [][]cnf.Lit) {
+	rng := seed | 1
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	nVars = 3 + next(6) // 3..8
+	nCls := 2 + next(25)
+	clauses = make([][]cnf.Lit, nCls)
+	for i := range clauses {
+		k := 1 + next(3)
+		c := make([]cnf.Lit, k)
+		for j := range c {
+			v := 1 + next(nVars)
+			if next(2) == 0 {
+				c[j] = cnf.Lit(v)
+			} else {
+				c[j] = cnf.Lit(-v)
+			}
+		}
+		clauses[i] = c
+	}
+	return nVars, clauses
+}
+
+// TestCloneAnswersMatchFresh is the Clone soundness property test: a
+// clone of a loaded solver must answer exactly like a freshly built
+// solver over the same clauses, for plain solving, for assumption
+// queries, and after both sides add the same extra clauses.
+func TestCloneAnswersMatchFresh(t *testing.T) {
+	fn := func(seed uint64) bool {
+		nVars, clauses := randomClauses(seed)
+		build := func() *Solver {
+			s := New()
+			s.EnsureVars(nVars)
+			for _, c := range clauses {
+				s.AddClause(c...)
+			}
+			return s
+		}
+		base := build()
+		clone := base.Clone()
+		fresh := build()
+		if clone.Solve() != fresh.Solve() {
+			return false
+		}
+		// Assumption queries must agree literal by literal.
+		for v := 1; v <= nVars; v++ {
+			for _, a := range []cnf.Lit{cnf.Lit(v), cnf.Lit(-v)} {
+				if clone.Solve(a) != fresh.Solve(a) {
+					return false
+				}
+			}
+		}
+		// Clone again from the (untouched) base after the first clone
+		// has solved: the base must be unaffected by the clone's work.
+		clone2 := base.Clone()
+		if clone2.AddedSinceClone() != 0 {
+			return false
+		}
+		extra := cnf.Lit(1 + int(seed%uint64(nVars)))
+		fresh2 := build()
+		before := fresh2.AddedSinceClone()
+		okC := clone2.AddClause(extra)
+		okF := fresh2.AddClause(extra)
+		if okC != okF || clone2.Solve() != fresh2.Solve() {
+			return false
+		}
+		// The clone's counter restarts at zero, so it must equal the
+		// fresh solver's delta for the same AddClause (zero when the
+		// clause was dropped as already satisfied).
+		return clone2.AddedSinceClone() == fresh2.AddedSinceClone()-before
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCloneCarriesLearntClauses solves on a clone, then checks that the
+// learnt clauses it accumulated survive adoption: a clone of the worked
+// solver answers identically to a fresh one on follow-up queries.
+func TestCloneCarriesLearntClauses(t *testing.T) {
+	s := New()
+	addPigeonhole(s, 6) // 7 pigeons, 6 holes: hard enough to learn
+	worked := s.Clone()
+	if st := worked.Solve(); st != Unsat {
+		t.Fatalf("pigeonhole status = %v, want UNSAT", st)
+	}
+	if worked.AddedSinceClone() != 0 {
+		t.Fatalf("solving alone must not count as adding clauses, got %d", worked.AddedSinceClone())
+	}
+	if worked.Stats.Learnt == 0 {
+		t.Fatal("expected learnt clauses from the pigeonhole instance")
+	}
+	// A clone of the worked solver keeps the learnt clauses and still
+	// reports UNSAT straight away.
+	again := worked.Clone()
+	if st := again.Solve(); st != Unsat {
+		t.Fatalf("clone of worked solver: status = %v, want UNSAT", st)
+	}
+	// The original base is untouched and still solves from scratch.
+	if st := s.Clone().Solve(); st != Unsat {
+		t.Fatal("original base corrupted by clone activity")
+	}
+}
+
+// TestCloneIndependence checks that structural mutations on a clone
+// (new vars, new clauses, solving, enumeration) never leak into the
+// solver it was cloned from.
+func TestCloneIndependence(t *testing.T) {
+	base := New()
+	base.AddClause(1, 2)
+	base.AddClause(-1, 3)
+	c := base.Clone()
+	c.AddClause(cnf.Lit(c.NewVar()))
+	c.AddClause(-2)
+	c.AddClause(-3)
+	if st := c.Solve(); st != Unsat {
+		t.Fatalf("constrained clone = %v, want UNSAT", st)
+	}
+	if !base.Okay() {
+		t.Fatal("clone's top-level conflict leaked into the base")
+	}
+	if base.NumVars() != 3 {
+		t.Fatalf("base vars = %d, want 3", base.NumVars())
+	}
+	if st := base.Solve(); st != Sat {
+		t.Fatalf("base = %v, want SAT", st)
+	}
+}
+
+// TestClonePanicsDuringSearch pins the level-0 contract.
+func TestClonePanicsDuringSearch(t *testing.T) {
+	s := New()
+	s.AddClause(1, 2)
+	// Fake an open decision level the way search would.
+	s.trailLim = append(s.trailLim, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Clone during search did not panic")
+		}
+	}()
+	s.Clone()
+}
+
+// TestCloneInterruptedFlagFresh: clones of an interrupted solver start
+// uninterrupted (each clone owns a fresh stop flag).
+func TestCloneInterruptedFlagFresh(t *testing.T) {
+	s := New()
+	s.AddClause(1)
+	s.Interrupt()
+	c := s.Clone()
+	if c.Interrupted() {
+		t.Fatal("clone inherited the interrupt flag")
+	}
+	if st := c.Solve(); st != Sat {
+		t.Fatalf("clone of interrupted solver = %v, want SAT", st)
+	}
+}
+
+// addPigeonhole loads the n+1-pigeons-into-n-holes instance.
+func addPigeonhole(s *Solver, n int) {
+	varOf := func(p, h int) cnf.Lit { return cnf.Lit(p*n + h + 1) }
+	for p := 0; p <= n; p++ {
+		row := make([]cnf.Lit, n)
+		for h := 0; h < n; h++ {
+			row[h] = varOf(p, h)
+		}
+		s.AddClause(row...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(-varOf(p1, h), -varOf(p2, h))
+			}
+		}
+	}
+}
+
+// TestMaxLearntsScalesWithClauses pins the satellite: the learnt cap
+// floors at 8000 and grows to clauses/3 for large instances.
+func TestMaxLearntsScalesWithClauses(t *testing.T) {
+	small := New()
+	small.AddClause(1, 2)
+	small.Solve()
+	if small.maxLearnts != 8000 {
+		t.Fatalf("small instance maxLearnts = %v, want 8000", small.maxLearnts)
+	}
+	big := New()
+	big.EnsureVars(200)
+	n := 0
+	for i := 1; i <= 198 && n < 30000; i++ {
+		for j := i + 1; j <= 199 && n < 30000; j++ {
+			big.AddClause(cnf.Lit(i), cnf.Lit(j), cnf.Lit(200))
+			n++
+		}
+	}
+	big.Solve()
+	if want := float64(n) / 3; big.maxLearnts < want {
+		t.Fatalf("big instance maxLearnts = %v, want >= %v", big.maxLearnts, want)
+	}
+}
+
+// BenchmarkCloneVsRebuild measures the tentpole's core claim: cloning a
+// loaded solver is much cheaper than re-adding every clause.
+func BenchmarkCloneVsRebuild(b *testing.B) {
+	for _, holes := range []int{8, 12} {
+		base := New()
+		addPigeonhole(base, holes)
+		var clauses [][]cnf.Lit
+		n := holes + 1
+		varOf := func(p, h int) cnf.Lit { return cnf.Lit(p*holes + h + 1) }
+		for p := 0; p < n; p++ {
+			row := make([]cnf.Lit, holes)
+			for h := 0; h < holes; h++ {
+				row[h] = varOf(p, h)
+			}
+			clauses = append(clauses, row)
+		}
+		for h := 0; h < holes; h++ {
+			for p1 := 0; p1 < n; p1++ {
+				for p2 := p1 + 1; p2 < n; p2++ {
+					clauses = append(clauses, []cnf.Lit{-varOf(p1, h), -varOf(p2, h)})
+				}
+			}
+		}
+		b.Run(fmt.Sprintf("clone/holes=%d", holes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if c := base.Clone(); !c.Okay() {
+					b.Fatal("clone not okay")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("rebuild/holes=%d", holes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := New()
+				for _, c := range clauses {
+					s.AddClause(c...)
+				}
+				if !s.Okay() {
+					b.Fatal("rebuild not okay")
+				}
+			}
+		})
+	}
+}

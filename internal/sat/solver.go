@@ -82,11 +82,16 @@ func boolToL(b bool) lbool {
 	return lFalse
 }
 
-// clause storage: clauses live in a flat arena addressed by index.
+// clause storage: clause headers live in a flat slice addressed by
+// index, and every clause's literals live in one shared arena on the
+// Solver — a clause records its [off, off+n) window. One allocation
+// backs the whole literal store instead of one slice per clause, which
+// is what makes Solver.Clone a handful of bulk copies.
 type clause struct {
-	lits     []lit
+	off      int32
+	n        int32
 	activity float64
-	lbd      int
+	lbd      int32
 	learnt   bool
 	removed  bool
 }
@@ -129,6 +134,7 @@ type ProgressFunc func(Progress)
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
 type Solver struct {
 	clauses []clause
+	arena   []lit       // flat literal store backing all clauses
 	watches [][]watcher // indexed by lit
 
 	assigns  []lbool // indexed by var
@@ -157,6 +163,9 @@ type Solver struct {
 	learntCount int
 	maxLearnts  float64
 
+	originalClauses int // problem (non-learnt) clauses, incl. units
+	addedClauses    int // clauses added since New or Clone
+
 	lubyIndex int64
 
 	lbdSeen  []uint64
@@ -173,7 +182,10 @@ type Solver struct {
 	Stats Statistics
 }
 
-// New creates an empty solver.
+// New creates an empty solver. The learnt-clause cap starts at 8000
+// and is re-floored to originalClauses/3 at each Solve (see Solve), so
+// large instances keep proportionally more learnt clauses, MiniSat
+// style.
 func New() *Solver {
 	return &Solver{
 		okay:       true,
@@ -300,8 +312,11 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 	switch len(out) {
 	case 0:
 		s.okay = false
+		s.addedClauses++
 		return false
 	case 1:
+		s.originalClauses++
+		s.addedClauses++
 		if !s.enqueue(out[0], -1) {
 			s.okay = false
 			return false
@@ -312,9 +327,9 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 		}
 		return true
 	}
-	cp := make([]lit, len(out))
-	copy(cp, out)
-	s.attachClause(clause{lits: cp})
+	s.originalClauses++
+	s.addedClauses++
+	s.attach(out, false, 0)
 	return true
 }
 
@@ -331,13 +346,23 @@ func (s *Solver) AddFormulaHard(f *cnf.Formula) bool {
 	return s.okay
 }
 
-func (s *Solver) attachClause(c clause) int {
+// litsOf returns the literal window of a clause. The slice aliases the
+// arena with capacity clamped to the window, so the in-place swaps in
+// propagate write through; it is only valid until the next attach.
+func (s *Solver) litsOf(c *clause) []lit {
+	return s.arena[c.off : c.off+c.n : c.off+c.n]
+}
+
+// attach copies lits into the arena, appends a clause header, and
+// installs the two watches.
+func (s *Solver) attach(lits []lit, learnt bool, lbd int) int {
+	off := int32(len(s.arena))
+	s.arena = append(s.arena, lits...)
 	cref := len(s.clauses)
-	s.clauses = append(s.clauses, c)
-	cl := &s.clauses[cref]
-	s.watches[cl.lits[0].neg()] = append(s.watches[cl.lits[0].neg()], watcher{cref, cl.lits[1]})
-	s.watches[cl.lits[1].neg()] = append(s.watches[cl.lits[1].neg()], watcher{cref, cl.lits[0]})
-	if c.learnt {
+	s.clauses = append(s.clauses, clause{off: off, n: int32(len(lits)), learnt: learnt, lbd: int32(lbd)})
+	s.watches[lits[0].neg()] = append(s.watches[lits[0].neg()], watcher{cref, lits[1]})
+	s.watches[lits[1].neg()] = append(s.watches[lits[1].neg()], watcher{cref, lits[0]})
+	if learnt {
 		s.learntCount++
 	}
 	return cref
@@ -396,7 +421,7 @@ func (s *Solver) propagate() int {
 			if c.removed {
 				continue // lazily drop watchers of removed clauses
 			}
-			lits := c.lits
+			lits := s.litsOf(c)
 			// Ensure the falsified literal is lits[1].
 			if lits[0] == p.neg() {
 				lits[0], lits[1] = lits[1], lits[0]
@@ -501,7 +526,7 @@ func (s *Solver) analyze(confl int) ([]lit, int) {
 		if p != litUndef {
 			start = 1
 		}
-		for _, q := range c.lits[start:] {
+		for _, q := range s.litsOf(c)[start:] {
 			v := q.v()
 			if s.seen[v] || s.level[v] == 0 {
 				continue
@@ -571,7 +596,7 @@ func (s *Solver) redundant(l lit) bool {
 	if r < 0 {
 		return false
 	}
-	for _, q := range s.clauses[r].lits {
+	for _, q := range s.litsOf(&s.clauses[r]) {
 		if q == l.neg() {
 			continue
 		}
@@ -618,8 +643,8 @@ func (s *Solver) reduceDB() {
 	}
 	for i := range s.clauses {
 		c := &s.clauses[i]
-		if c.learnt && !c.removed && len(c.lits) > 2 && !locked[i] {
-			cands = append(cands, cand{i, c.activity, c.lbd})
+		if c.learnt && !c.removed && c.n > 2 && !locked[i] {
+			cands = append(cands, cand{i, c.activity, int(c.lbd)})
 		}
 	}
 	// Selection: remove the worse half by (lbd desc, activity asc).
@@ -672,6 +697,12 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 	s.conflictSet = nil
 	s.model = nil
 	s.lubyIndex = 0
+	// Scale the learnt-clause cap to instance size: max(8000, clauses/3),
+	// MiniSat style. Only ever raised, so reduceDB's geometric growth
+	// across earlier Solve calls is preserved.
+	if m := float64(s.originalClauses) / 3; m > s.maxLearnts {
+		s.maxLearnts = m
+	}
 	defer s.cancelUntil(0)
 
 	conflictsAtStart := s.Stats.Conflicts
@@ -724,7 +755,7 @@ func (s *Solver) search(nConflicts int64) Status {
 					return Unsat
 				}
 			} else {
-				cref := s.attachClause(clause{lits: learnt, learnt: true, lbd: s.lbd(learnt)})
+				cref := s.attach(learnt, true, s.lbd(learnt))
 				s.bumpClause(&s.clauses[cref])
 				s.Stats.Learnt++
 				if !s.enqueue(learnt[0], int32(cref)) {
@@ -823,7 +854,7 @@ func (s *Solver) analyzeFinal(notP lit) {
 				s.conflictSet = append(s.conflictSet, s.trail[i])
 			}
 		} else {
-			for _, q := range s.clauses[s.reason[v]].lits {
+			for _, q := range s.litsOf(&s.clauses[s.reason[v]]) {
 				if int(s.level[q.v()]) > 0 {
 					seen[q.v()] = true
 				}
