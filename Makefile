@@ -15,17 +15,20 @@ vet:
 
 # Race-hammers the concurrency-sensitive packages: the metrics registry,
 # the SAT solver (progress callbacks and cooperative interrupts fire
-# from inside the search), the MaxSAT algorithms under cancellation, and
-# the core worker pool (parallel groups/components/candidate shards).
+# from inside the search), the MaxSAT algorithms under cancellation, the
+# core worker pool (parallel groups/components/candidate shards), and
+# the parallel witness enumerator (shared evaluator, plan/index caches).
 # -short skips the slowest property-test sweeps so the run stays usable
 # on small CI boxes.
 race:
-	$(GO) test -race -short ./internal/obsv/... ./internal/sat/... ./internal/maxsat/... ./internal/core/...
+	$(GO) test -race -short ./internal/obsv/... ./internal/sat/... ./internal/maxsat/... ./internal/core/... ./internal/cq/...
 
 # Micro-benchmarks: the clone-vs-rebuild and shared-base suites in
-# sat/maxsat/core (the PR 3 incremental-solving win) plus the end-to-end
-# harness benchmarks. Pipe two runs through benchstat to compare.
+# sat/maxsat/core (the PR 3 incremental-solving win), the compiled-vs-
+# interpreted evaluation and key-fast-path constraint suites in
+# cq/constraints (the PR 4 front-end win), plus the end-to-end harness
+# benchmarks. Pipe two runs through benchstat to compare.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sat/ ./internal/maxsat/ ./internal/core/ ./internal/bench/
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sat/ ./internal/maxsat/ ./internal/core/ ./internal/cq/ ./internal/constraints/ ./internal/bench/
 
 ci: build vet test race

@@ -21,12 +21,16 @@
 //	-incremental=false  run every experiment on the legacy
 //	                  one-solver-per-run path (the pr3 experiment
 //	                  measures both paths regardless)
-//	-parallel N       worker-pool size inside each measured query
+//	-frontend=false   run every experiment on the legacy interpreted
+//	                  relational front end (the pr4 experiment measures
+//	                  both front ends regardless)
+//	-parallel N, -p N worker-pool size inside each measured query
 //	                  (0 = GOMAXPROCS, 1 = sequential); parallel runs
 //	                  produce identical answers but per-phase times sum
 //	                  worker durations and can exceed wall clock
 //	-timeout D        wall-clock bound per query (e.g. 30s); expired
 //	                  queries count in the experiment's timeout column
+//	-cpuprofile f     write a pprof CPU profile of the whole run to f
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"aggcavsat/internal/bench"
@@ -54,10 +59,14 @@ func main() {
 	flag.Float64Var(&cfg.MedigapScale, "medigap-scale", cfg.MedigapScale, "Medigap dataset scale (1.0 = 61K tuples)")
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
 	flag.IntVar(&cfg.Parallelism, "parallel", cfg.Parallelism, "worker-pool size per query (0 = GOMAXPROCS, 1 = sequential)")
+	flag.IntVar(&cfg.Parallelism, "p", cfg.Parallelism, "shorthand for -parallel")
 	incremental := flag.Bool("incremental", true, "share per-component hard-clause solver bases inside each engine (false = legacy one-solver-per-run path; the pr3 experiment measures both regardless)")
+	frontend := flag.Bool("frontend", true, "use the compiled relational front end (false = legacy interpreted evaluation and grouping; the pr4 experiment measures both regardless)")
 	flag.DurationVar(&cfg.Timeout, "timeout", cfg.Timeout, "wall-clock bound per query, e.g. 30s (0 = none)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	flag.Parse()
 	cfg.DisableIncremental = !*incremental
+	cfg.DisableFrontendOpt = !*frontend
 
 	level := slog.LevelWarn
 	if *verbose {
@@ -69,6 +78,23 @@ func main() {
 	if *list {
 		fmt.Println(strings.Join(bench.Names(), "\n"))
 		return
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "aggbench:", err)
+			}
+		}()
 	}
 	r := bench.NewRunner(cfg)
 

@@ -55,6 +55,11 @@ type Config struct {
 	// (fresh solver per MaxSAT run, no shared hard-clause bases); the
 	// pr3 experiment ignores it and always measures both paths.
 	DisableIncremental bool
+	// DisableFrontendOpt runs every engine on the legacy relational
+	// front end (interpreted evaluation, string-keyed grouping, generic
+	// violations); the pr4 experiment ignores it and always measures
+	// both front ends.
+	DisableFrontendOpt bool
 }
 
 // DefaultConfig returns the calibration used by EXPERIMENTS.md. The
@@ -268,6 +273,7 @@ func (r *Runner) engine(in *db.Instance) (*core.Engine, error) {
 		Parallelism:        r.cfg.Parallelism,
 		Timeout:            r.cfg.Timeout,
 		DisableIncremental: r.cfg.DisableIncremental,
+		DisableFrontendOpt: r.cfg.DisableFrontendOpt,
 	})
 }
 
@@ -751,6 +757,7 @@ func (r *Runner) All(w io.Writer) error {
 		{"fig9", r.Figure9},
 		{"ablation", r.Ablation},
 		{"pr3", r.IncrementalCompare},
+		{"pr4", r.FrontendCompare},
 	}
 	for _, e := range experiments {
 		r.setExperiment(e.name)
@@ -809,6 +816,8 @@ func (r *Runner) experimentByName(name string) (*Table, error) {
 		return r.Ablation()
 	case "pr3", "incremental":
 		return r.IncrementalCompare()
+	case "pr4", "frontend":
+		return r.FrontendCompare()
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q", name)
 	}
@@ -819,5 +828,6 @@ func Names() []string {
 	return []string{
 		"fig1", "fig2", "table2", "fig3", "table3ab", "fig4", "table3cd",
 		"fig5", "fig6", "fig7", "fig8", "table4", "fig9", "ablation", "pr3",
+		"pr4",
 	}
 }

@@ -148,23 +148,41 @@ type Violation []db.FactID
 // distinct fact sets, and discard any set containing a strictly smaller
 // violating set. The result is deterministic (sorted by size, then
 // lexicographically).
+//
+// Relations whose complete key-DC family is present in dcs skip the
+// generic self-join and read their violating pairs off the instance's
+// memoized KeyEqualGroups partition (see fastpath.go); the remaining
+// DCs evaluate generically, and both streams merge through one
+// dedup + minimality filter.
 func MinimalViolations(e *cq.Evaluator, dcs []DC) []Violation {
-	seen := map[string]Violation{}
-	var order []string
-	for _, dc := range dcs {
-		rows := e.Eval(dc.Body())
-		for _, r := range rows {
-			k := factsKey(r.Facts)
-			if _, ok := seen[k]; !ok {
-				seen[k] = Violation(r.Facts)
-				order = append(order, k)
-			}
+	return minimalViolations(e, dcs, false)
+}
+
+// MinimalViolationsGeneric is MinimalViolations with the key fast path
+// disabled: every DC body is instantiated by the evaluator. It is the
+// semantic reference for the fast path (equivalence property tests) and
+// the legacy-front-end benchmark baseline.
+func MinimalViolationsGeneric(e *cq.Evaluator, dcs []DC) []Violation {
+	return minimalViolations(e, dcs, true)
+}
+
+func minimalViolations(e *cq.Evaluator, dcs []DC, forceGeneric bool) []Violation {
+	in := e.Instance()
+	dedup := newVioDedup()
+	gen := dcs
+	if !forceGeneric {
+		fastRels, generic := splitKeyDCs(in.Schema(), dcs)
+		if len(fastRels) > 0 {
+			keyGroupViolations(in, fastRels, dedup.add)
+			gen = generic
 		}
 	}
-	all := make([]Violation, 0, len(seen))
-	for _, k := range order {
-		all = append(all, seen[k])
+	for _, dc := range gen {
+		for _, r := range e.Eval(dc.Body()) {
+			dedup.add(r.Facts)
+		}
 	}
+	all := dedup.all
 	sort.Slice(all, func(i, j int) bool {
 		if len(all[i]) != len(all[j]) {
 			return len(all[i]) < len(all[j])
@@ -173,20 +191,7 @@ func MinimalViolations(e *cq.Evaluator, dcs []DC) []Violation {
 	})
 	// Keep only minimal sets. Candidates are sorted by size, so any
 	// superset comes after its subsets.
-	var minimal []Violation
-	for _, v := range all {
-		isMin := true
-		for _, m := range minimal {
-			if len(m) < len(v) && isSubsetIDs(m, v) {
-				isMin = false
-				break
-			}
-		}
-		if isMin {
-			minimal = append(minimal, v)
-		}
-	}
-	return minimal
+	return minimalFilter(all)
 }
 
 // NearViolationIndex holds, for every fact f, the near-violations
@@ -245,15 +250,6 @@ func CheckConsistent(in *db.Instance, dcs []DC) bool {
 		}
 	}
 	return true
-}
-
-func factsKey(facts []db.FactID) string {
-	b := make([]byte, 0, len(facts)*4)
-	for _, f := range facts {
-		v := uint32(f)
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(b)
 }
 
 func compareIDs(a, b []db.FactID) int {

@@ -47,12 +47,15 @@ func (e *Engine) ConsistentAnswersContext(ctx context.Context, u cq.UCQ) ([]db.T
 func (e *Engine) consistentAnswers(ctx context.Context, u cq.UCQ, rc *recorder) ([]db.Tuple, error) {
 	_, wsp := obsv.StartSpan(ctx, "cq.witness")
 	start := time.Now()
-	bag := e.eval.WitnessBag(u)
+	bag, err := e.eval.WitnessBagCtx(ctx, u)
 	rc.witness(time.Since(start))
 	rc.witnesses(len(bag))
 	if wsp != nil {
 		wsp.SetInt("witnesses", int64(len(bag)))
 		wsp.End()
+	}
+	if err != nil {
+		return nil, stopCause(ctx)
 	}
 
 	arity := 0
@@ -223,33 +226,57 @@ func (e *Engine) checkCandidates(ctx context.Context, enc *encoder, base *maxsat
 	return nil
 }
 
+// dedupFactSets drops witnesses repeating an already-seen fact set.
+// Sets are bucketed by factSetKey and verified element-wise inside each
+// bucket (on sorted copies), so a hash collision costs a comparison,
+// never a lost candidate clause.
 func dedupFactSets(ws []cq.Witness) [][]db.FactID {
-	seen := map[string]bool{}
+	byHash := make(map[uint64][]int, len(ws)) // hash → indexes into sorted
 	var out [][]db.FactID
+	var sorted [][]db.FactID // sorted copies, aligned with out
 	for _, w := range ws {
-		k := factSetKey(w.Facts)
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, w.Facts)
+		s := append([]db.FactID(nil), w.Facts...)
+		sortFactIDs(s)
+		h := db.HashFactSet(s)
+		dup := false
+		for _, i := range byHash[h] {
+			if factIDsEqual(sorted[i], s) {
+				dup = true
+				break
+			}
 		}
+		if dup {
+			continue
+		}
+		byHash[h] = append(byHash[h], len(out))
+		out = append(out, w.Facts)
+		sorted = append(sorted, s)
 	}
 	return out
 }
 
-// factSetKey builds an order-insensitive key for a witness fact set: the
-// same facts can arrive in different orders from different join
-// orderings or union branches, so the IDs are sorted (on a copy) before
-// serialization — otherwise dedupFactSets would keep permuted
-// duplicates and the SAT check would carry redundant clauses.
-func factSetKey(facts []db.FactID) string {
+// factSetKey builds an order-insensitive hash key for a witness fact
+// set: the same facts can arrive in different orders from different
+// join orderings or union branches, so the IDs are sorted (on a copy)
+// before hashing — otherwise dedupFactSets would keep permuted
+// duplicates and the SAT check would carry redundant clauses. The key
+// is not injective; users must verify exact equality inside buckets.
+func factSetKey(facts []db.FactID) uint64 {
 	sorted := append([]db.FactID(nil), facts...)
 	sortFactIDs(sorted)
-	b := make([]byte, 0, len(sorted)*4)
-	for _, f := range sorted {
-		v := uint32(f)
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	return db.HashFactSet(sorted)
+}
+
+func factIDsEqual(a, b []db.FactID) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return string(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func errInternalUnsat() error {

@@ -83,6 +83,14 @@ type Options struct {
 	// which is on by default (external solvers always run legacy: they
 	// consume a WCNF file per invocation).
 	DisableIncremental bool
+	// DisableFrontendOpt forces the legacy relational front end: the
+	// recursive interpreted CQ evaluator with string-keyed indexes and
+	// sequential enumeration, uncached string-keyed key-equal grouping,
+	// and generic uncached minimal-violation computation. The escape
+	// hatch and benchmark baseline for the compiled front end (query
+	// plans, hash indexes, key-aware constraint fast path, parallel
+	// witness enumeration), which is on by default.
+	DisableFrontendOpt bool
 }
 
 // Engine computes range consistent answers over one instance. The
@@ -120,7 +128,13 @@ func New(in *db.Instance, opts Options) (*Engine, error) {
 			}
 		}
 	}
-	return &Engine{in: in, eval: cq.NewEvaluator(in), opts: opts}, nil
+	e := &Engine{in: in, eval: cq.NewEvaluator(in), opts: opts}
+	if opts.DisableFrontendOpt {
+		e.eval.SetInterpreted(true)
+	} else {
+		e.eval.SetParallelism(e.parallelism())
+	}
+	return e, nil
 }
 
 // Instance returns the engine's instance.
@@ -276,7 +290,11 @@ func (e *Engine) buildContext() *constraintContext {
 	n := e.in.NumFacts()
 	switch e.opts.Mode {
 	case KeysMode:
-		ctx.groups = e.in.KeyEqualGroups()
+		if e.opts.DisableFrontendOpt {
+			ctx.groups = e.in.KeyEqualGroupsUncached()
+		} else {
+			ctx.groups = e.in.KeyEqualGroups()
+		}
 		ctx.groupOf = make([]int, n)
 		ctx.groupSafe = make([]bool, len(ctx.groups))
 		for gi, g := range ctx.groups {
@@ -286,8 +304,12 @@ func (e *Engine) buildContext() *constraintContext {
 			}
 		}
 	case DCMode:
-		ctx.violations = constraints.MinimalViolations(e.eval, e.opts.DCs)
-		ctx.nearIdx = constraints.BuildNearViolations(ctx.violations, n)
+		if e.opts.DisableFrontendOpt {
+			ctx.violations = constraints.MinimalViolationsGeneric(e.eval, e.opts.DCs)
+			ctx.nearIdx = constraints.BuildNearViolations(ctx.violations, n)
+		} else {
+			ctx.violations, ctx.nearIdx = constraints.CachedConstraints(e.eval, e.opts.DCs)
+		}
 		ctx.adj = make([][]db.FactID, n)
 		for _, v := range ctx.violations {
 			for _, f := range v {

@@ -25,12 +25,15 @@ func (e *Engine) groupedRange(ctx context.Context, q cq.AggQuery, rc *recorder) 
 
 	_, wsp := obsv.StartSpan(ctx, "cq.witness")
 	start := time.Now()
-	bag := e.eval.WitnessBag(q.Underlying)
+	bag, err := e.eval.WitnessBagCtx(ctx, q.Underlying)
 	rc.witness(time.Since(start))
 	rc.witnesses(len(bag))
 	if wsp != nil {
 		wsp.SetInt("witnesses", int64(len(bag)))
 		wsp.End()
+	}
+	if err != nil {
+		return nil, stopCause(ctx)
 	}
 
 	groups := cq.GroupWitnesses(bag, len(q.GroupBy))

@@ -19,12 +19,16 @@ func (e *Engine) scalarRange(ctx context.Context, q cq.AggQuery, bag []cq.Witnes
 	if bag == nil {
 		_, sp := obsv.StartSpan(ctx, "cq.witness")
 		start := time.Now()
-		bag = e.eval.WitnessBag(q.Underlying)
+		var err error
+		bag, err = e.eval.WitnessBagCtx(ctx, q.Underlying)
 		rc.witness(time.Since(start))
 		rc.witnesses(len(bag))
 		if sp != nil {
 			sp.SetInt("witnesses", int64(len(bag)))
 			sp.End()
+		}
+		if err != nil {
+			return Range{}, stopCause(ctx)
 		}
 	}
 	switch q.Op {

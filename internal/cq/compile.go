@@ -1,0 +1,438 @@
+package cq
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"aggcavsat/internal/db"
+)
+
+// Compiled query plans. A CQ is compiled once per shape into a program:
+// variables are resolved to integer slots of a flat []db.Value frame
+// (no per-recursion map allocations), conditions become closures over
+// slots, and index probes fold uint64 composite keys (FNV over value
+// kind+payload) instead of materializing Tuple.Key strings. The plan —
+// atom order and condition attachment — is exactly planCQ's, and
+// candidates are visited in the same order as the interpreter, so the
+// compiled path reproduces the interpreter's rows row for row; the
+// equivalence is enforced by property tests in compile_test.go.
+//
+// Semantics note: like the interpreter, a position whose variable is
+// bound by an earlier atom (or a constant) is an index probe and
+// matches with Tuple.Key equality, i.e. kind-exact (Int(1) does not
+// probe-match Float(1)); a variable repeated within one atom is checked
+// with Value.Equal (Compare-based, so Int(1) matches Float(1)). The
+// hash index is not injective, so every probe hit is re-verified with
+// EqualExact before use.
+
+// program is a compiled CQ.
+type program struct {
+	numSlots  int
+	headSlots []int
+	steps     []pstep
+}
+
+// slotPos pairs a tuple position with a frame slot.
+type slotPos struct{ pos, slot int }
+
+// pstep matches one atom, in plan order.
+type pstep struct {
+	rel string
+
+	// Index probe over the positions bound by constants or earlier
+	// steps. Empty lookupPos means a full scan of the relation.
+	lookupPos   []int
+	lookupSlot  []int      // slot supplying position i's probe value; -1 = constant
+	lookupConst []db.Value // probe constant where lookupSlot[i] == -1
+	mask        uint64     // index mask over lookupPos
+
+	binds  []slotPos // free positions: tuple[pos] binds frame[slot]
+	checks []slotPos // within-atom repeated vars: tuple[pos] must Equal frame[slot]
+	conds  []func(frame []db.Value) bool
+}
+
+// compileCQ lowers q onto planCQ's atom order. The caller has validated q.
+func compileCQ(in *db.Instance, q CQ) *program {
+	pl := planCQ(in, q)
+	prog := &program{steps: make([]pstep, 0, len(pl.order))}
+	slotOf := make(map[string]int)
+	boundBefore := make(map[string]bool)
+	for step, ai := range pl.order {
+		atom := q.Atoms[ai]
+		st := pstep{rel: strings.ToLower(atom.Rel)}
+		for i, t := range atom.Args {
+			switch {
+			case t.IsConst:
+				st.lookupPos = append(st.lookupPos, i)
+				st.lookupSlot = append(st.lookupSlot, -1)
+				st.lookupConst = append(st.lookupConst, t.Const)
+			case boundBefore[t.Var]:
+				st.lookupPos = append(st.lookupPos, i)
+				st.lookupSlot = append(st.lookupSlot, slotOf[t.Var])
+				st.lookupConst = append(st.lookupConst, db.Value{})
+			default:
+				if s, ok := slotOf[t.Var]; ok {
+					// Repeated within this atom: the first occurrence
+					// binds the slot, later ones Equal-check it.
+					st.checks = append(st.checks, slotPos{pos: i, slot: s})
+				} else {
+					s = prog.numSlots
+					prog.numSlots++
+					slotOf[t.Var] = s
+					st.binds = append(st.binds, slotPos{pos: i, slot: s})
+				}
+			}
+		}
+		for _, p := range st.lookupPos {
+			st.mask |= 1 << uint(p)
+		}
+		for _, ci := range pl.condsAfter[step] {
+			st.conds = append(st.conds, compileCond(q.Conds[ci], slotOf))
+		}
+		prog.steps = append(prog.steps, st)
+		for _, t := range atom.Args {
+			if !t.IsConst {
+				boundBefore[t.Var] = true
+			}
+		}
+	}
+	prog.headSlots = make([]int, len(q.Head))
+	for i, h := range q.Head {
+		prog.headSlots[i] = slotOf[h]
+	}
+	return prog
+}
+
+// compileCond closes a condition over frame slots, hoisting constants
+// (and constant-constant comparisons) out of the per-row path.
+func compileCond(c Condition, slotOf map[string]int) func([]db.Value) bool {
+	op := c.Op
+	switch {
+	case c.Left.IsConst && c.Right.IsConst:
+		res := op.Apply(c.Left.Const, c.Right.Const)
+		return func([]db.Value) bool { return res }
+	case c.Left.IsConst:
+		lv, rs := c.Left.Const, slotOf[c.Right.Var]
+		return func(f []db.Value) bool { return op.Apply(lv, f[rs]) }
+	case c.Right.IsConst:
+		ls, rv := slotOf[c.Left.Var], c.Right.Const
+		return func(f []db.Value) bool { return op.Apply(f[ls], rv) }
+	default:
+		ls, rs := slotOf[c.Left.Var], slotOf[c.Right.Var]
+		return func(f []db.Value) bool { return op.Apply(f[ls], f[rs]) }
+	}
+}
+
+// shapeKey renders q injectively for the plan cache: plans depend on
+// every structural detail (head order, atom order, argument terms,
+// conditions), so two queries share a plan only if they are identical.
+// Names and payloads are length-prefixed to avoid boundary ambiguity.
+func shapeKey(q CQ) string {
+	var b strings.Builder
+	for _, h := range q.Head {
+		writeLenPrefixed(&b, h)
+	}
+	b.WriteByte('|')
+	for _, a := range q.Atoms {
+		writeLenPrefixed(&b, strings.ToLower(a.Rel))
+		b.WriteByte('(')
+		for _, t := range a.Args {
+			writeTermKey(&b, t)
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte('|')
+	for _, c := range q.Conds {
+		writeTermKey(&b, c.Left)
+		b.WriteByte(byte('0' + c.Op))
+		writeTermKey(&b, c.Right)
+	}
+	return b.String()
+}
+
+func writeLenPrefixed(b *strings.Builder, s string) {
+	b.WriteString(strconv.Itoa(len(s)))
+	b.WriteByte(':')
+	b.WriteString(s)
+}
+
+func writeTermKey(b *strings.Builder, t Term) {
+	if t.IsConst {
+		b.WriteByte('#')
+		b.WriteByte(byte('0' + t.Const.Kind()))
+		writeLenPrefixed(b, t.Const.String())
+	} else {
+		b.WriteByte('$')
+		writeLenPrefixed(b, t.Var)
+	}
+}
+
+// program returns (compiling and caching on demand) the compiled plan
+// for q, and panics on an invalid query exactly like the interpreter.
+func (e *Evaluator) program(q CQ) *program {
+	k := shapeKey(q)
+	e.planMu.RLock()
+	p := e.plans[k]
+	e.planMu.RUnlock()
+	if p != nil {
+		return p
+	}
+	if err := q.Validate(e.in.Schema()); err != nil {
+		panic("cq: Eval on invalid query: " + err.Error())
+	}
+	p = compileCQ(e.in, q)
+	e.planMu.Lock()
+	if prev, ok := e.plans[k]; ok {
+		p = prev // lost a compile race; keep the canonical one
+	} else {
+		e.plans[k] = p
+	}
+	e.planMu.Unlock()
+	return p
+}
+
+// hashIndex returns (building on demand) the uint64-keyed index of rel
+// on the given positions. mask is the caller's precomputed position
+// mask (avoids recomputing it per probe).
+func (e *Evaluator) hashIndex(rel string, positions []int, mask uint64) map[uint64][]db.FactID {
+	key := indexKey{rel: rel, mask: mask}
+	e.mu.RLock()
+	idx, ok := e.hashIdx[key]
+	e.mu.RUnlock()
+	if ok {
+		return idx
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if idx, ok := e.hashIdx[key]; ok {
+		return idx
+	}
+	idx = make(map[uint64][]db.FactID, e.in.RelSize(rel))
+	for _, id := range e.in.RelFacts(rel) {
+		h := e.in.Fact(id).Tuple.HashKey(positions, db.HashSeed)
+		idx[h] = append(idx[h], id)
+	}
+	e.hashIdx[key] = idx
+	return idx
+}
+
+const (
+	// parallelEvalThreshold is the minimum number of first-step
+	// candidates before EvalCtx fans out across workers; below it the
+	// goroutine setup costs more than the scan.
+	parallelEvalThreshold = 256
+	// evalCancelStride is how many first-step candidates are processed
+	// between ctx polls.
+	evalCancelStride = 256
+)
+
+// runProgram executes a compiled program, fanning the first atom's
+// candidate list across e.par workers when it is large enough. Chunks
+// are merged by index, so the parallel row order equals the sequential
+// (and interpreter) order.
+func (e *Evaluator) runProgram(ctx context.Context, p *program) ([]Row, error) {
+	if len(p.steps) == 0 {
+		// A query with no atoms has exactly one (empty) witnessing
+		// assignment, matching the interpreter's base case.
+		return []Row{{Head: db.Tuple{}}}, nil
+	}
+	st0 := &p.steps[0]
+	probe0 := make([]db.Value, len(st0.lookupPos))
+	var cands []db.FactID
+	if len(st0.lookupPos) > 0 {
+		// Step 0 has no prior bindings: every probe value is a constant.
+		h := db.HashSeed
+		for i, v := range st0.lookupConst {
+			probe0[i] = v
+			h = v.HashExact(h)
+		}
+		cands = e.hashIndex(st0.rel, st0.lookupPos, st0.mask)[h]
+	} else {
+		cands = e.in.RelFacts(st0.rel)
+	}
+	if e.par <= 1 || len(cands) < parallelEvalThreshold {
+		r := newProgRun(e, p)
+		if err := r.runChunk(ctx, st0, cands, probe0); err != nil {
+			return nil, err
+		}
+		return r.rows, nil
+	}
+	return e.runParallel(ctx, p, st0, cands, probe0)
+}
+
+func (e *Evaluator) runParallel(ctx context.Context, p *program, st0 *pstep, cands []db.FactID, probe0 []db.Value) ([]Row, error) {
+	workers := e.par
+	// Oversplit so one skewed chunk doesn't serialize the tail; the
+	// per-chunk result slots make the merge deterministic.
+	chunks := workers * 4
+	if chunks > len(cands) {
+		chunks = len(cands)
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([][]Row, chunks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := newProgRun(e, p)
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= chunks || cctx.Err() != nil {
+					return
+				}
+				lo := ci * len(cands) / chunks
+				hi := (ci + 1) * len(cands) / chunks
+				r.rows = nil
+				// runChunk only fails when cctx fired; nothing to record.
+				if err := r.runChunk(cctx, st0, cands[lo:hi], probe0); err != nil {
+					return
+				}
+				results[ci] = r.rows
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, rs := range results {
+		total += len(rs)
+	}
+	out := make([]Row, 0, total)
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+// progRun is the per-goroutine execution state of one program: the slot
+// frame, the fact stack, and per-step probe scratch (per step, not
+// shared, because deeper recursion levels probe concurrently with an
+// outer level's candidate loop).
+type progRun struct {
+	e      *Evaluator
+	p      *program
+	frame  []db.Value
+	facts  []db.FactID
+	rows   []Row
+	probes [][]db.Value
+}
+
+func newProgRun(e *Evaluator, p *program) *progRun {
+	r := &progRun{
+		e:      e,
+		p:      p,
+		frame:  make([]db.Value, p.numSlots),
+		facts:  make([]db.FactID, 0, len(p.steps)),
+		probes: make([][]db.Value, len(p.steps)),
+	}
+	for i := range p.steps {
+		r.probes[i] = make([]db.Value, len(p.steps[i].lookupPos))
+	}
+	return r
+}
+
+// runChunk drives step 0 over a slice of its candidates, polling ctx
+// every evalCancelStride candidates.
+func (r *progRun) runChunk(ctx context.Context, st0 *pstep, cands []db.FactID, probe0 []db.Value) error {
+	for i, id := range cands {
+		if i%evalCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		r.candidate(st0, 0, id, probe0)
+	}
+	return nil
+}
+
+// run matches steps 1..n recursively (step 0's candidates come from
+// runChunk).
+func (r *progRun) run(step int) {
+	if step == len(r.p.steps) {
+		r.emit()
+		return
+	}
+	st := &r.p.steps[step]
+	var cands []db.FactID
+	probe := r.probes[step]
+	if len(st.lookupPos) > 0 {
+		h := db.HashSeed
+		for i, s := range st.lookupSlot {
+			v := st.lookupConst[i]
+			if s >= 0 {
+				v = r.frame[s]
+			}
+			probe[i] = v
+			h = v.HashExact(h)
+		}
+		cands = r.e.hashIndex(st.rel, st.lookupPos, st.mask)[h]
+	} else {
+		cands = r.e.in.RelFacts(st.rel)
+	}
+	for _, id := range cands {
+		r.candidate(st, step, id, probe)
+	}
+}
+
+// candidate runs one fact through a step's probe verification,
+// bindings, repeated-variable checks, and conditions, recursing deeper
+// on success.
+func (r *progRun) candidate(st *pstep, step int, id db.FactID, probe []db.Value) {
+	tuple := r.e.in.Fact(id).Tuple
+	// Re-verify the probe columns exactly: hash buckets may collide.
+	for i, p := range st.lookupPos {
+		if !tuple[p].EqualExact(probe[i]) {
+			return
+		}
+	}
+	for _, b := range st.binds {
+		r.frame[b.slot] = tuple[b.pos]
+	}
+	for _, c := range st.checks {
+		if !r.frame[c.slot].Equal(tuple[c.pos]) {
+			return
+		}
+	}
+	for _, cond := range st.conds {
+		if !cond(r.frame) {
+			return
+		}
+	}
+	r.facts = append(r.facts, id)
+	r.run(step + 1)
+	r.facts = r.facts[:len(r.facts)-1]
+}
+
+// emit materializes the current frame and fact stack as a Row, with the
+// same sorted-deduplicated fact set the interpreter produces.
+func (r *progRun) emit() {
+	head := make(db.Tuple, len(r.p.headSlots))
+	for i, s := range r.p.headSlots {
+		head[i] = r.frame[s]
+	}
+	facts := append([]db.FactID(nil), r.facts...)
+	// Insertion sort: fact stacks are at most a handful of atoms deep.
+	for i := 1; i < len(facts); i++ {
+		for j := i; j > 0 && facts[j] < facts[j-1]; j-- {
+			facts[j], facts[j-1] = facts[j-1], facts[j]
+		}
+	}
+	dedup := facts[:0]
+	for i, f := range facts {
+		if i == 0 || f != facts[i-1] {
+			dedup = append(dedup, f)
+		}
+	}
+	r.rows = append(r.rows, Row{Head: head, Facts: dedup})
+}

@@ -1,6 +1,7 @@
 package cq
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
@@ -16,15 +17,27 @@ type Row struct {
 }
 
 // Evaluator evaluates conjunctive queries over a fixed instance, caching
-// hash indexes across queries. It is safe for concurrent use: the lazy
-// index cache is guarded by a mutex (double-checked), and a built index
-// is immutable thereafter, so engine worker pools may evaluate queries
-// on one shared evaluator.
+// compiled plans and hash indexes across queries. It is safe for
+// concurrent use: the lazy caches are guarded by mutexes
+// (double-checked), and a built index or plan is immutable thereafter,
+// so engine worker pools may evaluate queries on one shared evaluator.
+//
+// Queries run through a compiled slot-based program by default (see
+// compile.go); SetInterpreted switches back to the recursive
+// map-bindings interpreter, which is kept as the semantic reference and
+// legacy-benchmark baseline.
 type Evaluator struct {
 	in *db.Instance
 
 	mu      sync.RWMutex
-	indexes map[indexKey]map[string][]db.FactID
+	indexes map[indexKey]map[string][]db.FactID // interpreter: Tuple.Key strings
+	hashIdx map[indexKey]map[uint64][]db.FactID // compiled: uint64 composite keys
+
+	planMu sync.RWMutex
+	plans  map[string]*program
+
+	par       int  // worker budget for parallel first-atom enumeration
+	interpret bool // force the legacy recursive interpreter
 }
 
 type indexKey struct {
@@ -34,11 +47,27 @@ type indexKey struct {
 
 // NewEvaluator creates an evaluator over the instance.
 func NewEvaluator(in *db.Instance) *Evaluator {
-	return &Evaluator{in: in, indexes: make(map[indexKey]map[string][]db.FactID)}
+	return &Evaluator{
+		in:      in,
+		indexes: make(map[indexKey]map[string][]db.FactID),
+		hashIdx: make(map[indexKey]map[uint64][]db.FactID),
+		plans:   make(map[string]*program),
+	}
 }
 
 // Instance returns the instance being evaluated.
 func (e *Evaluator) Instance() *db.Instance { return e.in }
+
+// SetParallelism sets the worker budget for partitioning the first
+// atom's candidate list across goroutines (0 or 1 = sequential). It
+// must be called before the evaluator is shared across goroutines.
+func (e *Evaluator) SetParallelism(n int) { e.par = n }
+
+// SetInterpreted forces the legacy recursive interpreter instead of
+// compiled programs. It must be called before the evaluator is shared
+// across goroutines. The interpreter is the semantic reference for the
+// compiled path and the baseline for the legacy-front-end benchmarks.
+func (e *Evaluator) SetInterpreted(on bool) { e.interpret = on }
 
 // index returns (building on demand) a hash index of rel on the given
 // positions.
@@ -73,6 +102,27 @@ func (e *Evaluator) index(rel string, positions []int) map[string][]db.FactID {
 // per assignment (a bag: rows may repeat with identical head values and
 // even identical fact sets).
 func (e *Evaluator) Eval(q CQ) []Row {
+	rows, _ := e.EvalCtx(context.Background(), q) // Background never cancels
+	return rows
+}
+
+// EvalCtx is Eval with cooperative cancellation: the parallel and
+// sequential compiled runners poll ctx between first-atom candidates
+// and return ctx.Err() when it fires. The row order is deterministic
+// and identical to the interpreter's, row for row.
+func (e *Evaluator) EvalCtx(ctx context.Context, q CQ) ([]Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if e.interpret {
+		return e.evalInterpreted(q), nil
+	}
+	return e.runProgram(ctx, e.program(q))
+}
+
+// evalInterpreted is the legacy recursive evaluator with per-recursion
+// map bindings and string-keyed indexes.
+func (e *Evaluator) evalInterpreted(q CQ) []Row {
 	if err := q.Validate(e.in.Schema()); err != nil {
 		panic("cq: Eval on invalid query: " + err.Error())
 	}
@@ -90,11 +140,32 @@ func (e *Evaluator) Eval(q CQ) []Row {
 // EvalUCQ evaluates a union of conjunctive queries, concatenating the
 // witnessing assignments of all disjuncts (bag union).
 func (e *Evaluator) EvalUCQ(u UCQ) []Row {
-	var rows []Row
-	for _, q := range u.Disjuncts {
-		rows = append(rows, e.Eval(q)...)
-	}
+	rows, _ := e.EvalUCQCtx(context.Background(), u)
 	return rows
+}
+
+// EvalUCQCtx is EvalUCQ with cooperative cancellation. The result is
+// pre-sized from the per-disjunct row counts, so the bag union does not
+// re-grow the slice per disjunct.
+func (e *Evaluator) EvalUCQCtx(ctx context.Context, u UCQ) ([]Row, error) {
+	if len(u.Disjuncts) == 1 {
+		return e.EvalCtx(ctx, u.Disjuncts[0])
+	}
+	per := make([][]Row, len(u.Disjuncts))
+	total := 0
+	for i, q := range u.Disjuncts {
+		rows, err := e.EvalCtx(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		per[i] = rows
+		total += len(rows)
+	}
+	out := make([]Row, 0, total)
+	for _, rows := range per {
+		out = append(out, rows...)
+	}
+	return out, nil
 }
 
 // plan describes the atom evaluation order plus, for each step, the
@@ -138,10 +209,11 @@ func planCQ(in *db.Instance, q CQ) plan {
 			}
 		}
 	}
-	// Attach conditions to the first step where all their vars are bound.
+	// Attach conditions to the first step where all their vars are bound,
+	// reusing the scratch map from the ordering pass.
 	condsAfter := make([][]int, n)
 	assigned := make([]bool, len(q.Conds))
-	bound = map[string]bool{}
+	clear(bound)
 	for step, ai := range order {
 		for _, t := range q.Atoms[ai].Args {
 			if !t.IsConst {

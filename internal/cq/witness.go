@@ -1,6 +1,7 @@
 package cq
 
 import (
+	"context"
 	"sort"
 
 	"aggcavsat/internal/db"
@@ -24,33 +25,46 @@ func (e *Evaluator) WitnessBag(u UCQ) []Witness {
 	return CollectWitnesses(rows)
 }
 
-// CollectWitnesses groups witnessing-assignment rows into a witness bag.
-func CollectWitnesses(rows []Row) []Witness {
-	type key struct {
-		facts string
-		ans   string
+// WitnessBagCtx is WitnessBag with cooperative cancellation of the
+// underlying (possibly parallel) evaluation.
+func (e *Evaluator) WitnessBagCtx(ctx context.Context, u UCQ) ([]Witness, error) {
+	rows, err := e.EvalUCQCtx(ctx, u)
+	if err != nil {
+		return nil, err
 	}
-	byKey := map[key]*Witness{}
-	var order []key
-	var headPos []int
-	for _, r := range rows {
-		if len(headPos) != len(r.Head) {
-			headPos = headPos[:0]
-			for i := range r.Head {
-				headPos = append(headPos, i)
+	return CollectWitnesses(rows), nil
+}
+
+// CollectWitnesses groups witnessing-assignment rows into a witness bag.
+// Groups are keyed by a uint64 hash of (fact set, answer) with exact
+// verification inside each bucket, so a hash collision costs a
+// comparison, never a miscount. The grouping equivalence is kind-exact
+// on the answer (Int(1) and Float(1) are distinct answers), like the
+// Tuple.Key string grouping it replaces.
+func CollectWitnesses(rows []Row) []Witness {
+	byHash := make(map[uint64][]*Witness, len(rows))
+	order := make([]*Witness, 0, len(rows))
+	for i := range rows {
+		r := &rows[i]
+		h := r.Head.HashExact(db.HashFactSet(r.Facts))
+		var found *Witness
+		for _, w := range byHash[h] {
+			if w.Answer.EqualExact(r.Head) && compareFactSets(w.Facts, r.Facts) == 0 {
+				found = w
+				break
 			}
 		}
-		k := key{facts: factsKey(r.Facts), ans: r.Head.Key(headPos)}
-		if w, ok := byKey[k]; ok {
-			w.Mult++
+		if found != nil {
+			found.Mult++
 			continue
 		}
-		byKey[k] = &Witness{Facts: r.Facts, Answer: r.Head, Mult: 1}
-		order = append(order, k)
+		w := &Witness{Facts: r.Facts, Answer: r.Head, Mult: 1}
+		byHash[h] = append(byHash[h], w)
+		order = append(order, w)
 	}
-	out := make([]Witness, 0, len(byKey))
-	for _, k := range order {
-		out = append(out, *byKey[k])
+	out := make([]Witness, len(order))
+	for i, w := range order {
+		out[i] = *w
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if c := compareFactSets(out[i].Facts, out[j].Facts); c != 0 {
@@ -59,15 +73,6 @@ func CollectWitnesses(rows []Row) []Witness {
 		return out[i].Answer.Compare(out[j].Answer) < 0
 	})
 	return out
-}
-
-func factsKey(facts []db.FactID) string {
-	b := make([]byte, 0, len(facts)*4)
-	for _, f := range facts {
-		v := uint32(f)
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(b)
 }
 
 func compareFactSets(a, b []db.FactID) int {

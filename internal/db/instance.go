@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // FactID identifies a fact within an Instance. IDs are dense, start at 0,
@@ -26,13 +27,23 @@ type Instance struct {
 	schema *Schema
 	facts  []Fact
 	byRel  map[string][]FactID
+
+	// groupMu guards the KeyEqualGroups memo. The partition is a pure
+	// function of the fact list, and facts are append-only, so caching
+	// it per fact count makes repeated engines over one instance stop
+	// re-paying the grouping (the dominant constraint-phase cost in
+	// keys mode); an Insert invalidates the memo by changing the count.
+	groupMu     sync.Mutex
+	groupCache  []KeyEqualGroup
+	groupCacheN int // fact count the cache was built at; -1 = no cache
 }
 
 // NewInstance creates an empty instance over the given schema.
 func NewInstance(schema *Schema) *Instance {
 	return &Instance{
-		schema: schema,
-		byRel:  make(map[string][]FactID),
+		schema:      schema,
+		byRel:       make(map[string][]FactID),
+		groupCacheN: -1,
 	}
 }
 
@@ -109,7 +120,81 @@ func (g KeyEqualGroup) Violating() bool { return len(g.Facts) > 1 }
 // key-equal groups. Relations without a key constraint contribute one
 // singleton group per fact (they are trivially consistent). The result is
 // deterministic: groups are ordered by their smallest fact ID.
+//
+// The partition is memoized on the instance (facts are append-only, so
+// it only changes when the fact count does) and computed by uint64 key
+// hashing with exact-equality bucket verification — no string key per
+// fact. Callers must treat the returned slice as read-only.
 func (in *Instance) KeyEqualGroups() []KeyEqualGroup {
+	in.groupMu.Lock()
+	defer in.groupMu.Unlock()
+	if in.groupCacheN == len(in.facts) {
+		return in.groupCache
+	}
+	groups := in.computeKeyEqualGroups()
+	in.groupCache, in.groupCacheN = groups, len(in.facts)
+	return groups
+}
+
+func (in *Instance) computeKeyEqualGroups() []KeyEqualGroup {
+	var groups []KeyEqualGroup
+	// bucket chains fact groups whose key tuples share a hash; repr is
+	// any member, used to verify exact key equality on a hash hit.
+	type bucket struct {
+		repr  FactID
+		group int // index into groups
+		next  int // next bucket entry with the same hash, -1 = end
+	}
+	for _, rs := range in.schema.Relations() {
+		ids := in.RelFacts(rs.Name)
+		lc := strings.ToLower(rs.Name)
+		if !rs.HasKey() {
+			for _, id := range ids {
+				groups = append(groups, KeyEqualGroup{Rel: lc, Facts: []FactID{id}})
+			}
+			continue
+		}
+		byHash := make(map[uint64]int, len(ids)) // hash → first bucket index
+		buckets := make([]bucket, 0, len(ids))
+		for _, id := range ids {
+			t := in.facts[id].Tuple
+			h := t.HashKey(rs.Key, HashSeed)
+			gi := -1
+			bi, ok := byHash[h]
+			if !ok {
+				bi = -1
+			}
+			for ; bi >= 0; bi = buckets[bi].next {
+				if in.facts[buckets[bi].repr].Tuple.EqualExactOn(rs.Key, t) {
+					gi = buckets[bi].group
+					break
+				}
+			}
+			if gi < 0 {
+				gi = len(groups)
+				groups = append(groups, KeyEqualGroup{Rel: lc})
+				head := -1
+				if first, ok := byHash[h]; ok {
+					head = first
+				}
+				buckets = append(buckets, bucket{repr: id, group: gi, next: head})
+				byHash[h] = len(buckets) - 1
+			}
+			// ids iterate in insertion order = ascending FactID, so each
+			// group's member list is born sorted.
+			groups[gi].Facts = append(groups[gi].Facts, id)
+		}
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Facts[0] < groups[j].Facts[0] })
+	return groups
+}
+
+// KeyEqualGroupsUncached recomputes the partition with the pre-PR4
+// string-keyed grouping, bypassing the instance memo. It exists for the
+// benchmark harness (the "legacy front end" baseline) and for the
+// equivalence tests of the hash-grouped path; engine code should call
+// KeyEqualGroups.
+func (in *Instance) KeyEqualGroupsUncached() []KeyEqualGroup {
 	var groups []KeyEqualGroup
 	for _, rs := range in.schema.Relations() {
 		ids := in.RelFacts(rs.Name)
