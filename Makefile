@@ -13,15 +13,17 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-hammers the concurrency-sensitive packages: the metrics registry,
-# the SAT solver (progress callbacks and cooperative interrupts fire
-# from inside the search), the MaxSAT algorithms under cancellation, the
-# core worker pool (parallel groups/components/candidate shards), and
-# the parallel witness enumerator (shared evaluator, plan/index caches).
-# -short skips the slowest property-test sweeps so the run stays usable
-# on small CI boxes.
+# Race-hammers the concurrency-sensitive packages: the metrics registry
+# and the debug HTTP server (live /metrics + /debug/trace scrapes racing
+# the instrumentation writers), the SAT solver (progress callbacks and
+# cooperative interrupts fire from inside the search), the MaxSAT
+# algorithms under cancellation, the core worker pool (parallel groups/
+# components/candidate shards) with the flight recorder fed from worker
+# goroutines, the parallel witness enumerator (shared evaluator,
+# plan/index caches), and the bench harness. -short skips the slowest
+# property-test sweeps so the run stays usable on small CI boxes.
 race:
-	$(GO) test -race -short ./internal/obsv/... ./internal/sat/... ./internal/maxsat/... ./internal/core/... ./internal/cq/...
+	$(GO) test -race -short ./internal/obsv/... ./internal/sat/... ./internal/maxsat/... ./internal/core/... ./internal/cq/... ./internal/bench/...
 
 # Micro-benchmarks: the clone-vs-rebuild and shared-base suites in
 # sat/maxsat/core (the PR 3 incremental-solving win), the compiled-vs-

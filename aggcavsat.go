@@ -76,6 +76,10 @@ type (
 	Tracer = obsv.Tracer
 	// SolverProgress is one progress report from the MaxSAT solver.
 	SolverProgress = maxsat.ProgressInfo
+	// FlightBundle is the self-contained anomaly dump delivered to
+	// Options.OnAnomaly: the flight-recorder event ring, the call's
+	// metric snapshot, and the resource delta of the solve.
+	FlightBundle = obsv.Bundle
 )
 
 // Typed failure modes, re-exported for errors.Is matching:
@@ -170,6 +174,18 @@ type Options struct {
 	// Metrics, when non-nil, accumulates every query's metrics into a
 	// session-wide registry (obsv Prometheus exposition).
 	Metrics *obsv.Registry
+	// SlowQuery, when positive, marks any query slower than this as an
+	// anomaly: its flight-recorder bundle is delivered to OnAnomaly even
+	// though the query succeeded.
+	SlowQuery time.Duration
+	// OnAnomaly, when non-nil, enables the per-query flight recorder and
+	// receives a dump bundle whenever a query times out, exhausts its
+	// budget, fails, or exceeds SlowQuery. Called synchronously at the
+	// end of the query; obsv.DumpDir builds a ready-made file sink.
+	OnAnomaly func(*FlightBundle)
+	// FlightEvents bounds the flight-recorder ring; 0 means
+	// obsv.DefaultFlightEvents.
+	FlightEvents int
 	// DisableIncremental forces the legacy solve path: one fresh SAT
 	// solver per MaxSAT run, with an explicit negated formula for the
 	// upper-bound direction, instead of cloning a shared per-component
@@ -198,6 +214,9 @@ func Open(in *Instance, opts Options) (*System, error) {
 		Parallelism:        opts.Parallelism,
 		Timeout:            opts.Timeout,
 		Metrics:            opts.Metrics,
+		SlowQuery:          opts.SlowQuery,
+		OnAnomaly:          opts.OnAnomaly,
+		FlightEvents:       opts.FlightEvents,
 		DisableIncremental: opts.DisableIncremental,
 	}
 	if len(opts.DenialConstraints) > 0 {
@@ -357,5 +376,12 @@ func accumulate(a, b Stats) Stats {
 		a.MaxClauses = b.MaxClauses
 	}
 	a.ConsistentPartSkips += b.ConsistentPartSkips
+	a.WitnessAllocBytes += b.WitnessAllocBytes
+	a.EncodeAllocBytes += b.EncodeAllocBytes
+	a.SolveAllocBytes += b.SolveAllocBytes
+	if b.HeapBytes > a.HeapBytes {
+		a.HeapBytes = b.HeapBytes
+	}
+	a.GCCycles += b.GCCycles
 	return a
 }

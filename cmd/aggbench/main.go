@@ -14,6 +14,16 @@
 //	                  RunRecord per measurement: witness/constraint/
 //	                  encode/solve ms, SAT calls, CNF size, timeouts)
 //	-trace out.json   Chrome trace-event file covering the whole run
+//	-listen addr      serve /metrics, /debug/trace, /debug/pprof and
+//	                  /healthz on addr while the suite runs (curl it for
+//	                  live progress)
+//	-flight-dir dir   write flight-recorder bundles (recent solver
+//	                  events + metrics) for queries that time out or
+//	                  exceed -slow-query
+//	-slow-query D     queries slower than D dump a flight bundle even on
+//	                  success (0 = only timeouts/errors)
+//	-compare old.json diff this run's records against a BENCH_*.json
+//	                  baseline and report slowdowns (informational)
 //	-v                debug logging (per-experiment progress) on stderr
 //
 // Concurrency and timeouts:
@@ -31,6 +41,7 @@
 //	-timeout D        wall-clock bound per query (e.g. 30s); expired
 //	                  queries count in the experiment's timeout column
 //	-cpuprofile f     write a pprof CPU profile of the whole run to f
+//	-memprofile f     write a pprof heap profile at the end of the run
 package main
 
 import (
@@ -39,6 +50,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 
@@ -64,6 +76,11 @@ func main() {
 	frontend := flag.Bool("frontend", true, "use the compiled relational front end (false = legacy interpreted evaluation and grouping; the pr4 experiment measures both regardless)")
 	flag.DurationVar(&cfg.Timeout, "timeout", cfg.Timeout, "wall-clock bound per query, e.g. 30s (0 = none)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
+	listen := flag.String("listen", "", "serve /metrics, /debug/trace, /debug/pprof and /healthz on this address while the suite runs")
+	flightDir := flag.String("flight-dir", "", "write flight-recorder bundles for anomalous queries into this directory")
+	flag.DurationVar(&cfg.SlowQuery, "slow-query", cfg.SlowQuery, "queries slower than this dump a flight bundle even on success (0 = only timeouts/errors)")
+	compare := flag.String("compare", "", "diff this run's records against a BENCH_*.json baseline (informational)")
 	flag.Parse()
 	cfg.DisableIncremental = !*incremental
 	cfg.DisableFrontendOpt = !*frontend
@@ -96,12 +113,30 @@ func main() {
 			}
 		}()
 	}
-	r := bench.NewRunner(cfg)
-
+	if *flightDir != "" {
+		cfg.OnAnomaly = obsv.DumpDir(*flightDir)
+	}
+	var metrics *obsv.Registry
 	var tracer *obsv.Tracer
-	if *trace != "" {
+	if *trace != "" || *listen != "" {
 		tracer = obsv.NewTracer()
+	}
+	if *listen != "" {
+		metrics = obsv.NewRegistry()
+		cfg.Metrics = metrics
+	}
+	r := bench.NewRunner(cfg)
+	if tracer != nil {
 		r.WithContext(obsv.WithTracer(context.Background(), tracer))
+	}
+	if *listen != "" {
+		srv, err := obsv.Serve(*listen, metrics, tracer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintln(os.Stderr, "aggbench: debug server on http://"+srv.Addr())
 	}
 
 	var err error
@@ -121,7 +156,7 @@ func main() {
 		}
 		logger.Debug("records written", "dir", *jsonDir, "records", len(r.Records()))
 	}
-	if tracer != nil {
+	if tracer != nil && *trace != "" {
 		out, err := os.Create(*trace)
 		if err == nil {
 			err = tracer.WriteChromeTrace(out)
@@ -134,5 +169,31 @@ func main() {
 			os.Exit(1)
 		}
 		logger.Debug("trace written", "path", *trace, "spans", tracer.Len(), "dropped", tracer.Dropped())
+	}
+	if *compare != "" {
+		baseline, err := bench.LoadRecords(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(1)
+		}
+		rep := bench.CompareRecords(baseline, r.Records(), bench.CompareOptions{})
+		rep.Fprint(os.Stderr)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile reflects live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(1)
+		}
+		logger.Debug("heap profile written", "path", *memprofile)
 	}
 }

@@ -22,6 +22,14 @@
 //	-trace out.json   Chrome trace-event file (chrome://tracing, Perfetto)
 //	-progress         periodic solver progress on stderr
 //	-metrics out.prom Prometheus text exposition of the session metrics
+//	-listen addr      serve /metrics, /debug/trace, /debug/pprof and
+//	                  /healthz on addr (e.g. localhost:9090) while the
+//	                  query runs
+//	-flight-dir dir   write a flight-recorder bundle (recent solver
+//	                  events + metrics) into dir when the query times
+//	                  out, fails, or exceeds -slow-query
+//	-slow-query D     treat queries slower than D as anomalies worth a
+//	                  flight dump (e.g. 5s; 0 = only errors/timeouts)
 //	-v                debug logging (log/slog) on stderr
 //
 // Concurrency and timeouts:
@@ -61,6 +69,9 @@ func main() {
 	progress := flag.Bool("progress", false, "print periodic solver progress")
 	progressEvery := flag.Int64("progress-every", 0, "conflicts between progress reports (0 = solver default)")
 	metricsOut := flag.String("metrics", "", "write the Prometheus text exposition of the session metrics ('-' for stderr)")
+	listen := flag.String("listen", "", "serve /metrics, /debug/trace, /debug/pprof and /healthz on this address while the query runs")
+	flightDir := flag.String("flight-dir", "", "write flight-recorder bundles for anomalous queries into this directory")
+	slowQuery := flag.Duration("slow-query", 0, "queries slower than this dump a flight bundle even on success (0 = only errors/timeouts)")
 	parallel := flag.Int("parallel", 0, "solver worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	incremental := flag.Bool("incremental", true, "share a per-component hard-clause solver base across solve directions (false = legacy one-solver-per-run path)")
 	timeout := flag.Duration("timeout", 0, "wall-clock bound for the query, e.g. 30s (0 = none)")
@@ -120,18 +131,28 @@ func main() {
 		}
 	}
 	var metrics *obsv.Registry
-	if *metricsOut != "" {
+	if *metricsOut != "" || *listen != "" {
 		metrics = obsv.NewRegistry()
 		opts.Metrics = metrics
+	}
+	if *flightDir != "" {
+		opts.SlowQuery = *slowQuery
+		opts.OnAnomaly = obsv.DumpDir(*flightDir)
 	}
 	sys, err := aggcavsat.Open(in, opts)
 	fatalIf(err)
 
 	ctx := context.Background()
 	var tracer *obsv.Tracer
-	if *trace != "" {
+	if *trace != "" || *listen != "" {
 		tracer = obsv.NewTracer()
 		ctx = obsv.WithTracer(ctx, tracer)
+	}
+	if *listen != "" {
+		srv, err := obsv.Serve(*listen, metrics, tracer)
+		fatalIf(err)
+		defer srv.Close()
+		logger.Debug("debug server listening", "addr", srv.Addr())
 	}
 
 	res, err := sys.QueryContext(ctx, sql)
@@ -151,14 +172,14 @@ func main() {
 	if *stats {
 		printStats(res.Stats)
 	}
-	if tracer != nil {
+	if tracer != nil && *trace != "" {
 		out, err := os.Create(*trace)
 		fatalIf(err)
 		fatalIf(tracer.WriteChromeTrace(out))
 		fatalIf(out.Close())
 		logger.Debug("trace written", "path", *trace, "spans", tracer.Len(), "dropped", tracer.Dropped())
 	}
-	if metrics != nil {
+	if metrics != nil && *metricsOut != "" {
 		w := os.Stderr
 		if *metricsOut != "-" {
 			f, err := os.Create(*metricsOut)
@@ -167,6 +188,9 @@ func main() {
 			w = f
 		}
 		fatalIf(metrics.WritePrometheus(w))
+		if tracer != nil {
+			fatalIf(tracer.WritePrometheus(w))
+		}
 	}
 }
 
@@ -185,7 +209,15 @@ func printStats(st aggcavsat.Stats) {
 	fmt.Fprintf(tw, "MaxSAT runs\t%d\t\n", st.MaxSATRuns)
 	fmt.Fprintf(tw, "consistent-part skips\t%d\t\n", st.ConsistentPartSkips)
 	fmt.Fprintf(tw, "largest CNF\t%d vars / %d clauses\t\n", st.MaxVars, st.MaxClauses)
+	fmt.Fprintf(tw, "alloc (witness/encode/solve)\t%s / %s / %s\t\n",
+		mib(st.WitnessAllocBytes), mib(st.EncodeAllocBytes), mib(st.SolveAllocBytes))
+	fmt.Fprintf(tw, "live heap / GC cycles\t%s / %d\t\n", mib(st.HeapBytes), st.GCCycles)
 	tw.Flush()
+}
+
+// mib renders a byte count in MiB with two decimals.
+func mib(b int64) string {
+	return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
 }
 
 func bound(v int64) string {

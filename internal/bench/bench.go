@@ -31,6 +31,7 @@ import (
 	"aggcavsat/internal/db"
 	"aggcavsat/internal/maxsat"
 	"aggcavsat/internal/medigap"
+	"aggcavsat/internal/obsv"
 	"aggcavsat/internal/pdbench"
 	"aggcavsat/internal/sqlparse"
 	"aggcavsat/internal/tpch"
@@ -51,6 +52,15 @@ type Config struct {
 	// an expiry is reported as "t/o" rather than stalling the suite. The
 	// paper's own evaluation uses wall-clock timeouts. 0 means none.
 	Timeout time.Duration
+	// Metrics, when non-nil, accumulates every engine call's metrics into
+	// a session-wide registry, so a live debug endpoint (obsv.Serve) can
+	// expose the suite's progress while it runs.
+	Metrics *obsv.Registry
+	// SlowQuery and OnAnomaly enable the per-query flight recorder on
+	// every engine the suite builds: queries that time out, fail, or run
+	// longer than SlowQuery deliver a dump bundle to OnAnomaly.
+	SlowQuery time.Duration
+	OnAnomaly func(*obsv.Bundle)
 	// DisableIncremental runs every engine on the legacy solve path
 	// (fresh solver per MaxSAT run, no shared hard-clause bases); the
 	// pr3 experiment ignores it and always measures both paths.
@@ -272,6 +282,9 @@ func (r *Runner) engine(in *db.Instance) (*core.Engine, error) {
 		MaxSAT:             r.cfg.Solver,
 		Parallelism:        r.cfg.Parallelism,
 		Timeout:            r.cfg.Timeout,
+		Metrics:            r.cfg.Metrics,
+		SlowQuery:          r.cfg.SlowQuery,
+		OnAnomaly:          r.cfg.OnAnomaly,
 		DisableIncremental: r.cfg.DisableIncremental,
 		DisableFrontendOpt: r.cfg.DisableFrontendOpt,
 	})
@@ -699,6 +712,9 @@ func (r *Runner) Figure9() (*Table, error) {
 		MaxSAT:             r.cfg.Solver,
 		Parallelism:        r.cfg.Parallelism,
 		Timeout:            r.cfg.Timeout,
+		Metrics:            r.cfg.Metrics,
+		SlowQuery:          r.cfg.SlowQuery,
+		OnAnomaly:          r.cfg.OnAnomaly,
 		DisableIncremental: r.cfg.DisableIncremental,
 	})
 	if err != nil {

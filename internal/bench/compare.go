@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// CompareOptions tunes the regression check. A timing is flagged only
+// when it is both Tolerance times slower AND at least FloorMS slower —
+// the absolute floor keeps sub-millisecond noise from tripping the
+// ratio test.
+type CompareOptions struct {
+	// Tolerance is the acceptable slowdown ratio (new/old); values ≤ 1
+	// mean DefaultTolerance.
+	Tolerance float64
+	// FloorMS is the minimum absolute slowdown worth flagging; values
+	// ≤ 0 mean DefaultFloorMS.
+	FloorMS float64
+}
+
+// Default comparison thresholds: a run must be 1.5× slower and lose at
+// least 50 ms before it counts as a regression. Wall-clock benchmarks
+// on shared CI runners are noisy; these defaults make the check
+// informational rather than flaky.
+const (
+	DefaultTolerance = 1.5
+	DefaultFloorMS   = 50
+)
+
+// CompareEntry is the verdict for one (experiment, setting, query) run
+// present in both record sets.
+type CompareEntry struct {
+	Experiment string
+	Setting    string
+	Query      string
+	// Metric is the flagged column ("total_ms", "solve_ms", "encode_ms",
+	// "witness_ms", "timeout", "answers"); one entry per flagged metric.
+	Metric   string
+	OldValue float64
+	NewValue float64
+	// Regression is true for a flagged slowdown or a new timeout/answer
+	// drift; entries are only emitted when something is worth reporting.
+	Regression bool
+}
+
+// CompareReport is the outcome of CompareRecords.
+type CompareReport struct {
+	// Matched counts runs present in both sets; OldOnly/NewOnly count
+	// runs present in exactly one.
+	Matched, OldOnly, NewOnly int
+	Entries                   []CompareEntry
+}
+
+// HasRegressions reports whether any entry is a regression.
+func (r *CompareReport) HasRegressions() bool {
+	for _, e := range r.Entries {
+		if e.Regression {
+			return true
+		}
+	}
+	return false
+}
+
+// Fprint renders the report for humans.
+func (r *CompareReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "bench compare: %d matched runs (%d old-only, %d new-only)\n",
+		r.Matched, r.OldOnly, r.NewOnly)
+	if len(r.Entries) == 0 {
+		fmt.Fprintln(w, "no regressions")
+		return
+	}
+	for _, e := range r.Entries {
+		label := e.Query
+		if e.Setting != "" {
+			label = e.Setting + " " + label
+		}
+		tag := "note"
+		if e.Regression {
+			tag = "REGRESSION"
+		}
+		fmt.Fprintf(w, "%s: %s/%s %s: %.1f -> %.1f\n",
+			tag, e.Experiment, label, e.Metric, e.OldValue, e.NewValue)
+	}
+}
+
+// runKey identifies one run across record sets.
+type runKey struct{ exp, setting, query string }
+
+// CompareRecords diffs two RunRecord sets (typically a committed
+// BENCH_*.json baseline against a fresh run) and flags slowdowns beyond
+// the tolerance, answers drift, and timeout changes. Runs are matched
+// by (experiment, setting, query); unmatched runs are counted, not
+// flagged.
+func CompareRecords(old, new []RunRecord, opts CompareOptions) *CompareReport {
+	tol := opts.Tolerance
+	if tol <= 1 {
+		tol = DefaultTolerance
+	}
+	floor := opts.FloorMS
+	if floor <= 0 {
+		floor = DefaultFloorMS
+	}
+	index := make(map[runKey]RunRecord, len(old))
+	for _, rec := range old {
+		index[runKey{rec.Experiment, rec.Setting, rec.Query}] = rec
+	}
+	rep := &CompareReport{}
+	seen := map[runKey]bool{}
+	for _, nr := range new {
+		k := runKey{nr.Experiment, nr.Setting, nr.Query}
+		or, ok := index[k]
+		if !ok {
+			rep.NewOnly++
+			continue
+		}
+		seen[k] = true
+		rep.Matched++
+		add := func(metric string, oldV, newV float64, regression bool) {
+			rep.Entries = append(rep.Entries, CompareEntry{
+				Experiment: k.exp, Setting: k.setting, Query: k.query,
+				Metric: metric, OldValue: oldV, NewValue: newV,
+				Regression: regression,
+			})
+		}
+		if or.Timeout != nr.Timeout {
+			oldV, newV := 0.0, 0.0
+			if or.Timeout {
+				oldV = 1
+			}
+			if nr.Timeout {
+				newV = 1
+			}
+			// A run newly timing out is a regression; one newly
+			// finishing is an improvement worth a note.
+			add("timeout", oldV, newV, nr.Timeout)
+			continue
+		}
+		if nr.Timeout {
+			continue // both timed out: nothing comparable
+		}
+		if or.Answers != nr.Answers {
+			add("answers", float64(or.Answers), float64(nr.Answers), true)
+		}
+		timings := []struct {
+			metric   string
+			old, new float64
+		}{
+			{"total_ms", or.TotalMS, nr.TotalMS},
+			{"solve_ms", or.SolveMS, nr.SolveMS},
+			{"encode_ms", or.EncodeMS, nr.EncodeMS},
+			{"witness_ms", or.WitnessMS, nr.WitnessMS},
+		}
+		for _, t := range timings {
+			if t.new > t.old*tol && t.new-t.old > floor {
+				add(t.metric, t.old, t.new, true)
+			}
+		}
+	}
+	for k := range index {
+		if !seen[k] {
+			rep.OldOnly++
+		}
+	}
+	sort.SliceStable(rep.Entries, func(i, j int) bool {
+		a, b := rep.Entries[i], rep.Entries[j]
+		if a.Regression != b.Regression {
+			return a.Regression
+		}
+		return false
+	})
+	return rep
+}
+
+// LoadRecords reads a BENCH_*.json file (a JSON array of RunRecord).
+func LoadRecords(path string) ([]RunRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []RunRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return recs, nil
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rec(exp, setting, query string, totalMS float64) RunRecord {
+	return RunRecord{
+		Experiment: exp, Setting: setting, Query: query,
+		TotalMS: totalMS, SolveMS: totalMS / 2, EncodeMS: totalMS / 4,
+		WitnessMS: totalMS / 4, Answers: 1,
+	}
+}
+
+func TestCompareRecordsFlagsSlowdown(t *testing.T) {
+	old := []RunRecord{rec("fig1", "", "Q1", 100)}
+	cur := []RunRecord{rec("fig1", "", "Q1", 400)} // 4x and +300ms: over both thresholds
+	rep := CompareRecords(old, cur, CompareOptions{})
+	if rep.Matched != 1 {
+		t.Fatalf("Matched = %d, want 1", rep.Matched)
+	}
+	if !rep.HasRegressions() {
+		t.Fatal("4x slowdown not flagged")
+	}
+	metrics := map[string]bool{}
+	for _, e := range rep.Entries {
+		if e.Regression {
+			metrics[e.Metric] = true
+		}
+	}
+	if !metrics["total_ms"] {
+		t.Errorf("total_ms not flagged; entries: %+v", rep.Entries)
+	}
+}
+
+func TestCompareRecordsToleratesNoise(t *testing.T) {
+	// 1.4x is inside the default 1.5x tolerance.
+	rep := CompareRecords(
+		[]RunRecord{rec("fig1", "", "Q1", 100)},
+		[]RunRecord{rec("fig1", "", "Q1", 140)},
+		CompareOptions{})
+	if rep.HasRegressions() {
+		t.Fatalf("1.4x flagged as regression: %+v", rep.Entries)
+	}
+	// 10x on a sub-millisecond run is under the absolute floor.
+	rep = CompareRecords(
+		[]RunRecord{rec("fig1", "", "Q1", 0.5)},
+		[]RunRecord{rec("fig1", "", "Q1", 5)},
+		CompareOptions{})
+	if rep.HasRegressions() {
+		t.Fatalf("sub-floor slowdown flagged: %+v", rep.Entries)
+	}
+}
+
+func TestCompareRecordsAnswersAndTimeouts(t *testing.T) {
+	old := rec("fig1", "pct=15", "Q1", 100)
+	drifted := old
+	drifted.Answers = 2
+	rep := CompareRecords([]RunRecord{old}, []RunRecord{drifted}, CompareOptions{})
+	if !rep.HasRegressions() {
+		t.Fatal("answers drift not flagged")
+	}
+
+	timedOut := old
+	timedOut.Timeout = true
+	rep = CompareRecords([]RunRecord{old}, []RunRecord{timedOut}, CompareOptions{})
+	if !rep.HasRegressions() {
+		t.Fatal("new timeout not flagged")
+	}
+	// The reverse direction (a run that stopped timing out) is a note,
+	// not a regression.
+	rep = CompareRecords([]RunRecord{timedOut}, []RunRecord{old}, CompareOptions{})
+	if rep.HasRegressions() {
+		t.Fatalf("recovered timeout flagged as regression: %+v", rep.Entries)
+	}
+	if len(rep.Entries) == 0 {
+		t.Fatal("recovered timeout not even noted")
+	}
+}
+
+func TestCompareRecordsUnmatchedRuns(t *testing.T) {
+	rep := CompareRecords(
+		[]RunRecord{rec("fig1", "", "Q1", 100), rec("fig1", "", "Q2", 100)},
+		[]RunRecord{rec("fig1", "", "Q1", 100), rec("fig1", "", "Q3", 100)},
+		CompareOptions{})
+	if rep.Matched != 1 || rep.OldOnly != 1 || rep.NewOnly != 1 {
+		t.Fatalf("matched/old/new = %d/%d/%d, want 1/1/1",
+			rep.Matched, rep.OldOnly, rep.NewOnly)
+	}
+	if rep.HasRegressions() {
+		t.Fatal("unmatched runs flagged as regressions")
+	}
+}
+
+func TestCompareReportFprint(t *testing.T) {
+	rep := CompareRecords(
+		[]RunRecord{rec("fig1", "", "Q1", 100)},
+		[]RunRecord{rec("fig1", "", "Q1", 400)},
+		CompareOptions{})
+	var buf bytes.Buffer
+	rep.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "total_ms") {
+		t.Errorf("report output:\n%s", out)
+	}
+}
+
+func TestLoadRecordsRoundTrip(t *testing.T) {
+	recs := []RunRecord{
+		rec("fig1", "pct=15", "Q1", 100),
+		{Experiment: "fig1", Query: "Q2", Timeout: true,
+			WitnessAllocBytes: 1 << 20, HeapBytes: 2 << 20, GCCycles: 3},
+	}
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_fig1.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != recs[0] || got[1] != recs[1] {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+	if _, err := LoadRecords(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("LoadRecords on a missing file did not error")
+	}
+}

@@ -38,6 +38,15 @@ type RunRecord struct {
 	Clauses    int   `json:"cnf_clauses"`
 	Answers    int   `json:"answers"`
 	Timeout    bool  `json:"timeout"`
+
+	// Per-phase memory accounting (runtime/metrics deltas around each
+	// phase; process-global, so concurrent phases may double-count —
+	// see core.Stats). heap_bytes is the live heap after the last phase.
+	WitnessAllocBytes int64 `json:"witness_alloc_bytes,omitempty"`
+	EncodeAllocBytes  int64 `json:"encode_alloc_bytes,omitempty"`
+	SolveAllocBytes   int64 `json:"solve_alloc_bytes,omitempty"`
+	HeapBytes         int64 `json:"heap_bytes,omitempty"`
+	GCCycles          int64 `json:"gc_cycles,omitempty"`
 }
 
 // WithContext sets the context used for every engine call, so a caller
@@ -78,6 +87,12 @@ func (r *Runner) record(query string, res queryResult) {
 		Clauses:      res.stats.MaxClauses,
 		Answers:      res.answers,
 		Timeout:      res.timeout,
+
+		WitnessAllocBytes: res.stats.WitnessAllocBytes,
+		EncodeAllocBytes:  res.stats.EncodeAllocBytes,
+		SolveAllocBytes:   res.stats.SolveAllocBytes,
+		HeapBytes:         res.stats.HeapBytes,
+		GCCycles:          res.stats.GCCycles,
 	})
 }
 

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"time"
 
 	"aggcavsat/internal/cnf"
 	"aggcavsat/internal/cq"
@@ -34,7 +33,9 @@ func (e *Engine) ConsistentAnswersContext(ctx context.Context, u cq.UCQ) ([]db.T
 	}
 	ctx, sp := obsv.StartSpan(ctx, "query.consistent_answers")
 	rc, local := e.newRecorder()
+	ctx, fl := e.startFlight(ctx, "consistent_answers", rc.flight)
 	out, err := e.consistentAnswers(ctx, u, rc)
+	fl.finish(err, local)
 	stats := StatsFromSnapshot(local.Snapshot())
 	if sp != nil {
 		sp.SetInt("answers", int64(len(out)))
@@ -46,9 +47,9 @@ func (e *Engine) ConsistentAnswersContext(ctx context.Context, u cq.UCQ) ([]db.T
 
 func (e *Engine) consistentAnswers(ctx context.Context, u cq.UCQ, rc *recorder) ([]db.Tuple, error) {
 	_, wsp := obsv.StartSpan(ctx, "cq.witness")
-	start := time.Now()
+	pm := startPhase()
 	bag, err := e.eval.WitnessBagCtx(ctx, u)
-	rc.witness(time.Since(start))
+	rc.endWitness(pm)
 	rc.witnesses(len(bag))
 	if wsp != nil {
 		wsp.SetInt("witnesses", int64(len(bag)))
@@ -87,7 +88,7 @@ func (e *Engine) consistentGroups(ctx context.Context, groups []cq.WitnessGroup,
 	defer csp.End()
 
 	out := make([]bool, len(groups))
-	encodeStart := time.Now()
+	encodeMark := startPhase()
 
 	// Deduplicate witness fact sets per group and apply the safe-witness
 	// shortcut.
@@ -115,7 +116,7 @@ func (e *Engine) consistentGroups(ctx context.Context, groups []cq.WitnessGroup,
 		}
 	}
 	if len(todo) == 0 {
-		rc.encode(time.Since(encodeStart))
+		rc.endEncode(encodeMark)
 		return out, nil
 	}
 
@@ -130,7 +131,7 @@ func (e *Engine) consistentGroups(ctx context.Context, groups []cq.WitnessGroup,
 	} else {
 		enc = newEncoder(cc, closure)
 	}
-	rc.encode(time.Since(encodeStart))
+	rc.endEncode(encodeMark)
 	rc.absorbFormula(enc.formula)
 	if csp != nil {
 		csp.SetInt("groups", int64(len(groups)))
@@ -149,7 +150,7 @@ func (e *Engine) consistentGroups(ctx context.Context, groups []cq.WitnessGroup,
 		shards = len(todo)
 	}
 	per := (len(todo) + shards - 1) / shards
-	solveStart := time.Now()
+	solveMark := startPhase()
 	err := forEach(ctx, shards, shards, func(ctx context.Context, w int) error {
 		lo := w * per
 		hi := min(lo+per, len(todo))
@@ -158,7 +159,7 @@ func (e *Engine) consistentGroups(ctx context.Context, groups []cq.WitnessGroup,
 		}
 		return e.checkCandidates(ctx, enc, base, todo[lo:hi], out, rc)
 	})
-	rc.solve(time.Since(solveStart))
+	rc.endSolve(solveMark)
 	if err != nil {
 		return nil, err
 	}

@@ -83,6 +83,22 @@ type Options struct {
 	// which is on by default (external solvers always run legacy: they
 	// consume a WCNF file per invocation).
 	DisableIncremental bool
+	// SlowQuery, when positive, classifies any engine call that takes
+	// longer than this threshold as an anomaly even though it succeeded:
+	// its flight-recorder bundle is handed to OnAnomaly, so persistently
+	// slow queries are diagnosable after the fact without rerunning.
+	SlowQuery time.Duration
+	// OnAnomaly, when non-nil, enables the per-call flight recorder: a
+	// bounded ring of recent structured events (phase ends, solver
+	// progress ticks, bound updates, CNF stats) that is assembled into a
+	// self-contained obsv.Bundle and passed to this hook whenever a call
+	// ends in ErrTimeout/ErrBudget, errors, or exceeds SlowQuery.
+	// obsv.DumpDir provides a ready-made sink writing each bundle to a
+	// JSON file. The hook runs synchronously at the end of the call.
+	OnAnomaly func(*obsv.Bundle)
+	// FlightEvents bounds the flight-recorder ring; 0 means
+	// obsv.DefaultFlightEvents.
+	FlightEvents int
 	// DisableFrontendOpt forces the legacy relational front end: the
 	// recursive interpreted CQ evaluator with string-keyed indexes and
 	// sequential enumeration, uncached string-keyed key-equal grouping,
@@ -177,6 +193,16 @@ type Stats struct {
 	MaxVars             int   // largest single formula
 	MaxClauses          int
 	ConsistentPartSkips int // groups answered without any SAT instance
+
+	// Per-phase resource accounting, sampled via runtime/metrics around
+	// each phase. The alloc counters are process-global: with
+	// Parallelism > 1 concurrent phases each observe the shared
+	// allocation stream, the same caveat as the summed phase durations.
+	WitnessAllocBytes int64 // heap bytes allocated during witness evaluation
+	EncodeAllocBytes  int64 // … during clause construction
+	SolveAllocBytes   int64 // … during MaxSAT/SAT solving
+	HeapBytes         int64 // live heap size at the last phase boundary
+	GCCycles          int64 // GC cycles completed during measured phases
 }
 
 func (s *Stats) absorbFormula(f *cnf.Formula) {
@@ -230,7 +256,9 @@ func (e *Engine) RangeAnswersContext(ctx context.Context, q cq.AggQuery) (*Repor
 	}
 	ctx, sp := obsv.StartSpan(ctx, "query.range_answers", obsv.String("op", q.Op.String()))
 	rc, local := e.newRecorder()
+	ctx, fl := e.startFlight(ctx, "range_answers/"+q.Op.String(), rc.flight)
 	rep, err := e.rangeAnswers(ctx, q, rc)
+	fl.finish(err, local)
 	if err != nil {
 		sp.End()
 		return nil, err

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"aggcavsat/internal/obsv"
+)
+
+// flight couples one engine call to its flight recorder: the recording
+// context, the call's wall-clock start and resource baseline, and the
+// end-of-call anomaly classification that decides whether the ring is
+// dumped.
+type flight struct {
+	e     *Engine
+	rec   *obsv.FlightRecorder
+	query string
+	start time.Time
+	res   obsv.ResourceSample
+}
+
+// startFlight installs the call's flight recorder in the context (so
+// maxsat progress and core phase instrumentation feed it) and snapshots
+// the anomaly baseline. With recording disabled (nil rec, i.e. no
+// OnAnomaly hook) it returns the context unchanged and a nil *flight,
+// whose finish is a no-op.
+func (e *Engine) startFlight(ctx context.Context, query string, rec *obsv.FlightRecorder) (context.Context, *flight) {
+	if rec == nil {
+		return ctx, nil
+	}
+	f := &flight{
+		e:     e,
+		rec:   rec,
+		query: query,
+		start: time.Now(),
+		res:   obsv.SampleResources(),
+	}
+	return obsv.WithFlightRecorder(ctx, rec), f
+}
+
+// finish classifies how the call ended and, on an anomaly — a typed
+// timeout or budget stop, any other error, or a successful call slower
+// than Options.SlowQuery — assembles the dump bundle from the recorder
+// ring and the call-local metric registry and hands it to the OnAnomaly
+// hook. Nil-receiver-safe.
+func (f *flight) finish(err error, local *obsv.Registry) {
+	if f == nil {
+		return
+	}
+	dur := time.Since(f.start)
+	var reason string
+	switch {
+	case errors.Is(err, ErrTimeout):
+		reason = "timeout"
+	case errors.Is(err, ErrBudget):
+		reason = "budget"
+	case err != nil:
+		reason = "error"
+	case f.e.opts.SlowQuery > 0 && dur > f.e.opts.SlowQuery:
+		reason = "slow"
+	default:
+		return
+	}
+	b := obsv.NewBundle(reason, f.query, err, f.start, dur, f.rec,
+		local.Snapshot(), obsv.SampleResources().Since(f.res))
+	f.e.opts.OnAnomaly(b)
+}

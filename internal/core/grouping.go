@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"time"
 
 	"aggcavsat/internal/cq"
 	"aggcavsat/internal/obsv"
@@ -24,9 +23,9 @@ func (e *Engine) groupedRange(ctx context.Context, q cq.AggQuery, rc *recorder) 
 	rep := &Report{}
 
 	_, wsp := obsv.StartSpan(ctx, "cq.witness")
-	start := time.Now()
+	pm := startPhase()
 	bag, err := e.eval.WitnessBagCtx(ctx, q.Underlying)
-	rc.witness(time.Since(start))
+	rc.endWitness(pm)
 	rc.witnesses(len(bag))
 	if wsp != nil {
 		wsp.SetInt("witnesses", int64(len(bag)))

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"time"
 
 	"aggcavsat/internal/cnf"
 	"aggcavsat/internal/cq"
@@ -34,7 +33,7 @@ import (
 func (e *Engine) minMaxFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witness, rc *recorder) (Range, error) {
 	cc := e.constraintCtx(ctx, rc)
 
-	encodeStart := time.Now()
+	encodeMark := startPhase()
 	_, esp := obsv.StartSpan(ctx, "core.encode")
 	// Collect witnesses per distinct value.
 	type valueGroup struct {
@@ -61,7 +60,7 @@ func (e *Engine) minMaxFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witnes
 		g.factSets = append(g.factSets, w.Facts)
 	}
 	if len(byValue) == 0 {
-		rc.encode(time.Since(encodeStart))
+		rc.endEncode(encodeMark)
 		esp.End()
 		return Range{GLB: db.Null(), LUB: db.Null(), EmptyPossible: true}, nil
 	}
@@ -144,15 +143,15 @@ func (e *Engine) minMaxFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witnes
 		disj = append(disj, presentLits[i]...)
 		solver.AddClause(disj...)
 	}
-	rc.encode(time.Since(encodeStart))
+	rc.endEncode(encodeMark)
 	rc.absorbFormula(enc.formula)
 	endEncodeSpan(esp, enc.formula)
 
 	_, ssp := obsv.StartSpan(ctx, "core.minmax_probes")
 	probes := 0
-	solveStart := time.Now()
+	solveMark := startPhase()
 	defer func() {
-		rc.solve(time.Since(solveStart))
+		rc.endSolve(solveMark)
 		if ssp != nil {
 			ssp.SetInt("probes", int64(probes))
 			ssp.End()

@@ -16,6 +16,11 @@ import (
 type recorder struct {
 	regs [2]*obsv.Registry
 	n    int
+
+	// flight, when non-nil (Options.OnAnomaly set), receives structured
+	// events from the phase instrumentation; all Record calls are
+	// nil-safe, so the disabled path costs one nil check.
+	flight *obsv.FlightRecorder
 }
 
 // newRecorder creates the call-local registry and links the session one.
@@ -27,6 +32,9 @@ func (e *Engine) newRecorder() (*recorder, *obsv.Registry) {
 	if e.opts.Metrics != nil {
 		rc.regs[1] = e.opts.Metrics
 		rc.n = 2
+	}
+	if e.opts.OnAnomaly != nil {
+		rc.flight = obsv.NewFlightRecorder(e.opts.FlightEvents)
 	}
 	return rc, local
 }
@@ -55,7 +63,39 @@ func (rc *recorder) observe(name string, d time.Duration) {
 	}
 }
 
-func (rc *recorder) witness(d time.Duration) {
+// phaseMark brackets one phase measurement: the wall clock and the
+// resource baseline taken when the phase started.
+type phaseMark struct {
+	start time.Time
+	res   obsv.ResourceSample
+}
+
+// startPhase samples the clock and the runtime resource counters at a
+// phase boundary. The sample is three uint64 reads via runtime/metrics —
+// cheap enough to stay always-on next to encode/solve work.
+func startPhase() phaseMark {
+	return phaseMark{start: time.Now(), res: obsv.SampleResources()}
+}
+
+// endPhase records the resource delta of one finished phase (alloc
+// counter per phase, live-heap gauge, GC-cycle counter), emits the
+// flight-recorder event, and returns the phase's wall time for the
+// duration metrics.
+func (rc *recorder) endPhase(phase string, pm phaseMark) time.Duration {
+	d := time.Since(pm.start)
+	delta := obsv.SampleResources().Since(pm.res)
+	rc.counter(obsv.MetricPhaseAllocPrefix+phase, delta.AllocBytes)
+	rc.gaugeSet(obsv.MetricHeapBytes, delta.HeapBytes)
+	rc.counter(obsv.MetricGCCycles, delta.GCCycles)
+	rc.flight.Record("phase", phase,
+		obsv.Int64("ns", int64(d)),
+		obsv.Int64("alloc_bytes", delta.AllocBytes),
+		obsv.Int64("heap_bytes", delta.HeapBytes))
+	return d
+}
+
+func (rc *recorder) endWitness(pm phaseMark) {
+	d := rc.endPhase("witness", pm)
 	rc.counter(obsv.MetricWitnessNS, int64(d))
 	rc.observe(obsv.MetricPhaseSecondsPrefix+"witness", d)
 }
@@ -67,12 +107,14 @@ func (rc *recorder) constraint(d time.Duration) {
 	rc.gaugeSet(obsv.MetricConstraintNS, int64(d))
 }
 
-func (rc *recorder) encode(d time.Duration) {
+func (rc *recorder) endEncode(pm phaseMark) {
+	d := rc.endPhase("encode", pm)
 	rc.counter(obsv.MetricEncodeNS, int64(d))
 	rc.observe(obsv.MetricPhaseSecondsPrefix+"encode", d)
 }
 
-func (rc *recorder) solve(d time.Duration) {
+func (rc *recorder) endSolve(pm phaseMark) {
+	d := rc.endPhase("solve", pm)
 	rc.counter(obsv.MetricSolveNS, int64(d))
 	rc.observe(obsv.MetricPhaseSecondsPrefix+"solve", d)
 }
@@ -89,6 +131,9 @@ func (rc *recorder) absorbFormula(f *cnf.Formula) {
 	rc.counter(obsv.MetricCNFClauses, int64(st.Clauses))
 	rc.gaugeMax(obsv.MetricCNFVarsMax, int64(st.Vars))
 	rc.gaugeMax(obsv.MetricCNFClausesMax, int64(st.Clauses))
+	rc.flight.Record("cnf", "formula",
+		obsv.Int64("vars", int64(st.Vars)),
+		obsv.Int64("clauses", int64(st.Clauses)))
 }
 
 // endEncodeSpan stamps a "core.encode" span with the formula size and
@@ -119,6 +164,11 @@ func StatsFromSnapshot(s obsv.Snapshot) Stats {
 		MaxVars:             int(s.Gauges[obsv.MetricCNFVarsMax]),
 		MaxClauses:          int(s.Gauges[obsv.MetricCNFClausesMax]),
 		ConsistentPartSkips: int(s.Counters[obsv.MetricConsistentSkips]),
+		WitnessAllocBytes:   s.Counters[obsv.MetricPhaseAllocPrefix+"witness"],
+		EncodeAllocBytes:    s.Counters[obsv.MetricPhaseAllocPrefix+"encode"],
+		SolveAllocBytes:     s.Counters[obsv.MetricPhaseAllocPrefix+"solve"],
+		HeapBytes:           s.Gauges[obsv.MetricHeapBytes],
+		GCCycles:            s.Counters[obsv.MetricGCCycles],
 	}
 }
 

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"aggcavsat/internal/cnf"
 	"aggcavsat/internal/cq"
@@ -18,10 +17,10 @@ import (
 func (e *Engine) scalarRange(ctx context.Context, q cq.AggQuery, bag []cq.Witness, rc *recorder) (Range, error) {
 	if bag == nil {
 		_, sp := obsv.StartSpan(ctx, "cq.witness")
-		start := time.Now()
+		pm := startPhase()
 		var err error
 		bag, err = e.eval.WitnessBagCtx(ctx, q.Underlying)
-		rc.witness(time.Since(start))
+		rc.endWitness(pm)
 		rc.witnesses(len(bag))
 		if sp != nil {
 			sp.SetInt("witnesses", int64(len(bag)))
@@ -107,7 +106,7 @@ func (e *Engine) sumCountFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 		return Range{}, err
 	}
 
-	encodeStart := time.Now()
+	encodeMark := startPhase()
 	// Fold consistent-part witnesses into a constant: a witness made of
 	// safe facts survives in every repair, contributing ±w always.
 	var base int64
@@ -124,7 +123,7 @@ func (e *Engine) sumCountFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 		unsafe = append(unsafe, w)
 	}
 	if len(unsafe) == 0 {
-		rc.encode(time.Since(encodeStart))
+		rc.endEncode(encodeMark)
 		rc.skip()
 		return Range{GLB: db.Int(base), LUB: db.Int(base), FromConsistentPart: true}, nil
 	}
@@ -137,7 +136,7 @@ func (e *Engine) sumCountFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 		witnessFacts[i] = w.facts
 	}
 	split := splitComponents(cc, witnessFacts)
-	rc.encode(time.Since(encodeStart))
+	rc.endEncode(encodeMark)
 
 	// Components are independent WPMaxSAT instances: encode and solve
 	// each on the worker pool, then sum the per-component results (the
@@ -146,7 +145,7 @@ func (e *Engine) sumCountFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 	type compResult struct{ minF, maxF, negOffset int64 }
 	results := make([]compResult, len(split.groups))
 	err = forEach(ctx, e.parallelism(), len(split.groups), func(ctx context.Context, ci int) error {
-		encodeStart := time.Now()
+		encodeMark := startPhase()
 		_, esp := obsv.StartSpan(ctx, "core.encode")
 		var enc *encoder
 		var base *maxsat.HardBase
@@ -175,7 +174,7 @@ func (e *Engine) sumCountFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 			enc.formula.AddSoft(w.weight, y)
 			negOffset += w.weight
 		}
-		rc.encode(time.Since(encodeStart))
+		rc.endEncode(encodeMark)
 		rc.absorbFormula(enc.formula)
 		endEncodeSpan(esp, enc.formula)
 
@@ -209,7 +208,7 @@ func (e *Engine) sumCountFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 func (e *Engine) distinctFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witness, rc *recorder) (Range, error) {
 	cc := e.constraintCtx(ctx, rc)
 
-	encodeStart := time.Now()
+	encodeMark := startPhase()
 	minimal := cq.MinimalWitnesses(bag)
 	// Partition minimal witnesses by answer value b.
 	type answerGroup struct {
@@ -264,7 +263,7 @@ func (e *Engine) distinctFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 		uncertain = append(uncertain, g)
 	}
 	if len(uncertain) == 0 {
-		rc.encode(time.Since(encodeStart))
+		rc.endEncode(encodeMark)
 		rc.skip()
 		return Range{GLB: db.Int(base), LUB: db.Int(base), FromConsistentPart: true}, nil
 	}
@@ -278,14 +277,14 @@ func (e *Engine) distinctFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 		}
 	}
 	split := splitComponents(cc, answerFacts)
-	rc.encode(time.Since(encodeStart))
+	rc.endEncode(encodeMark)
 
 	// As in sumCountFromBag: one independent WPMaxSAT instance per
 	// component, fanned out and merged by component index.
 	type compResult struct{ minF, maxF, negOffset int64 }
 	results := make([]compResult, len(split.groups))
 	err := forEach(ctx, e.parallelism(), len(split.groups), func(ctx context.Context, ci int) error {
-		encodeStart := time.Now()
+		encodeMark := startPhase()
 		_, esp := obsv.StartSpan(ctx, "core.encode")
 		var enc *encoder
 		var base *maxsat.HardBase
@@ -328,7 +327,7 @@ func (e *Engine) distinctFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 				negOffset += w
 			}
 		}
-		rc.encode(time.Since(encodeStart))
+		rc.endEncode(encodeMark)
 		rc.absorbFormula(enc.formula)
 		endEncodeSpan(esp, enc.formula)
 
@@ -410,9 +409,9 @@ func (e *Engine) solveBothDirections(ctx context.Context, f *cnf.Formula, base *
 // runInstance times and accounts one direction of an incremental solve,
 // mirroring runMaxSAT's bookkeeping and error mapping.
 func (e *Engine) runInstance(ctx context.Context, solve func(context.Context) (maxsat.Result, error), rc *recorder) (maxsat.Result, error) {
-	start := time.Now()
+	pm := startPhase()
 	res, err := solve(ctx)
-	rc.solve(time.Since(start))
+	rc.endSolve(pm)
 	rc.satCalls(res.SATCalls)
 	if err != nil {
 		return res, mapSolveErr(err)
@@ -425,9 +424,9 @@ func (e *Engine) runInstance(ctx context.Context, solve func(context.Context) (m
 }
 
 func (e *Engine) runMaxSAT(ctx context.Context, f *cnf.Formula, rc *recorder) (maxsat.Result, error) {
-	start := time.Now()
+	pm := startPhase()
 	res, err := maxsat.SolveContext(ctx, f, e.opts.MaxSAT)
-	rc.solve(time.Since(start))
+	rc.endSolve(pm)
 	if err != nil {
 		rc.satCalls(res.SATCalls)
 		return res, mapSolveErr(err)

@@ -86,7 +86,7 @@ func solveLSU(ctx context.Context, p *problem, opts Options) (Result, error) {
 	release := sat.StopOnDone(ctx, s)
 	defer release()
 	weights := p.weights
-	tr := newTracker(opts, AlgLSU, s)
+	tr := newTracker(ctx, opts, AlgLSU, s)
 
 	// Violation indicators: the negations of the selectors.
 	inputs := make([]wlit, 0, len(weights))

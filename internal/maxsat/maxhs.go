@@ -50,7 +50,7 @@ func solveMaxHS(ctx context.Context, p *problem, opts Options) (Result, error) {
 	defer release()
 	weights := p.weights
 	all := sortedSelectors(weights)
-	tr := newTracker(opts, AlgMaxHS, s)
+	tr := newTracker(ctx, opts, AlgMaxHS, s)
 
 	hs := newHittingSets(weights)
 	if opts.HSNodeBudget > 0 {

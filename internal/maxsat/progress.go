@@ -43,11 +43,14 @@ type ProgressInfo struct {
 type ProgressFunc func(ProgressInfo)
 
 // tracker carries the bound trajectory of one solve and forwards it to
-// the user's ProgressFunc. All methods are nil-receiver-safe so the
-// algorithms call them unconditionally; with no callback registered the
+// the user's ProgressFunc and, when the caller's context carries one,
+// the per-solve flight recorder (progress ticks and bound updates feed
+// the anomaly dump ring). All methods are nil-receiver-safe so the
+// algorithms call them unconditionally; with neither sink configured the
 // cost is one nil check per milestone.
 type tracker struct {
 	fn   ProgressFunc
+	rec  *obsv.FlightRecorder
 	alg  Algorithm
 	s    *sat.Solver
 	iter int64
@@ -55,32 +58,47 @@ type tracker struct {
 	ub   int64
 }
 
-// newTracker wires opts.Progress to s (periodic "search" reports every
-// ProgressEvery conflicts) and returns a tracker for milestone reports.
-// Returns nil when no callback is configured.
-func newTracker(opts Options, alg Algorithm, s *sat.Solver) *tracker {
-	if opts.Progress == nil {
+// newTracker wires opts.Progress and the context's flight recorder to s
+// (periodic "search" reports every ProgressEvery conflicts) and returns
+// a tracker for milestone reports. Returns nil when neither sink is
+// configured.
+func newTracker(ctx context.Context, opts Options, alg Algorithm, s *sat.Solver) *tracker {
+	rec := obsv.FlightRecorderFrom(ctx)
+	if opts.Progress == nil && rec == nil {
 		return nil
 	}
-	t := &tracker{fn: opts.Progress, alg: alg, s: s, lb: -1, ub: -1}
+	t := &tracker{fn: opts.Progress, rec: rec, alg: alg, s: s, lb: -1, ub: -1}
 	every := opts.ProgressEvery
 	if every <= 0 {
 		every = DefaultProgressEvery
 	}
-	s.SetProgress(every, func(p sat.Progress) {
-		t.fn(ProgressInfo{
-			Algorithm:  t.alg,
-			Phase:      "search",
-			Iteration:  t.iter,
-			SATCalls:   p.Solves,
-			Conflicts:  p.Conflicts,
-			LearntLive: p.LearntLive,
-			TrailDepth: p.TrailDepth,
-			LowerBound: t.lb,
-			UpperBound: t.ub,
-		})
-	})
+	s.SetProgress(every, func(p sat.Progress) { t.report("search", p) })
 	return t
+}
+
+// report fans one progress observation out to the configured sinks.
+func (t *tracker) report(phase string, p sat.Progress) {
+	info := ProgressInfo{
+		Algorithm:  t.alg,
+		Phase:      phase,
+		Iteration:  t.iter,
+		SATCalls:   p.Solves,
+		Conflicts:  p.Conflicts,
+		LearntLive: p.LearntLive,
+		TrailDepth: p.TrailDepth,
+		LowerBound: t.lb,
+		UpperBound: t.ub,
+	}
+	if t.fn != nil {
+		t.fn(info)
+	}
+	t.rec.Record("progress", t.alg.String(),
+		obsv.String("phase", phase),
+		obsv.Int64("iter", info.Iteration),
+		obsv.Int64("sat_calls", info.SATCalls),
+		obsv.Int64("conflicts", info.Conflicts),
+		obsv.Int64("lb", info.LowerBound),
+		obsv.Int64("ub", info.UpperBound))
 }
 
 // step advances the main-loop iteration counter.
@@ -91,16 +109,24 @@ func (t *tracker) step() {
 }
 
 // bounds updates the falsified-weight bracket (pass -1 to leave a side
-// unchanged).
+// unchanged); a bracket move is recorded as a "bound" event in the
+// flight recorder.
 func (t *tracker) bounds(lb, ub int64) {
 	if t == nil {
 		return
 	}
-	if lb >= 0 {
+	changed := false
+	if lb >= 0 && lb != t.lb {
 		t.lb = lb
+		changed = true
 	}
-	if ub >= 0 {
+	if ub >= 0 && ub != t.ub {
 		t.ub = ub
+		changed = true
+	}
+	if changed {
+		t.rec.Record("bound", t.alg.String(),
+			obsv.Int64("lb", t.lb), obsv.Int64("ub", t.ub))
 	}
 }
 
@@ -109,18 +135,7 @@ func (t *tracker) event(phase string) {
 	if t == nil {
 		return
 	}
-	p := t.s.ProgressSnapshot()
-	t.fn(ProgressInfo{
-		Algorithm:  t.alg,
-		Phase:      phase,
-		Iteration:  t.iter,
-		SATCalls:   p.Solves,
-		Conflicts:  p.Conflicts,
-		LearntLive: p.LearntLive,
-		TrailDepth: p.TrailDepth,
-		LowerBound: t.lb,
-		UpperBound: t.ub,
-	})
+	t.report(phase, t.s.ProgressSnapshot())
 }
 
 // satSolve runs one SAT call under a "sat.solve" span carrying the

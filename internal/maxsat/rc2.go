@@ -40,7 +40,7 @@ func solveRC2(ctx context.Context, p *problem, opts Options) (Result, error) {
 	release := sat.StopOnDone(ctx, s)
 	defer release()
 	weights := p.weightsCopy()
-	tr := newTracker(opts, AlgRC2, s)
+	tr := newTracker(ctx, opts, AlgRC2, s)
 
 	// totInfo tracks a lazily-bounded totalizer: outputs[bound] is the
 	// output literal whose negation is the currently active selector.

@@ -1,0 +1,93 @@
+package obsv
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler builds the debug HTTP handler over a live registry and tracer:
+//
+//	/metrics       Prometheus text exposition of the registry, plus the
+//	               tracer's own obsv_spans_* families when tr is non-nil
+//	/healthz       liveness JSON ({"status":"ok","uptime_s":…})
+//	/debug/trace   current tracer snapshot; ?format=tree (default) or
+//	               ?format=chrome for Chrome trace-event JSON
+//	/debug/pprof/  the standard net/http/pprof surface (profile, heap,
+//	               goroutine, trace, …)
+//
+// Every endpoint reads live state: scraping /metrics during a run
+// returns counters that move between scrapes. Either reg or tr may be
+// nil; the corresponding endpoints degrade gracefully (an empty
+// exposition, a 404 trace).
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_s\":%.1f}\n", time.Since(start).Seconds())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			if err := reg.WritePrometheus(w); err != nil {
+				return
+			}
+		}
+		if tr != nil {
+			tr.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if tr == nil {
+			http.Error(w, "no tracer installed", http.StatusNotFound)
+			return
+		}
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "tree":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			tr.WriteTree(w)
+		case "chrome", "json":
+			w.Header().Set("Content-Type", "application/json")
+			tr.WriteChromeTrace(w)
+		default:
+			http.Error(w, fmt.Sprintf("unknown format %q (want tree or chrome)", format), http.StatusBadRequest)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running debug HTTP server (Serve).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the debug HTTP server on addr (e.g. "localhost:6060", or
+// ":0" to pick a free port — read the bound address back with Addr).
+// The server runs on a background goroutine until Close.
+func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obsv: debug server: %w", err)
+	}
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: Handler(reg, tr)},
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,160 @@
+package obsv
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("aggcavsat_sat_calls_total").Add(3)
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := StartSpan(ctx, "query")
+	sp.End()
+
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	code, ct, body := get(t, srv, "/healthz")
+	if code != http.StatusOK || ct != "application/json" || !strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("/healthz = %d %q %q", code, ct, body)
+	}
+
+	code, ct, body = get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	for _, want := range []string{
+		"aggcavsat_sat_calls_total 3",
+		"obsv_spans_dropped_total 0",
+		"obsv_spans_open 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, _, body = get(t, srv, "/debug/trace")
+	if code != http.StatusOK || !strings.Contains(body, "query") {
+		t.Errorf("/debug/trace = %d %q", code, body)
+	}
+	code, ct, body = get(t, srv, "/debug/trace?format=chrome")
+	if code != http.StatusOK || ct != "application/json" || !strings.Contains(body, "traceEvents") {
+		t.Errorf("/debug/trace?format=chrome = %d %q %q", code, ct, body)
+	}
+	code, _, _ = get(t, srv, "/debug/trace?format=bogus")
+	if code != http.StatusBadRequest {
+		t.Errorf("/debug/trace?format=bogus status = %d, want 400", code)
+	}
+
+	code, _, body = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestHandlerNoTracer(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil))
+	defer srv.Close()
+	if code, _, _ := get(t, srv, "/debug/trace"); code != http.StatusNotFound {
+		t.Errorf("/debug/trace without a tracer = %d, want 404", code)
+	}
+	if code, _, _ := get(t, srv, "/metrics"); code != http.StatusOK {
+		t.Errorf("/metrics without a tracer = %d, want 200", code)
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz on Serve = %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/healthz"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}
+
+// TestConcurrentScrapes hammers /metrics and /debug/trace while other
+// goroutines mutate the registry and tracer — the scenario the -race CI
+// target guards: a live scrape during a run must not race with the
+// instrumentation writes.
+func TestConcurrentScrapes(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer()
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	// Mutation volume is bounded (not run-until-stopped): an unthrottled
+	// span producer fills the tracer ring with ~1M spans and every
+	// /debug/trace scrape then serializes all of them, turning this test
+	// into minutes of JSON encoding instead of a race probe.
+	const iters = 2_000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			reg.Counter("aggcavsat_sat_calls_total").Add(1)
+			reg.Gauge("aggcavsat_heap_bytes").Set(int64(i))
+			reg.Histogram("aggcavsat_phase_seconds_solve", nil).Observe(0.001)
+			runtime.Gosched()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		ctx := WithTracer(context.Background(), tr)
+		for i := 0; i < iters; i++ {
+			c, sp := StartSpan(ctx, "query")
+			_, inner := StartSpan(c, "sat.solve", Int64("conflicts", 1))
+			inner.End()
+			sp.End()
+			runtime.Gosched()
+		}
+	}()
+
+	for i := 0; i < 10; i++ {
+		for _, path := range []string{"/metrics", "/debug/trace", "/debug/trace?format=chrome"} {
+			code, _, _ := get(t, srv, path)
+			if code != http.StatusOK {
+				t.Errorf("%s during mutation = %d", path, code)
+			}
+		}
+	}
+	wg.Wait()
+}

@@ -58,6 +58,20 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
+// WritePrometheus renders the tracer's own health as two metric
+// families: obsv_spans_dropped_total (spans discarded beyond MaxSpans —
+// a non-zero value means traces are being truncated) and obsv_spans_open
+// (spans started but not yet ended; a steady non-zero value on an idle
+// process indicates a span leak). Scrape endpoints append this after the
+// registry exposition.
+func (t *Tracer) WritePrometheus(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"# TYPE obsv_spans_dropped_total counter\nobsv_spans_dropped_total %d\n"+
+			"# TYPE obsv_spans_open gauge\nobsv_spans_open %d\n",
+		t.Dropped(), t.Open())
+	return err
+}
+
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }

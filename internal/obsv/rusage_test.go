@@ -1,0 +1,37 @@
+package obsv
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestSampleResourcesDelta(t *testing.T) {
+	before := SampleResources()
+	// Allocate ~8 MiB in chunks the compiler cannot elide.
+	hold := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		hold = append(hold, make([]byte, 128<<10))
+	}
+	runtime.KeepAlive(hold)
+	delta := SampleResources().Since(before)
+	if delta.AllocBytes < 4<<20 {
+		t.Errorf("AllocBytes = %d after ~8 MiB of allocation, want >= 4 MiB", delta.AllocBytes)
+	}
+	if delta.HeapBytes <= 0 {
+		t.Errorf("HeapBytes = %d, want > 0 (live heap is never empty)", delta.HeapBytes)
+	}
+	if delta.GCCycles < 0 {
+		t.Errorf("GCCycles = %d, want >= 0 (monotone counter)", delta.GCCycles)
+	}
+}
+
+func TestSampleResourcesMonotone(t *testing.T) {
+	a := SampleResources()
+	b := SampleResources()
+	if b.AllocBytes < a.AllocBytes {
+		t.Errorf("AllocBytes went backwards: %d -> %d", a.AllocBytes, b.AllocBytes)
+	}
+	if b.GCCycles < a.GCCycles {
+		t.Errorf("GCCycles went backwards: %d -> %d", a.GCCycles, b.GCCycles)
+	}
+}
