@@ -80,7 +80,25 @@ type (
 	// Options.OnAnomaly: the flight-recorder event ring, the call's
 	// metric snapshot, and the resource delta of the solve.
 	FlightBundle = obsv.Bundle
+	// Explain is the per-solve report assembled under Options.Explain:
+	// the code paths taken (mode, front end, solver route), cache
+	// outcomes, and the per-component CNF/solve breakdown. Its Stats
+	// field is the same snapshot projection as Result.Stats, so the two
+	// views reconcile exactly.
+	Explain = core.Explain
+	// Journal is the bounded, non-blocking wide-event writer: install
+	// one via Options.Journal and every engine call appends one JSON
+	// line (obsv.OpenJournal / obsv.NewJournal construct it).
+	Journal = obsv.Journal
+	// JournalEntry is one decoded journal line.
+	JournalEntry = obsv.JournalEntry
 )
+
+// OpenJournal opens (appending) a query journal at path.
+func OpenJournal(path string) (*Journal, error) { return obsv.OpenJournal(path) }
+
+// ReadJournalFile decodes every entry of a journal file.
+func ReadJournalFile(path string) ([]JournalEntry, error) { return obsv.ReadJournalFile(path) }
 
 // Typed failure modes, re-exported for errors.Is matching:
 // ErrTimeout reports a cancelled or expired context (Options.Timeout or
@@ -193,6 +211,13 @@ type Options struct {
 	// escape hatch behind the CLI -incremental flag. External solvers
 	// always take the legacy path.
 	DisableIncremental bool
+	// Explain attaches a per-solve Explain report (code paths, cache
+	// outcomes, per-component breakdown) to every query result.
+	Explain bool
+	// Journal, when non-nil, receives one wide-event JSON line per
+	// engine call. Appends never block a solve: the journal sheds lines
+	// when its writer lags (and counts the drops).
+	Journal *Journal
 }
 
 // System answers queries over one instance.
@@ -218,6 +243,8 @@ func Open(in *Instance, opts Options) (*System, error) {
 		OnAnomaly:          opts.OnAnomaly,
 		FlightEvents:       opts.FlightEvents,
 		DisableIncremental: opts.DisableIncremental,
+		Explain:            opts.Explain,
+		Journal:            opts.Journal,
 	}
 	if len(opts.DenialConstraints) > 0 {
 		engOpts.Mode = core.DCMode
@@ -244,6 +271,9 @@ type Result struct {
 	Columns []string
 	Rows    []Row
 	Stats   Stats
+	// Explains holds one per-solve report per aggregate in the SELECT
+	// list, in order, when Options.Explain is set.
+	Explains []*Explain
 }
 
 // Query parses an aggregation-SQL statement, computes the range
@@ -259,6 +289,9 @@ func (s *System) Query(sql string) (*Result, error) {
 func (s *System) QueryContext(ctx context.Context, sql string) (*Result, error) {
 	ctx, sp := obsv.StartSpan(ctx, "query")
 	defer sp.End()
+	// Journal lines of this statement carry the SQL text, not the
+	// rendered algebraic query, so journals read like the user's input.
+	ctx = obsv.WithQueryLabel(ctx, sql)
 	_, psp := obsv.StartSpan(ctx, "sql.parse")
 	tr, err := sqlparse.ParseAndTranslate(sql, s.in.Schema())
 	psp.End()
@@ -287,6 +320,9 @@ func (s *System) run(ctx context.Context, tr *sqlparse.Translation) (*Result, er
 			return nil, err
 		}
 		res.Stats = accumulate(res.Stats, rep.Stats)
+		if rep.Explain != nil {
+			res.Explains = append(res.Explains, rep.Explain)
+		}
 		for _, a := range rep.Answers {
 			if len(positions) != len(a.Key) {
 				positions = positions[:0]

@@ -369,3 +369,46 @@ func TestExternalSolverLoop(t *testing.T) {
 		t.Errorf("external-solver range = %s", FormatRange(res.Rows[0].Ranges[0]))
 	}
 }
+
+func TestExplainAndJournalThroughFacade(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Open(bank(t), Options{Explain: true, Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := `SELECT CITY, COUNT(*), MAX(BAL) FROM Acc GROUP BY CITY ORDER BY CITY`
+	res, err := sys.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Explains) != 2 {
+		t.Fatalf("explains = %d, want one per aggregate", len(res.Explains))
+	}
+	for i, ex := range res.Explains {
+		if ex == nil || len(ex.Components) == 0 {
+			t.Errorf("explain %d empty: %+v", i, ex)
+		}
+	}
+	if res.Explains[0].Op != "COUNT(*)" || res.Explains[1].Op != "MAX" {
+		t.Errorf("explain ops = %q, %q", res.Explains[0].Op, res.Explains[1].Op)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadJournalFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("journal lines = %d, want one per aggregate solve", len(entries))
+	}
+	for i, e := range entries {
+		if e.Query != sql {
+			t.Errorf("line %d label = %q, want the SQL text", i, e.Query)
+		}
+	}
+}

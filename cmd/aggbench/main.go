@@ -24,7 +24,26 @@
 //	                  success (0 = only timeouts/errors)
 //	-compare old.json diff this run's records against a BENCH_*.json
 //	                  baseline and report slowdowns (informational)
+//	-journal f.jsonl  append one wide-event JSON line per engine call
+//	                  (bounded, non-blocking writer; -listen exposes the
+//	                  tail at /debug/journal)
+//	-journal-read f   decode a journal file, print a per-query summary
+//	                  table, and exit (non-zero on malformed lines)
 //	-v                debug logging (per-experiment progress) on stderr
+//
+// Load replay:
+//
+//	-replay           replay a mixed query stream against one engine and
+//	                  print a p50/p90/p99/max latency table instead of
+//	                  running experiments
+//	-replay-from f    query stream source: a journal captured with
+//	                  -journal (its Query labels are replayed) or a spec
+//	                  file (one workload query name per line, # comments);
+//	                  default is the built-in scalar+grouped mix
+//	-replay-n N       queries to issue (stream cycled/truncated; default
+//	                  one pass over the stream)
+//	-qps F            open-loop target arrival rate (0 = closed loop)
+//	-replay-concurrency N  max in-flight queries (default 4)
 //
 // Concurrency and timeouts:
 //
@@ -48,11 +67,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
+	"text/tabwriter"
 
 	"aggcavsat/internal/bench"
 	"aggcavsat/internal/obsv"
@@ -81,6 +103,13 @@ func main() {
 	flightDir := flag.String("flight-dir", "", "write flight-recorder bundles for anomalous queries into this directory")
 	flag.DurationVar(&cfg.SlowQuery, "slow-query", cfg.SlowQuery, "queries slower than this dump a flight bundle even on success (0 = only timeouts/errors)")
 	compare := flag.String("compare", "", "diff this run's records against a BENCH_*.json baseline (informational)")
+	journalPath := flag.String("journal", "", "append one wide-event JSON line per engine call to this file")
+	journalRead := flag.String("journal-read", "", "decode a journal file, print a per-query summary, and exit")
+	replay := flag.Bool("replay", false, "replay a query stream against one engine and print a latency percentile table")
+	replayFrom := flag.String("replay-from", "", "replay stream source: a journal or a spec file of query names (default: built-in mix)")
+	replayN := flag.Int("replay-n", 0, "queries to issue during -replay (0 = one pass over the stream)")
+	qps := flag.Float64("qps", 0, "open-loop target arrival rate for -replay (0 = closed loop)")
+	replayConc := flag.Int("replay-concurrency", 0, "max in-flight queries during -replay (0 = default 4)")
 	flag.Parse()
 	cfg.DisableIncremental = !*incremental
 	cfg.DisableFrontendOpt = !*frontend
@@ -95,6 +124,27 @@ func main() {
 	if *list {
 		fmt.Println(strings.Join(bench.Names(), "\n"))
 		return
+	}
+	if *journalRead != "" {
+		if err := printJournalSummary(*journalRead, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	var journal *obsv.Journal
+	if *journalPath != "" {
+		j, err := obsv.OpenJournal(*journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aggbench:", err)
+			os.Exit(1)
+		}
+		journal = j
+		cfg.Journal = j
+		defer func() {
+			j.Close()
+			logger.Debug("journal closed", "path", j.Path(), "written", j.Written(), "dropped", j.Dropped())
+		}()
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -130,7 +180,7 @@ func main() {
 		r.WithContext(obsv.WithTracer(context.Background(), tracer))
 	}
 	if *listen != "" {
-		srv, err := obsv.Serve(*listen, metrics, tracer)
+		srv, err := obsv.Serve(*listen, metrics, tracer, journal)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aggbench:", err)
 			os.Exit(1)
@@ -140,12 +190,23 @@ func main() {
 	}
 
 	var err error
-	if *exp == "all" {
+	switch {
+	case *replay:
+		_, err = r.Replay(bench.ReplayOptions{
+			Source:      *replayFrom,
+			N:           *replayN,
+			QPS:         *qps,
+			Concurrency: *replayConc,
+		}, os.Stdout)
+	case *exp == "all":
 		err = r.All(os.Stdout)
-	} else {
+	default:
 		err = r.Experiment(*exp, os.Stdout)
 	}
 	if err != nil {
+		if journal != nil {
+			journal.Close()
+		}
 		fmt.Fprintln(os.Stderr, "aggbench:", err)
 		os.Exit(1)
 	}
@@ -196,4 +257,48 @@ func main() {
 		}
 		logger.Debug("heap profile written", "path", *memprofile)
 	}
+}
+
+// printJournalSummary decodes a query journal and prints one row per
+// distinct query label: line count, errors, anomalies, and the mean
+// total latency. A malformed line fails the whole read (the CI smoke
+// step relies on that to catch journal-format regressions).
+func printJournalSummary(path string, w io.Writer) error {
+	entries, err := obsv.ReadJournalFile(path)
+	if err != nil {
+		return err
+	}
+	type agg struct {
+		lines, errors, anomalies int
+		totalMS                  float64
+	}
+	byQuery := map[string]*agg{}
+	for _, e := range entries {
+		a, ok := byQuery[e.Query]
+		if !ok {
+			a = &agg{}
+			byQuery[e.Query] = a
+		}
+		a.lines++
+		if e.Error != "" {
+			a.errors++
+		}
+		if e.Anomaly != "" {
+			a.anomalies++
+		}
+		a.totalMS += e.TotalMS
+	}
+	var order []string
+	for q := range byQuery {
+		order = append(order, q)
+	}
+	sort.Strings(order)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "query\tlines\terrors\tanomalies\tmean ms\n")
+	for _, q := range order {
+		a := byQuery[q]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.1f\n", q, a.lines, a.errors, a.anomalies, a.totalMS/float64(a.lines))
+	}
+	fmt.Fprintf(tw, "total\t%d\t\t\t\n", len(entries))
+	return tw.Flush()
 }

@@ -19,6 +19,14 @@
 // Observability:
 //
 //	-stats            per-phase breakdown table on stderr
+//	-explain          per-solve explain report on stderr: code paths
+//	                  taken (mode, front end, solver route), cache
+//	                  outcomes, per-component CNF/solve breakdown; its
+//	                  phase totals are the same counters -stats prints
+//	-explain-json     the explain report as JSON instead of a table
+//	-journal f.jsonl  append one wide-event JSON line per solve (bounded
+//	                  non-blocking writer; decode with
+//	                  `aggbench -journal-read`)
 //	-trace out.json   Chrome trace-event file (chrome://tracing, Perfetto)
 //	-progress         periodic solver progress on stderr
 //	-metrics out.prom Prometheus text exposition of the session metrics
@@ -46,6 +54,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -65,6 +74,9 @@ func main() {
 	solver := flag.String("solver", "maxhs", "MaxSAT algorithm: maxhs, rc2, lsu, external")
 	external := flag.String("external-solver", "", "path to a MaxHS-compatible binary (solver=external)")
 	stats := flag.Bool("stats", false, "print a per-phase statistics table")
+	explain := flag.Bool("explain", false, "print a per-solve explain report (code paths, caches, components)")
+	explainJSON := flag.Bool("explain-json", false, "print the explain report as JSON")
+	journalPath := flag.String("journal", "", "append one wide-event JSON line per solve to this file")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON file of the query")
 	progress := flag.Bool("progress", false, "print periodic solver progress")
 	progressEvery := flag.Int64("progress-every", 0, "conflicts between progress reports (0 = solver default)")
@@ -139,6 +151,18 @@ func main() {
 		opts.SlowQuery = *slowQuery
 		opts.OnAnomaly = obsv.DumpDir(*flightDir)
 	}
+	opts.Explain = *explain || *explainJSON
+	var journal *obsv.Journal
+	if *journalPath != "" {
+		journal, err = obsv.OpenJournal(*journalPath)
+		fatalIf(err)
+		opts.Journal = journal
+		defer func() {
+			journal.Close()
+			logger.Debug("journal closed", "path", journal.Path(),
+				"written", journal.Written(), "dropped", journal.Dropped())
+		}()
+	}
 	sys, err := aggcavsat.Open(in, opts)
 	fatalIf(err)
 
@@ -149,7 +173,7 @@ func main() {
 		ctx = obsv.WithTracer(ctx, tracer)
 	}
 	if *listen != "" {
-		srv, err := obsv.Serve(*listen, metrics, tracer)
+		srv, err := obsv.Serve(*listen, metrics, tracer, journal)
 		fatalIf(err)
 		defer srv.Close()
 		logger.Debug("debug server listening", "addr", srv.Addr())
@@ -171,6 +195,16 @@ func main() {
 	}
 	if *stats {
 		printStats(res.Stats)
+	}
+	for _, ex := range res.Explains {
+		if *explainJSON {
+			enc := json.NewEncoder(os.Stderr)
+			enc.SetIndent("", "  ")
+			fatalIf(enc.Encode(ex))
+			continue
+		}
+		fmt.Fprintln(os.Stderr)
+		fatalIf(ex.WriteTable(os.Stderr))
 	}
 	if tracer != nil && *trace != "" {
 		out, err := os.Create(*trace)

@@ -61,6 +61,11 @@ type Config struct {
 	// longer than SlowQuery deliver a dump bundle to OnAnomaly.
 	SlowQuery time.Duration
 	OnAnomaly func(*obsv.Bundle)
+	// Journal, when non-nil, receives one wide-event line per engine call
+	// (the aggbench -journal flag); each line is labeled with the
+	// workload query's paper name, so a captured journal doubles as a
+	// replay spec.
+	Journal *obsv.Journal
 	// DisableIncremental runs every engine on the legacy solve path
 	// (fresh solver per MaxSAT run, no shared hard-clause bases); the
 	// pr3 experiment ignores it and always measures both paths.
@@ -239,7 +244,7 @@ func (r *Runner) runQuery(eng *core.Engine, q tpch.Query) (queryResult, error) {
 		return queryResult{}, err
 	}
 	start := time.Now()
-	rep, err := eng.RangeAnswersContext(r.ctx(), tr.Aggs[0].Query)
+	rep, err := eng.RangeAnswersContext(obsv.WithQueryLabel(r.ctx(), q.Name), tr.Aggs[0].Query)
 	if timedOut(err) {
 		res := queryResult{timeout: true, total: time.Since(start)}
 		r.record(q.Name, res)
@@ -285,6 +290,7 @@ func (r *Runner) engine(in *db.Instance) (*core.Engine, error) {
 		Metrics:            r.cfg.Metrics,
 		SlowQuery:          r.cfg.SlowQuery,
 		OnAnomaly:          r.cfg.OnAnomaly,
+		Journal:            r.cfg.Journal,
 		DisableIncremental: r.cfg.DisableIncremental,
 		DisableFrontendOpt: r.cfg.DisableFrontendOpt,
 	})

@@ -1,0 +1,298 @@
+package bench
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"aggcavsat/internal/obsv"
+	"aggcavsat/internal/sqlparse"
+	"aggcavsat/internal/tpch"
+)
+
+// ReplayOptions configures a load replay (the aggbench -replay mode):
+// a mixed stream of workload queries is issued against one engine at a
+// target arrival rate, every solve emits a journal line (when
+// Config.Journal is set), and the latencies are summarized into
+// per-query and overall percentile tables.
+type ReplayOptions struct {
+	// Source names the query stream: empty for the built-in mixed
+	// workload (scalar and grouped paper queries interleaved), or a path
+	// to either a query journal (JSON lines; the Query labels are
+	// replayed) or a plain spec file (one workload query name per line,
+	// '#' comments; repeat a name to weight it).
+	Source string
+	// N is the number of queries to issue; the stream is cycled or
+	// truncated to it. 0 issues each stream entry once.
+	N int
+	// QPS is the open-loop target arrival rate. Latency is measured from
+	// each query's *scheduled* issue time, so queueing delay behind a
+	// slow solve is charged to the laggards (no coordinated omission).
+	// 0 runs closed-loop: each worker issues as fast as it completes.
+	QPS float64
+	// Concurrency bounds the in-flight queries (default 4).
+	Concurrency int
+	// Percent is the injected inconsistency of the replayed instance
+	// (default 10, the Figure 1 setting).
+	Percent float64
+}
+
+// ReplayQueryStats is the latency profile of one workload query within
+// a replay.
+type ReplayQueryStats struct {
+	Name     string               `json:"name"`
+	Issued   int                  `json:"issued"`
+	Errors   int                  `json:"errors"`
+	Timeouts int                  `json:"timeouts"`
+	Latency  obsv.SummarySnapshot `json:"latency"`
+}
+
+// ReplayReport is the outcome of one load replay.
+type ReplayReport struct {
+	Issued   int `json:"issued"`
+	Errors   int `json:"errors"`
+	Timeouts int `json:"timeouts"`
+	// Skipped counts stream entries naming no known workload query
+	// (journal lines from ad-hoc SQL, comments that parse as names, …).
+	Skipped  int                  `json:"skipped"`
+	Overall  obsv.SummarySnapshot `json:"overall"`
+	PerQuery []ReplayQueryStats   `json:"per_query"`
+}
+
+// replayAgg accumulates one query name's outcomes during the run.
+type replayAgg struct {
+	sum      *obsv.Summary
+	issued   int
+	errors   int
+	timeouts int
+}
+
+// Replay issues the configured query stream against one engine over the
+// small DBGen instance and prints the percentile table to w. Each solve
+// is labeled with its workload query name, so the journal captured
+// during a replay can itself be replayed.
+func (r *Runner) Replay(opts ReplayOptions, w io.Writer) (*ReplayReport, error) {
+	names, skipped, err := replayStream(opts.Source)
+	if err != nil {
+		return nil, err
+	}
+	pct := opts.Percent
+	if pct <= 0 {
+		pct = 10
+	}
+	in, err := r.dbgen(r.cfg.SFSmall, pct)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := r.engine(in)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve and translate every distinct name once, up front, so a
+	// typo fails the replay before any load is generated.
+	type plan struct {
+		name string
+		tr   *sqlparse.Translation
+	}
+	plans := map[string]*plan{}
+	var resolved []string
+	for _, name := range names {
+		if _, ok := plans[name]; ok {
+			resolved = append(resolved, name)
+			continue
+		}
+		q, err := tpch.QueryByName(name)
+		if err != nil {
+			skipped++
+			continue
+		}
+		tr, err := q.Translate()
+		if err != nil {
+			return nil, fmt.Errorf("bench: replay query %s: %w", name, err)
+		}
+		plans[name] = &plan{name: name, tr: tr}
+		resolved = append(resolved, name)
+	}
+	if len(resolved) == 0 {
+		return nil, errors.New("bench: replay stream contains no known workload queries")
+	}
+	n := opts.N
+	if n <= 0 {
+		n = len(resolved)
+	}
+	conc := opts.Concurrency
+	if conc <= 0 {
+		conc = 4
+	}
+
+	rep := &ReplayReport{Skipped: skipped}
+	overall := obsv.NewSummary(0, nil)
+	perName := map[string]*replayAgg{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, conc)
+	r.setExperiment("replay")
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		p := plans[resolved[i%len(resolved)]]
+		sched := time.Now()
+		if opts.QPS > 0 {
+			target := start.Add(time.Duration(float64(i) / opts.QPS * float64(time.Second)))
+			if d := time.Until(target); d > 0 {
+				time.Sleep(d)
+			}
+			sched = target
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(p *plan, sched time.Time) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ctx := obsv.WithQueryLabel(r.ctx(), p.name)
+			res, qerr := eng.RangeAnswersContext(ctx, p.tr.Aggs[0].Query)
+			lat := time.Since(sched)
+			mu.Lock()
+			defer mu.Unlock()
+			agg, ok := perName[p.name]
+			if !ok {
+				agg = &replayAgg{sum: obsv.NewSummary(0, nil)}
+				perName[p.name] = agg
+			}
+			agg.issued++
+			rep.Issued++
+			agg.sum.Observe(lat.Seconds())
+			overall.Observe(lat.Seconds())
+			switch {
+			case timedOut(qerr):
+				agg.timeouts++
+				rep.Timeouts++
+				r.record(p.name, queryResult{timeout: true, total: lat})
+			case qerr != nil:
+				agg.errors++
+				rep.Errors++
+			default:
+				r.record(p.name, queryResult{stats: res.Stats, total: lat, answers: len(res.Answers)})
+			}
+		}(p, sched)
+	}
+	wg.Wait()
+
+	rep.Overall = overall.Snapshot()
+	var order []string
+	for name := range perName {
+		order = append(order, name)
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		agg := perName[name]
+		rep.PerQuery = append(rep.PerQuery, ReplayQueryStats{
+			Name:     name,
+			Issued:   agg.issued,
+			Errors:   agg.errors,
+			Timeouts: agg.timeouts,
+			Latency:  agg.sum.Snapshot(),
+		})
+	}
+	if w != nil {
+		rep.table(opts, r.cfg.SFSmall, pct).Fprint(w)
+	}
+	return rep, nil
+}
+
+// table renders the replay outcome in the suite's aligned-table format.
+func (rep *ReplayReport) table(opts ReplayOptions, sf, pct float64) *Table {
+	rate := "closed loop"
+	if opts.QPS > 0 {
+		rate = fmt.Sprintf("%g qps", opts.QPS)
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Replay — %d queries, %s, sf=%g, %g%% inconsistency",
+			rep.Issued, rate, sf, pct),
+		Header: []string{"query", "n", "err", "t/o", "p50 ms", "p90 ms", "p99 ms", "max ms"},
+	}
+	row := func(name string, issued, errs, tos int, s obsv.SummarySnapshot) {
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%d", issued),
+			fmt.Sprintf("%d", errs),
+			fmt.Sprintf("%d", tos),
+			msQuantile(s.P50), msQuantile(s.P90), msQuantile(s.P99), msQuantile(s.Max),
+		})
+	}
+	for _, q := range rep.PerQuery {
+		row(q.Name, q.Issued, q.Errors, q.Timeouts, q.Latency)
+	}
+	row("all", rep.Issued, rep.Errors, rep.Timeouts, rep.Overall)
+	return t
+}
+
+// msQuantile renders a seconds-valued quantile in milliseconds.
+func msQuantile(sec float64) string {
+	return fmt.Sprintf("%.1f", sec*1000)
+}
+
+// replayStream reads the replay source into a sequence of workload
+// query names. An empty source yields the built-in mixed workload; a
+// file whose first line decodes as a journal entry is replayed by its
+// Query labels; anything else is a spec file of names.
+func replayStream(source string) (names []string, skipped int, err error) {
+	if source == "" {
+		// Interleave scalar and grouped queries so the mixed stream
+		// alternates cheap and expensive solves.
+		sc, gr := tpch.ScalarQueries(), tpch.GroupedQueries()
+		for i := 0; i < len(sc) || i < len(gr); i++ {
+			if i < len(sc) {
+				names = append(names, sc[i].Name)
+			}
+			if i < len(gr) {
+				names = append(names, gr[i].Name)
+			}
+		}
+		return names, 0, nil
+	}
+	f, err := os.Open(source)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	head := make([]byte, 1)
+	if _, err := io.ReadFull(f, head); err != nil {
+		return nil, 0, fmt.Errorf("bench: replay source %s is empty", source)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	if head[0] == '{' {
+		entries, err := obsv.ReadJournal(f)
+		if err != nil {
+			return nil, 0, fmt.Errorf("bench: replay journal %s: %w", source, err)
+		}
+		for _, e := range entries {
+			if e.Query == "" {
+				skipped++
+				continue
+			}
+			names = append(names, e.Query)
+		}
+		return names, skipped, nil
+	}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		names = append(names, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return names, skipped, nil
+}

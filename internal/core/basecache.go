@@ -50,12 +50,18 @@ func componentKey(facts []db.FactID) string {
 // cache. varOf is shared and must be treated as read-only, which every
 // caller honours (fact variables are only ever looked up after the
 // encoder is built).
-func (e *Engine) componentBase(cc *constraintContext, facts []db.FactID) (*encoder, *maxsat.HardBase) {
+//
+// hit reports the cache outcome: true when the entry was served without
+// running the build (false exactly for the one caller whose once body
+// constructed it).
+func (e *Engine) componentBase(cc *constraintContext, facts []db.FactID) (enc *encoder, base *maxsat.HardBase, hit bool) {
 	v, _ := e.bases.LoadOrStore(componentKey(facts), &baseEntry{})
 	ent := v.(*baseEntry)
+	built := false
 	ent.once.Do(func() {
 		ent.enc = newEncoder(cc, facts)
 		ent.base = maxsat.NewHardBase(ent.enc.formula)
+		built = true
 	})
-	return &encoder{formula: ent.enc.formula.Snapshot(), varOf: ent.enc.varOf}, ent.base
+	return &encoder{formula: ent.enc.formula.Snapshot(), varOf: ent.enc.varOf}, ent.base, !built
 }

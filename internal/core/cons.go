@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"aggcavsat/internal/cnf"
 	"aggcavsat/internal/cq"
@@ -32,11 +33,26 @@ func (e *Engine) ConsistentAnswersContext(ctx context.Context, u cq.UCQ) ([]db.T
 		defer cancel()
 	}
 	ctx, sp := obsv.StartSpan(ctx, "query.consistent_answers")
+	start := time.Now()
 	rc, local := e.newRecorder()
 	ctx, fl := e.startFlight(ctx, "consistent_answers", rc.flight)
 	out, err := e.consistentAnswers(ctx, u, rc)
-	fl.finish(err, local)
-	stats := StatsFromSnapshot(local.Snapshot())
+	dur := time.Since(start)
+	e.observeQuerySeconds(dur)
+	anomaly := e.classifyAnomaly(err, dur)
+	bundle := fl.finish(anomaly, err, local)
+	snap := local.Snapshot()
+	stats := StatsFromSnapshot(snap)
+	if e.opts.Journal != nil {
+		answers := make([]GroupAnswer, len(out))
+		for i, t := range out {
+			answers[i] = GroupAnswer{Key: t}
+		}
+		if err != nil {
+			answers = nil
+		}
+		e.appendJournal(ctx, "consistent_answers", u.String(), answers, snap, err, start, dur, anomaly, bundle)
+	}
 	if sp != nil {
 		sp.SetInt("answers", int64(len(out)))
 		sp.SetInt("sat_calls", stats.SATCalls)
@@ -123,16 +139,21 @@ func (e *Engine) consistentGroups(ctx context.Context, groups []cq.WitnessGroup,
 	closure := cc.closure(seed)
 	var enc *encoder
 	var base *maxsat.HardBase
+	var baseHit bool
 	if e.incremental() {
 		// Shards clone the cached hard base instead of each re-adding
 		// the shared formula clause by clause; repeated calls over the
 		// same closure (Algorithm 2 on similar queries) skip the encode.
-		enc, base = e.componentBase(cc, closure)
+		enc, base, baseHit = e.componentBase(cc, closure)
+		rc.baseHit(baseHit)
 	} else {
 		enc = newEncoder(cc, closure)
 	}
-	rc.endEncode(encodeMark)
+	ed := rc.endEncode(encodeMark)
 	rc.absorbFormula(enc.formula)
+	ce := rc.exp.component(len(closure), len(todo))
+	st := enc.formula.Stats()
+	ce.setEncode(st.Vars, st.Clauses, baseHit, ed)
 	if csp != nil {
 		csp.SetInt("groups", int64(len(groups)))
 		csp.SetInt("sat_checked", int64(len(todo)))
@@ -159,7 +180,9 @@ func (e *Engine) consistentGroups(ctx context.Context, groups []cq.WitnessGroup,
 		}
 		return e.checkCandidates(ctx, enc, base, todo[lo:hi], out, rc)
 	})
-	rc.endSolve(solveMark)
+	sd := rc.endSolve(solveMark)
+	// Each candidate costs exactly one incremental Solve call.
+	ce.addDirection("consistency", "sat", maxsat.Result{SATCalls: int64(len(todo))}, sd)
 	if err != nil {
 		return nil, err
 	}

@@ -99,6 +99,19 @@ type Options struct {
 	// FlightEvents bounds the flight-recorder ring; 0 means
 	// obsv.DefaultFlightEvents.
 	FlightEvents int
+	// Explain, when true, assembles a per-component Explain report on
+	// every Report: which code paths answered the call, the cache
+	// outcomes, and one entry per independent solver instance. The
+	// breakdown rides on the always-on instrumentation, so enabling it
+	// costs a few small allocations per component, never extra solving.
+	Explain bool
+	// Journal, when non-nil, appends one wide-event line per engine call
+	// (RangeAnswers / ConsistentAnswers) to the query journal: query
+	// fingerprint, options, answer digest, timings, cache outcomes, and
+	// the anomaly classification with its flight-bundle path. The append
+	// is non-blocking (obsv.Journal sheds load when the writer lags), so
+	// journaling never perturbs answers or stalls solves.
+	Journal *obsv.Journal
 	// DisableFrontendOpt forces the legacy relational front end: the
 	// recursive interpreted CQ evaluator with string-keyed indexes and
 	// sequential enumeration, uncached string-keyed key-equal grouping,
@@ -219,11 +232,13 @@ func (s *Stats) absorbFormula(f *cnf.Formula) {
 
 // Report is the result of RangeAnswers. Stats is a typed view over
 // Metrics (see StatsFromSnapshot); Metrics carries the full per-call
-// metric snapshot, including the phase-duration histograms.
+// metric snapshot, including the phase-duration histograms. Explain is
+// present only under Options.Explain.
 type Report struct {
 	Answers []GroupAnswer
 	Stats   Stats
 	Metrics obsv.Snapshot
+	Explain *Explain
 }
 
 // RangeAnswers computes the range consistent answers of the aggregation
@@ -255,16 +270,26 @@ func (e *Engine) RangeAnswersContext(ctx context.Context, q cq.AggQuery) (*Repor
 		defer cancel()
 	}
 	ctx, sp := obsv.StartSpan(ctx, "query.range_answers", obsv.String("op", q.Op.String()))
+	op := "range_answers/" + q.Op.String()
+	start := time.Now()
 	rc, local := e.newRecorder()
-	ctx, fl := e.startFlight(ctx, "range_answers/"+q.Op.String(), rc.flight)
+	ctx, fl := e.startFlight(ctx, op, rc.flight)
 	rep, err := e.rangeAnswers(ctx, q, rc)
-	fl.finish(err, local)
+	dur := time.Since(start)
+	e.observeQuerySeconds(dur)
+	anomaly := e.classifyAnomaly(err, dur)
+	bundle := fl.finish(anomaly, err, local)
 	if err != nil {
+		e.appendJournal(ctx, op, q.String(), nil, local.Snapshot(), err, start, dur, anomaly, bundle)
 		sp.End()
 		return nil, err
 	}
 	rep.Metrics = local.Snapshot()
 	rep.Stats = StatsFromSnapshot(rep.Metrics)
+	if e.opts.Explain {
+		rep.Explain = e.buildExplain(q.String(), q.Op.String(), rc, rep.Stats)
+	}
+	e.appendJournal(ctx, op, q.String(), rep.Answers, rep.Metrics, nil, start, dur, anomaly, bundle)
 	if sp != nil {
 		sp.SetInt("answers", int64(len(rep.Answers)))
 		sp.SetInt("sat_calls", rep.Stats.SATCalls)
@@ -303,6 +328,14 @@ type constraintContext struct {
 	adj [][]db.FactID
 
 	buildTime time.Duration
+
+	// Provenance of the build, surfaced in explain reports and journal
+	// lines: whether the DC violations came from the package-wide memo,
+	// and how the DC set split between the key-aware fast path and the
+	// generic route (zero values in keys mode).
+	consCacheHit bool
+	fastRels     int
+	genericDCs   int
 }
 
 // context lazily builds the constraint context (concurrency-safe).
@@ -335,8 +368,10 @@ func (e *Engine) buildContext() *constraintContext {
 		if e.opts.DisableFrontendOpt {
 			ctx.violations = constraints.MinimalViolationsGeneric(e.eval, e.opts.DCs)
 			ctx.nearIdx = constraints.BuildNearViolations(ctx.violations, n)
+			ctx.genericDCs = len(e.opts.DCs)
 		} else {
-			ctx.violations, ctx.nearIdx = constraints.CachedConstraints(e.eval, e.opts.DCs)
+			ctx.violations, ctx.nearIdx, ctx.consCacheHit = constraints.CachedConstraintsInfo(e.eval, e.opts.DCs)
+			ctx.fastRels, ctx.genericDCs = constraints.FastPathInfo(e.in.Schema(), e.opts.DCs)
 		}
 		ctx.adj = make([][]db.FactID, n)
 		for _, v := range ctx.violations {

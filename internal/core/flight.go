@@ -39,30 +39,39 @@ func (e *Engine) startFlight(ctx context.Context, query string, rec *obsv.Flight
 	return obsv.WithFlightRecorder(ctx, rec), f
 }
 
-// finish classifies how the call ended and, on an anomaly — a typed
-// timeout or budget stop, any other error, or a successful call slower
-// than Options.SlowQuery — assembles the dump bundle from the recorder
-// ring and the call-local metric registry and hands it to the OnAnomaly
-// hook. Nil-receiver-safe.
-func (f *flight) finish(err error, local *obsv.Registry) {
-	if f == nil {
-		return
-	}
-	dur := time.Since(f.start)
-	var reason string
+// classifyAnomaly classifies how a call ended: "" on a clean solve, else
+// a typed timeout or budget stop, any other error, or a successful call
+// slower than Options.SlowQuery. The classification drives both the
+// flight-recorder dump and the journal line's anomaly flag, so it is
+// computed once by the caller and shared.
+func (e *Engine) classifyAnomaly(err error, dur time.Duration) string {
 	switch {
 	case errors.Is(err, ErrTimeout):
-		reason = "timeout"
+		return "timeout"
 	case errors.Is(err, ErrBudget):
-		reason = "budget"
+		return "budget"
 	case err != nil:
-		reason = "error"
-	case f.e.opts.SlowQuery > 0 && dur > f.e.opts.SlowQuery:
-		reason = "slow"
-	default:
-		return
+		return "error"
+	case e.opts.SlowQuery > 0 && dur > e.opts.SlowQuery:
+		return "slow"
 	}
-	b := obsv.NewBundle(reason, f.query, err, f.start, dur, f.rec,
+	return ""
+}
+
+// finish assembles, for an anomalous call (non-empty reason), the dump
+// bundle from the recorder ring and the call-local metric registry and
+// hands it to the OnAnomaly hook. The bundle carries the journal path
+// (when journaling is on) and the hook — obsv.DumpDir in particular —
+// stamps the file it wrote into Bundle.File; that path is returned so
+// the journal line can reference the bundle, closing the linkage in
+// both directions. Nil-receiver-safe.
+func (f *flight) finish(reason string, err error, local *obsv.Registry) string {
+	if f == nil || reason == "" {
+		return ""
+	}
+	b := obsv.NewBundle(reason, f.query, err, f.start, time.Since(f.start), f.rec,
 		local.Snapshot(), obsv.SampleResources().Since(f.res))
+	b.Journal = f.e.opts.Journal.Path()
 	f.e.opts.OnAnomaly(b)
+	return b.File
 }

@@ -160,7 +160,7 @@ func TestFlightDisabledWithoutHook(t *testing.T) {
 	if obsv.FlightRecorderFrom(ctx) != nil {
 		t.Fatal("context carries a flight recorder while disabled")
 	}
-	fl.finish(errors.New("boom"), obsv.NewRegistry()) // nil-safe no-op
+	fl.finish("error", errors.New("boom"), obsv.NewRegistry()) // nil-safe no-op
 }
 
 func TestStatsResourceAccounting(t *testing.T) {

@@ -116,10 +116,13 @@ func TestComponentBaseCached(t *testing.T) {
 		facts = append(facts, db.FactID(f))
 	}
 	comp := cc.closure(map[db.FactID]bool{facts[0]: true})
-	enc1, base1 := e.componentBase(cc, comp)
-	enc2, base2 := e.componentBase(cc, comp)
+	enc1, base1, hit1 := e.componentBase(cc, comp)
+	enc2, base2, hit2 := e.componentBase(cc, comp)
 	if base1 != base2 {
 		t.Fatal("componentBase rebuilt the HardBase for an identical component")
+	}
+	if hit1 || !hit2 {
+		t.Fatalf("componentBase hit flags = %v, %v; want miss then hit", hit1, hit2)
 	}
 	n := enc2.formula.NumClauses()
 	enc1.formula.AddSoft(1, enc1.lit(comp[0]))
@@ -127,7 +130,7 @@ func TestComponentBaseCached(t *testing.T) {
 	if got := enc2.formula.NumClauses(); got != n {
 		t.Fatalf("snapshot leaked: sibling encoder grew from %d to %d clauses", n, got)
 	}
-	if _, base3 := e.componentBase(cc, comp); base3.NumClauses() != n {
+	if _, base3, _ := e.componentBase(cc, comp); base3.NumClauses() != n {
 		t.Fatalf("cache contaminated: base covers %d clauses, want %d", base3.NumClauses(), n)
 	}
 }

@@ -83,11 +83,13 @@ func (e *Engine) minMaxFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witnes
 	closure := cc.closure(seed)
 	var enc *encoder
 	var base *maxsat.HardBase
+	var baseHit bool
 	if e.incremental() {
 		// The probe solver forks from the component's cached hard base:
 		// grouped MIN/MAX queries whose groups share a closure skip the
 		// re-encode and clause re-load entirely.
-		enc, base = e.componentBase(cc, closure)
+		enc, base, baseHit = e.componentBase(cc, closure)
+		rc.baseHit(baseHit)
 	} else {
 		enc = newEncoder(cc, closure)
 	}
@@ -143,15 +145,19 @@ func (e *Engine) minMaxFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witnes
 		disj = append(disj, presentLits[i]...)
 		solver.AddClause(disj...)
 	}
-	rc.endEncode(encodeMark)
+	ed := rc.endEncode(encodeMark)
 	rc.absorbFormula(enc.formula)
 	endEncodeSpan(esp, enc.formula)
+	ce := rc.exp.component(len(closure), len(values))
+	st := enc.formula.Stats()
+	ce.setEncode(st.Vars, st.Clauses, baseHit, ed)
 
 	_, ssp := obsv.StartSpan(ctx, "core.minmax_probes")
 	probes := 0
 	solveMark := startPhase()
 	defer func() {
-		rc.endSolve(solveMark)
+		sd := rc.endSolve(solveMark)
+		ce.addDirection("probe", "sat", maxsat.Result{SATCalls: int64(probes)}, sd)
 		if ssp != nil {
 			ssp.SetInt("probes", int64(probes))
 			ssp.End()

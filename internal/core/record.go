@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 
 	"aggcavsat/internal/cnf"
@@ -21,9 +22,20 @@ type recorder struct {
 	// events from the phase instrumentation; all Record calls are
 	// nil-safe, so the disabled path costs one nil check.
 	flight *obsv.FlightRecorder
+
+	// exp, when non-nil (Options.Explain set), collects the per-component
+	// breakdown for the call's Explain report; its methods and those of
+	// the ComponentExplain entries it hands out are nil-safe.
+	exp *explainCollector
+
+	// constraintHit records whether this call's constraint context came
+	// from a cache (engine-level reuse or the package-wide DC memo).
+	constraintHit atomic.Bool
 }
 
 // newRecorder creates the call-local registry and links the session one.
+// The route gauges (front end, solver path) are stamped up front: they
+// describe the engine configuration, not something measured.
 func (e *Engine) newRecorder() (*recorder, *obsv.Registry) {
 	local := obsv.NewRegistry()
 	rc := &recorder{}
@@ -36,7 +48,23 @@ func (e *Engine) newRecorder() (*recorder, *obsv.Registry) {
 	if e.opts.OnAnomaly != nil {
 		rc.flight = obsv.NewFlightRecorder(e.opts.FlightEvents)
 	}
+	if e.opts.Explain {
+		rc.exp = &explainCollector{}
+	}
+	rc.gaugeSet(obsv.MetricFrontendMode, b2i(!e.opts.DisableFrontendOpt))
+	rc.gaugeSet(obsv.MetricIncrementalMode, b2i(e.incremental()))
+	// "Cached" until the constraint build proves otherwise (see
+	// constraintCtx).
+	rc.constraintHit.Store(true)
+	rc.gaugeSet(obsv.MetricConsCacheHit, 1)
 	return rc, local
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (rc *recorder) counter(name string, n int64) {
@@ -60,6 +88,17 @@ func (rc *recorder) gaugeMax(name string, v int64) {
 func (rc *recorder) observe(name string, d time.Duration) {
 	for i := 0; i < rc.n; i++ {
 		rc.regs[i].Histogram(name, nil).Observe(d.Seconds())
+	}
+}
+
+// observeQuerySeconds feeds one whole-call latency into the session
+// registry's query-duration summary, the p50/p90/p99 source of the
+// /metrics exposition and the replay percentile tables. Call-local
+// registries skip it: a single observation has no quantiles worth
+// keeping.
+func (e *Engine) observeQuerySeconds(d time.Duration) {
+	if e.opts.Metrics != nil {
+		e.opts.Metrics.Summary(obsv.MetricQuerySeconds, 0, nil).Observe(d.Seconds())
 	}
 }
 
@@ -107,16 +146,28 @@ func (rc *recorder) constraint(d time.Duration) {
 	rc.gaugeSet(obsv.MetricConstraintNS, int64(d))
 }
 
-func (rc *recorder) endEncode(pm phaseMark) {
+func (rc *recorder) endEncode(pm phaseMark) time.Duration {
 	d := rc.endPhase("encode", pm)
 	rc.counter(obsv.MetricEncodeNS, int64(d))
 	rc.observe(obsv.MetricPhaseSecondsPrefix+"encode", d)
+	return d
 }
 
-func (rc *recorder) endSolve(pm phaseMark) {
+func (rc *recorder) endSolve(pm phaseMark) time.Duration {
 	d := rc.endPhase("solve", pm)
 	rc.counter(obsv.MetricSolveNS, int64(d))
 	rc.observe(obsv.MetricPhaseSecondsPrefix+"solve", d)
+	return d
+}
+
+// baseHit counts one Engine.bases outcome: a component's hard-clause
+// encoding and solver base served from the memo (hit) or built (miss).
+func (rc *recorder) baseHit(hit bool) {
+	if hit {
+		rc.counter(obsv.MetricBaseHits, 1)
+	} else {
+		rc.counter(obsv.MetricBaseMisses, 1)
+	}
 }
 
 func (rc *recorder) satCalls(n int64) { rc.counter(obsv.MetricSATCalls, n) }
@@ -198,7 +249,18 @@ func (e *Engine) constraintCtx(ctx context.Context, rc *recorder) *constraintCon
 	cc := e.ctx
 	if built {
 		rc.observe(obsv.MetricPhaseSecondsPrefix+"constraint", cc.buildTime)
+		// The recorder starts from "cached" (engine-level reuse); only
+		// the invocation that actually built the context can downgrade
+		// the call's verdict to the memo's outcome. Grouped queries call
+		// here once per group — later reuse invocations must not
+		// overwrite the builder's miss.
+		rc.constraintHit.Store(cc.consCacheHit)
+		rc.gaugeSet(obsv.MetricConsCacheHit, b2i(cc.consCacheHit))
 	}
 	rc.constraint(cc.buildTime)
+	if cc.mode == DCMode {
+		rc.gaugeSet(obsv.MetricVioFastRels, int64(cc.fastRels))
+		rc.gaugeSet(obsv.MetricVioGenericDCs, int64(cc.genericDCs))
+	}
 	return cc
 }

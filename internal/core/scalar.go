@@ -149,8 +149,10 @@ func (e *Engine) sumCountFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 		_, esp := obsv.StartSpan(ctx, "core.encode")
 		var enc *encoder
 		var base *maxsat.HardBase
+		var baseHit bool
 		if e.incremental() {
-			enc, base = e.componentBase(cc, split.facts[ci])
+			enc, base, baseHit = e.componentBase(cc, split.facts[ci])
+			rc.baseHit(baseHit)
 		} else {
 			enc = newEncoder(cc, split.facts[ci])
 		}
@@ -174,11 +176,14 @@ func (e *Engine) sumCountFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 			enc.formula.AddSoft(w.weight, y)
 			negOffset += w.weight
 		}
-		rc.endEncode(encodeMark)
+		ed := rc.endEncode(encodeMark)
 		rc.absorbFormula(enc.formula)
 		endEncodeSpan(esp, enc.formula)
+		ce := rc.exp.component(len(split.facts[ci]), len(split.groups[ci]))
+		st := enc.formula.Stats()
+		ce.setEncode(st.Vars, st.Clauses, baseHit, ed)
 
-		minF, maxF, err := e.solveBothDirections(ctx, enc.formula, base, rc)
+		minF, maxF, err := e.solveBothDirections(ctx, enc.formula, base, rc, ce)
 		if err != nil {
 			return err
 		}
@@ -288,8 +293,10 @@ func (e *Engine) distinctFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 		_, esp := obsv.StartSpan(ctx, "core.encode")
 		var enc *encoder
 		var base *maxsat.HardBase
+		var baseHit bool
 		if e.incremental() {
-			enc, base = e.componentBase(cc, split.facts[ci])
+			enc, base, baseHit = e.componentBase(cc, split.facts[ci])
+			rc.baseHit(baseHit)
 		} else {
 			enc = newEncoder(cc, split.facts[ci])
 		}
@@ -327,11 +334,14 @@ func (e *Engine) distinctFromBag(ctx context.Context, op cq.AggOp, bag []cq.Witn
 				negOffset += w
 			}
 		}
-		rc.endEncode(encodeMark)
+		ed := rc.endEncode(encodeMark)
 		rc.absorbFormula(enc.formula)
 		endEncodeSpan(esp, enc.formula)
+		ce := rc.exp.component(len(split.facts[ci]), len(split.groups[ci]))
+		st := enc.formula.Stats()
+		ce.setEncode(st.Vars, st.Clauses, baseHit, ed)
 
-		minF, maxF, err := e.solveBothDirections(ctx, enc.formula, base, rc)
+		minF, maxF, err := e.solveBothDirections(ctx, enc.formula, base, rc, ce)
 		if err != nil {
 			return err
 		}
@@ -370,7 +380,7 @@ func distinctContribution(op cq.AggOp, v db.Value) int64 {
 // the component's cached HardBase when the caller has one; the negation
 // is a weight view, so no negated formula is materialized. The legacy
 // path builds a fresh solver per run and an explicit NegateSoft copy.
-func (e *Engine) solveBothDirections(ctx context.Context, f *cnf.Formula, base *maxsat.HardBase, rc *recorder) (minF, maxF int64, err error) {
+func (e *Engine) solveBothDirections(ctx context.Context, f *cnf.Formula, base *maxsat.HardBase, rc *recorder, ce *ComponentExplain) (minF, maxF int64, err error) {
 	total := f.TotalSoftWeight()
 
 	if e.incremental() {
@@ -379,26 +389,26 @@ func (e *Engine) solveBothDirections(ctx context.Context, f *cnf.Formula, base *
 		// provably sound) so sibling groups and later queries start from
 		// them.
 		defer inst.Release()
-		res, err := e.runInstance(ctx, inst.SolveMin, rc)
+		res, err := e.runInstance(ctx, inst.SolveMin, rc, ce, "glb")
 		if err != nil {
 			return 0, 0, err
 		}
 		minF = total - res.Optimum
-		res, err = e.runInstance(ctx, inst.SolveMax, rc)
+		res, err = e.runInstance(ctx, inst.SolveMax, rc, ce, "lub")
 		if err != nil {
 			return 0, 0, err
 		}
 		return minF, res.Optimum, nil
 	}
 
-	res, err := e.runMaxSAT(ctx, f, rc)
+	res, err := e.runMaxSAT(ctx, f, rc, ce, "glb")
 	if err != nil {
 		return 0, 0, err
 	}
 	minF = total - res.Optimum
 	negated := f.NegateSoft()
 	rc.absorbFormula(negated)
-	res, err = e.runMaxSAT(ctx, negated, rc)
+	res, err = e.runMaxSAT(ctx, negated, rc, ce, "lub")
 	if err != nil {
 		return 0, 0, err
 	}
@@ -408,11 +418,12 @@ func (e *Engine) solveBothDirections(ctx context.Context, f *cnf.Formula, base *
 
 // runInstance times and accounts one direction of an incremental solve,
 // mirroring runMaxSAT's bookkeeping and error mapping.
-func (e *Engine) runInstance(ctx context.Context, solve func(context.Context) (maxsat.Result, error), rc *recorder) (maxsat.Result, error) {
+func (e *Engine) runInstance(ctx context.Context, solve func(context.Context) (maxsat.Result, error), rc *recorder, ce *ComponentExplain, dir string) (maxsat.Result, error) {
 	pm := startPhase()
 	res, err := solve(ctx)
-	rc.endSolve(pm)
+	d := rc.endSolve(pm)
 	rc.satCalls(res.SATCalls)
+	ce.addDirection(dir, e.opts.MaxSAT.Algorithm.String(), res, d)
 	if err != nil {
 		return res, mapSolveErr(err)
 	}
@@ -423,15 +434,15 @@ func (e *Engine) runInstance(ctx context.Context, solve func(context.Context) (m
 	return res, nil
 }
 
-func (e *Engine) runMaxSAT(ctx context.Context, f *cnf.Formula, rc *recorder) (maxsat.Result, error) {
+func (e *Engine) runMaxSAT(ctx context.Context, f *cnf.Formula, rc *recorder, ce *ComponentExplain, dir string) (maxsat.Result, error) {
 	pm := startPhase()
 	res, err := maxsat.SolveContext(ctx, f, e.opts.MaxSAT)
-	rc.endSolve(pm)
+	d := rc.endSolve(pm)
+	rc.satCalls(res.SATCalls)
+	ce.addDirection(dir, e.opts.MaxSAT.Algorithm.String(), res, d)
 	if err != nil {
-		rc.satCalls(res.SATCalls)
 		return res, mapSolveErr(err)
 	}
-	rc.satCalls(res.SATCalls)
 	rc.maxsatRun()
 	if !res.Satisfiable {
 		return res, fmt.Errorf("core: hard clauses unsatisfiable; every instance must have a repair (internal bug)")

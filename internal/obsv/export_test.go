@@ -1,0 +1,111 @@
+package obsv
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sort"
+	"testing"
+)
+
+// chromeFile mirrors the trace-event JSON container for decoding in
+// tests.
+type chromeFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestChromeTraceShape pins the parts of the trace-event format the
+// viewers actually require: complete events ("ph":"X") on one pid/tid
+// track, microsecond ts sorted ascending, and "ms" display units.
+func TestChromeTraceShape(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	ctx1, root := StartSpan(ctx, "query")
+	_, w := StartSpan(ctx1, "cq.witness", Int64("witnesses", 4))
+	w.End()
+	_, s := StartSpan(ctx1, "maxsat.solve")
+	s.End()
+	root.End()
+	_, open := StartSpan(ctx, "dangling") // left unfinished on purpose
+	_ = open
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", f.DisplayTimeUnit)
+	}
+	if len(f.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want 4 (incl. the unfinished span)", len(f.TraceEvents))
+	}
+	byName := map[string]int{}
+	for i, ev := range f.TraceEvents {
+		byName[ev.Name] = i
+		if ev.Ph != "X" {
+			t.Errorf("%s: ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Pid != 1 || ev.Tid != 1 {
+			t.Errorf("%s: pid/tid = %d/%d, want 1/1 (single nesting track)", ev.Name, ev.Pid, ev.Tid)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Errorf("%s: negative ts/dur %f/%f", ev.Name, ev.Ts, ev.Dur)
+		}
+	}
+	for _, name := range []string{"query", "cq.witness", "maxsat.solve", "dangling"} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("event %q missing", name)
+		}
+	}
+	if ev := f.TraceEvents[byName["dangling"]]; ev.Dur != 0 {
+		t.Errorf("unfinished span dur = %f, want 0", ev.Dur)
+	}
+	if ev := f.TraceEvents[byName["cq.witness"]]; ev.Cat != "cq" || ev.Args["witnesses"] != float64(4) {
+		t.Errorf("cq.witness cat/args = %q %v", ev.Cat, ev.Args)
+	}
+	if !sort.SliceIsSorted(f.TraceEvents, func(i, j int) bool {
+		return f.TraceEvents[i].Ts < f.TraceEvents[j].Ts
+	}) {
+		t.Error("events not sorted by ts")
+	}
+}
+
+// TestChromeTraceDroppedSpans exercises the MaxSpans cap: spans beyond
+// it never reach the export, but everything kept still renders.
+func TestChromeTraceDroppedSpans(t *testing.T) {
+	tr := NewTracer()
+	tr.MaxSpans = 2
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 5; i++ {
+		_, sp := StartSpan(ctx, "kept.or.dropped")
+		sp.End()
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.TraceEvents) != 2 {
+		t.Errorf("exported %d events with MaxSpans=2, want 2", len(f.TraceEvents))
+	}
+}

@@ -1,33 +1,81 @@
 package obsv
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 	"time"
 )
+
+// healthInfo is the /healthz payload: liveness plus enough build and
+// runtime identity to tell scraped processes apart in a fleet.
+type healthInfo struct {
+	Status     string  `json:"status"`
+	UptimeS    float64 `json:"uptime_s"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Main       string  `json:"main,omitempty"`
+	Revision   string  `json:"vcs_revision,omitempty"`
+	Modified   bool    `json:"vcs_modified,omitempty"`
+}
+
+// buildIdentity reads the binary's embedded build info once (module path
+// and vcs stamps are absent in test binaries and plain `go run`).
+func buildIdentity() (main, revision string, modified bool) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", "", false
+	}
+	main = bi.Main.Path
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			revision = kv.Value
+		case "vcs.modified":
+			modified = kv.Value == "true"
+		}
+	}
+	return main, revision, modified
+}
 
 // Handler builds the debug HTTP handler over a live registry and tracer:
 //
 //	/metrics       Prometheus text exposition of the registry, plus the
 //	               tracer's own obsv_spans_* families when tr is non-nil
-//	/healthz       liveness JSON ({"status":"ok","uptime_s":…})
+//	               and the journal's written/dropped counters when j is
+//	               non-nil
+//	/healthz       liveness + build/runtime identity JSON
 //	/debug/trace   current tracer snapshot; ?format=tree (default) or
 //	               ?format=chrome for Chrome trace-event JSON
+//	/debug/journal the last n journal entries (?n=K, default 32) as a
+//	               JSON array, newest last
 //	/debug/pprof/  the standard net/http/pprof surface (profile, heap,
 //	               goroutine, trace, …)
 //
 // Every endpoint reads live state: scraping /metrics during a run
-// returns counters that move between scrapes. Either reg or tr may be
+// returns counters that move between scrapes. Any of reg, tr, j may be
 // nil; the corresponding endpoints degrade gracefully (an empty
-// exposition, a 404 trace).
-func Handler(reg *Registry, tr *Tracer) http.Handler {
+// exposition, a 404 trace/journal).
+func Handler(reg *Registry, tr *Tracer, j *Journal) http.Handler {
 	start := time.Now()
+	mainPath, revision, modified := buildIdentity()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_s\":%.1f}\n", time.Since(start).Seconds())
+		json.NewEncoder(w).Encode(healthInfo{
+			Status:     "ok",
+			UptimeS:    time.Since(start).Seconds(),
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Main:       mainPath,
+			Revision:   revision,
+			Modified:   modified,
+		})
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -39,6 +87,32 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 		if tr != nil {
 			tr.WritePrometheus(w)
 		}
+		if j != nil {
+			j.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/debug/journal", func(w http.ResponseWriter, r *http.Request) {
+		if j == nil {
+			http.Error(w, "no journal installed", http.StatusNotFound)
+			return
+		}
+		n := 32
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 {
+				http.Error(w, fmt.Sprintf("bad n %q (want a positive integer)", q), http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		entries := j.Tail(n)
+		if entries == nil {
+			entries = []JournalEntry{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(entries)
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		if tr == nil {
@@ -72,15 +146,16 @@ type Server struct {
 
 // Serve starts the debug HTTP server on addr (e.g. "localhost:6060", or
 // ":0" to pick a free port — read the bound address back with Addr).
-// The server runs on a background goroutine until Close.
-func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+// The server runs on a background goroutine until Close. j may be nil
+// when no journal is enabled.
+func Serve(addr string, reg *Registry, tr *Tracer, j *Journal) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obsv: debug server: %w", err)
 	}
 	s := &Server{
 		ln:  ln,
-		srv: &http.Server{Handler: Handler(reg, tr)},
+		srv: &http.Server{Handler: Handler(reg, tr, j)},
 	}
 	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
 	return s, nil

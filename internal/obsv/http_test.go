@@ -2,6 +2,8 @@ package obsv
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -33,7 +35,7 @@ func TestHandlerEndpoints(t *testing.T) {
 	_, sp := StartSpan(ctx, "query")
 	sp.End()
 
-	srv := httptest.NewServer(Handler(reg, tr))
+	srv := httptest.NewServer(Handler(reg, tr, nil))
 	defer srv.Close()
 
 	code, ct, body := get(t, srv, "/healthz")
@@ -78,7 +80,7 @@ func TestHandlerEndpoints(t *testing.T) {
 }
 
 func TestHandlerNoTracer(t *testing.T) {
-	srv := httptest.NewServer(Handler(NewRegistry(), nil))
+	srv := httptest.NewServer(Handler(NewRegistry(), nil, nil))
 	defer srv.Close()
 	if code, _, _ := get(t, srv, "/debug/trace"); code != http.StatusNotFound {
 		t.Errorf("/debug/trace without a tracer = %d, want 404", code)
@@ -89,7 +91,7 @@ func TestHandlerNoTracer(t *testing.T) {
 }
 
 func TestServeLifecycle(t *testing.T) {
-	s, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	s, err := Serve("127.0.0.1:0", NewRegistry(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +119,7 @@ func TestServeLifecycle(t *testing.T) {
 func TestConcurrentScrapes(t *testing.T) {
 	reg := NewRegistry()
 	tr := NewTracer()
-	srv := httptest.NewServer(Handler(reg, tr))
+	srv := httptest.NewServer(Handler(reg, tr, nil))
 	defer srv.Close()
 
 	// Mutation volume is bounded (not run-until-stopped): an unthrottled
@@ -157,4 +159,86 @@ func TestConcurrentScrapes(t *testing.T) {
 		}
 	}
 	wg.Wait()
+}
+
+// TestHealthzFields decodes the /healthz payload and checks the
+// build/runtime identity a dashboard needs to tell binaries apart.
+func TestHealthzFields(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil, nil))
+	defer srv.Close()
+	code, ct, body := get(t, srv, "/healthz")
+	if code != http.StatusOK || ct != "application/json" {
+		t.Fatalf("/healthz = %d %q", code, ct)
+	}
+	var h struct {
+		Status     string  `json:"status"`
+		UptimeS    float64 `json:"uptime_s"`
+		GoVersion  string  `json:"go_version"`
+		GOMAXPROCS int     `json:"gomaxprocs"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q", h.Status)
+	}
+	if h.GoVersion != runtime.Version() {
+		t.Errorf("go_version = %q, want %q", h.GoVersion, runtime.Version())
+	}
+	if h.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("gomaxprocs = %d", h.GOMAXPROCS)
+	}
+	if h.UptimeS < 0 {
+		t.Errorf("uptime_s = %f", h.UptimeS)
+	}
+}
+
+// TestDebugJournal covers the /debug/journal tail endpoint against a
+// live journal: default window, explicit ?n, bad n, and the 404 when no
+// journal is installed.
+func TestDebugJournal(t *testing.T) {
+	j := NewJournal(io.Discard, 0)
+	defer j.Close()
+	for i := 0; i < 40; i++ {
+		j.Append(JournalEntry{Query: fmt.Sprintf("q%d", i)})
+	}
+	srv := httptest.NewServer(Handler(NewRegistry(), nil, j))
+	defer srv.Close()
+
+	code, ct, body := get(t, srv, "/debug/journal")
+	if code != http.StatusOK || ct != "application/json" {
+		t.Fatalf("/debug/journal = %d %q", code, ct)
+	}
+	var entries []JournalEntry
+	if err := json.Unmarshal([]byte(body), &entries); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	if len(entries) != 32 { // default window
+		t.Errorf("default tail = %d entries, want 32", len(entries))
+	}
+	code, _, body = get(t, srv, "/debug/journal?n=2")
+	if err := json.Unmarshal([]byte(body), &entries); err != nil || code != http.StatusOK {
+		t.Fatalf("?n=2 = %d: %v", code, err)
+	}
+	if len(entries) != 2 || entries[1].Query != "q39" {
+		t.Errorf("?n=2 tail = %+v", entries)
+	}
+	if code, _, _ := get(t, srv, "/debug/journal?n=zero"); code != http.StatusBadRequest {
+		t.Errorf("?n=zero status = %d, want 400", code)
+	}
+	if code, _, _ := get(t, srv, "/debug/journal?n=-1"); code != http.StatusBadRequest {
+		t.Errorf("?n=-1 status = %d, want 400", code)
+	}
+
+	// The journal's counters ride along on /metrics.
+	_, _, body = get(t, srv, "/metrics")
+	if !strings.Contains(body, MetricJournalWritten) {
+		t.Errorf("/metrics missing %s:\n%s", MetricJournalWritten, body)
+	}
+
+	bare := httptest.NewServer(Handler(NewRegistry(), nil, nil))
+	defer bare.Close()
+	if code, _, _ := get(t, bare, "/debug/journal"); code != http.StatusNotFound {
+		t.Errorf("/debug/journal without a journal = %d, want 404", code)
+	}
 }

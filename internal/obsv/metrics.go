@@ -28,6 +28,23 @@ const (
 	MetricGroups          = "aggcavsat_groups_total"
 
 	MetricPhaseSecondsPrefix = "aggcavsat_phase_seconds_" // + witness|constraint|encode|solve
+
+	// Query-level observability (PR 6). The cache counters record, per
+	// call, how often a solve unit was served from the per-component
+	// hard-clause memo (Engine.bases); the route/mode gauges describe
+	// which code path answered the call (values documented at the
+	// recording sites in internal/core); the latency summary surfaces
+	// p50/p90/p99/max over whole engine calls.
+	MetricBaseHits        = "aggcavsat_base_cache_hits_total"
+	MetricBaseMisses      = "aggcavsat_base_cache_misses_total"
+	MetricConsCacheHit    = "aggcavsat_constraint_cache_hit"    // gauge 0/1
+	MetricVioFastRels     = "aggcavsat_violation_fastpath_rels" // gauge: relations on the key fast path
+	MetricVioGenericDCs   = "aggcavsat_violation_generic_dcs"   // gauge: DCs on the generic path
+	MetricFrontendMode    = "aggcavsat_frontend_compiled"       // gauge 0/1
+	MetricIncrementalMode = "aggcavsat_solver_incremental"      // gauge 0/1
+	MetricQuerySeconds    = "aggcavsat_query_seconds"           // summary: whole engine calls
+	MetricJournalWritten  = "aggcavsat_journal_written_total"   // journal lines persisted
+	MetricJournalDropped  = "aggcavsat_journal_dropped_total"   // journal lines shed by the bounded writer
 )
 
 // DurationBuckets are the default histogram bucket upper bounds for
@@ -121,6 +138,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	summaries  map[string]*Summary
 }
 
 // NewRegistry creates an empty registry.
@@ -129,6 +147,7 @@ func NewRegistry() *Registry {
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
+		summaries:  map[string]*Summary{},
 	}
 }
 
@@ -136,7 +155,8 @@ func (r *Registry) checkFree(name, kind string) {
 	_, c := r.counters[name]
 	_, g := r.gauges[name]
 	_, h := r.histograms[name]
-	if c || g || h {
+	_, s := r.summaries[name]
+	if c || g || h || s {
 		panic("obsv: metric " + name + " already registered with a different kind than " + kind)
 	}
 }
@@ -202,6 +222,27 @@ func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
 	return h
 }
 
+// Summary returns the named latency summary, creating it with the given
+// exact-reservoir size and interpolation buckets on first use (later
+// calls may pass zero values).
+func (r *Registry) Summary(name string, maxExact int, buckets []float64) *Summary {
+	r.mu.RLock()
+	s, ok := r.summaries[name]
+	r.mu.RUnlock()
+	if ok {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.summaries[name]; ok {
+		return s
+	}
+	r.checkFree(name, "summary")
+	s = NewSummary(maxExact, buckets)
+	r.summaries[name] = s
+	return s
+}
+
 // Snapshot is a consistent-enough point-in-time copy of every metric
 // (individual values are read atomically; the set is not globally
 // synchronized, which is the standard scrape semantics).
@@ -209,6 +250,7 @@ type Snapshot struct {
 	Counters   map[string]int64
 	Gauges     map[string]int64
 	Histograms map[string]HistogramSnapshot
+	Summaries  map[string]SummarySnapshot `json:",omitempty"`
 }
 
 // Snapshot copies every metric's current value.
@@ -219,6 +261,12 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   make(map[string]int64, len(r.counters)),
 		Gauges:     make(map[string]int64, len(r.gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	if len(r.summaries) > 0 {
+		s.Summaries = make(map[string]SummarySnapshot, len(r.summaries))
+		for name, sm := range r.summaries {
+			s.Summaries[name] = sm.Snapshot()
+		}
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()

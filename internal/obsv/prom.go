@@ -51,7 +51,38 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum)); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count); err != nil {
+		// The 0.0.4 format requires _count == the +Inf bucket. Under
+		// concurrent Observe the independent count atomic can lag the
+		// bucket atomics mid-snapshot, so derive _count from the buckets
+		// rather than emitting h.Count and risking an inconsistent scrape.
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, cum+h.Inf); err != nil {
+			return err
+		}
+	}
+	snames := make([]string, 0, len(s.Summaries))
+	for name := range s.Summaries {
+		snames = append(snames, name)
+	}
+	sort.Strings(snames)
+	for _, name := range snames {
+		sm := s.Summaries[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+			return err
+		}
+		// Quantile lines in ascending φ order (maps don't iterate sorted).
+		quants := []struct {
+			q string
+			v float64
+		}{{"0.5", sm.P50}, {"0.9", sm.P90}, {"0.99", sm.P99}, {"1", sm.Max}}
+		for _, qv := range quants {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", name, qv.q, formatFloat(qv.v)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(sm.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, sm.Count); err != nil {
 			return err
 		}
 	}

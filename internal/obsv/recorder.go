@@ -147,6 +147,14 @@ type Bundle struct {
 	Metrics Snapshot `json:"metrics"`
 	// Resources is the whole-call resource delta.
 	Resources ResourceDelta `json:"resources"`
+	// Journal is the path of the query journal that carries this solve's
+	// wide-event line, when journaling was enabled — the reverse half of
+	// the journal↔bundle linkage (the journal line records File).
+	Journal string `json:"journal,omitempty"`
+	// File is the path this bundle was dumped to; DumpDir fills it in
+	// before writing so the journal line (and the hook's caller) can
+	// reference the bundle on disk.
+	File string `json:"file,omitempty"`
 }
 
 // BundleVersion is the schema version stamped on produced bundles.
@@ -232,6 +240,7 @@ func DumpDir(dir string) func(*Bundle) {
 		name := fmt.Sprintf("flight-%s-%03d-%s.json",
 			time.Now().UTC().Format("20060102T150405"), dumpSeq.Add(1), b.Reason)
 		path := filepath.Join(dir, name)
+		b.File = path // journal lines reference the bundle by this path
 		f, err := os.Create(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "obsv: flight dump:", err)
