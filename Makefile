@@ -20,10 +20,13 @@ vet:
 # algorithms under cancellation, the core worker pool (parallel groups/
 # components/candidate shards) with the flight recorder fed from worker
 # goroutines, the parallel witness enumerator (shared evaluator,
-# plan/index caches), and the bench harness. -short skips the slowest
-# property-test sweeps so the run stays usable on small CI boxes.
+# plan/index caches), the bench harness, the facade (one System hammered
+# by concurrent QueryContext callers), and the query service (admission
+# gate handoffs, singleflight coalescing, hot tenant re-attach). -short
+# skips the slowest property-test sweeps so the run stays usable on
+# small CI boxes.
 race:
-	$(GO) test -race -short ./internal/obsv/... ./internal/sat/... ./internal/maxsat/... ./internal/core/... ./internal/cq/... ./internal/bench/...
+	$(GO) test -race -short . ./internal/obsv/... ./internal/sat/... ./internal/maxsat/... ./internal/core/... ./internal/cq/... ./internal/bench/... ./internal/server/...
 
 # Micro-benchmarks: the clone-vs-rebuild and shared-base suites in
 # sat/maxsat/core (the PR 3 incremental-solving win), the compiled-vs-

@@ -271,6 +271,13 @@ type Result struct {
 	Columns []string
 	Rows    []Row
 	Stats   Stats
+	// PartialGroups counts groups dropped from Rows because some
+	// aggregate in the SELECT list had no consistent answer for them: a
+	// multi-aggregate row is a consistent answer of the statement only
+	// when every cell is, so groups on which the per-aggregate answer
+	// sets diverge are removed rather than padded with a zero-valued
+	// interval that would render as a real answer.
+	PartialGroups int
 	// Explains holds one per-solve report per aggregate in the SELECT
 	// list, in order, when Options.Explain is set.
 	Explains []*Explain
@@ -290,8 +297,12 @@ func (s *System) QueryContext(ctx context.Context, sql string) (*Result, error) 
 	ctx, sp := obsv.StartSpan(ctx, "query")
 	defer sp.End()
 	// Journal lines of this statement carry the SQL text, not the
-	// rendered algebraic query, so journals read like the user's input.
-	ctx = obsv.WithQueryLabel(ctx, sql)
+	// rendered algebraic query, so journals read like the user's input —
+	// unless the caller already labeled the context (a server stamping
+	// its tenant/instance, a replay stamping the workload query name).
+	if obsv.QueryLabelFrom(ctx) == "" {
+		ctx = obsv.WithQueryLabel(ctx, sql)
+	}
 	_, psp := obsv.StartSpan(ctx, "sql.parse")
 	tr, err := sqlparse.ParseAndTranslate(sql, s.in.Schema())
 	psp.End()
@@ -309,6 +320,7 @@ func (s *System) run(ctx context.Context, tr *sqlparse.Translation) (*Result, er
 	type keyed struct {
 		key    Tuple
 		ranges []Range
+		filled int // aggregates that reported this group
 	}
 	var rows []keyed
 	index := map[string]int{}
@@ -338,7 +350,24 @@ func (s *System) run(ctx context.Context, tr *sqlparse.Translation) (*Result, er
 				rows = append(rows, keyed{key: a.Key, ranges: make([]Range, len(tr.Aggs))})
 			}
 			rows[ri].ranges[ai] = a.Range
+			rows[ri].filled++
 		}
+	}
+	// A group absent from some aggregate's answer set has no consistent
+	// value for that cell; keeping the row would emit a zero Range (both
+	// endpoints null) that reads like a real interval. Such groups are
+	// dropped and counted instead: the statement's consistent answers
+	// are the groups every aggregate agrees on.
+	if len(tr.Aggs) > 1 {
+		complete := rows[:0]
+		for _, r := range rows {
+			if r.filled == len(tr.Aggs) {
+				complete = append(complete, r)
+			} else {
+				res.PartialGroups++
+			}
+		}
+		rows = complete
 	}
 	// Order: ORDER BY keys, then the full group key for determinism.
 	sort.SliceStable(rows, func(i, j int) bool {
@@ -388,12 +417,26 @@ func (s *System) ConsistentAnswers(u UCQ) ([]Tuple, error) {
 }
 
 // FormatRange renders an interval like "[900, 2200]" ("1500" when the
-// endpoints agree).
+// endpoints agree). Null endpoints render as documented tokens rather
+// than leaking the raw null value into the interval syntax: a range with
+// both endpoints null is "NULL" (no consistent value), a null glb
+// renders as "-∞" and a null lub as "+∞" (half-open ranges, e.g. from
+// MIN/MAX groups where some repair empties the group).
 func FormatRange(r Range) string {
-	if !r.GLB.IsNull() && r.GLB.Equal(r.LUB) {
+	switch {
+	case r.GLB.IsNull() && r.LUB.IsNull():
+		return "NULL"
+	case !r.GLB.IsNull() && r.GLB.Equal(r.LUB):
 		return r.GLB.String()
 	}
-	return fmt.Sprintf("[%s, %s]", r.GLB, r.LUB)
+	glb, lub := r.GLB.String(), r.LUB.String()
+	if r.GLB.IsNull() {
+		glb = "-∞"
+	}
+	if r.LUB.IsNull() {
+		lub = "+∞"
+	}
+	return fmt.Sprintf("[%s, %s]", glb, lub)
 }
 
 func accumulate(a, b Stats) Stats {

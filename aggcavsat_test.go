@@ -1,12 +1,16 @@
 package aggcavsat
 
 import (
+	"context"
+	"fmt"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"aggcavsat/internal/cq"
+	"aggcavsat/internal/sqlparse"
 )
 
 // bank builds the paper's Table I database through the public API.
@@ -253,9 +257,19 @@ func TestFormatRange(t *testing.T) {
 	if FormatRange(r) != "5" {
 		t.Error(FormatRange(r))
 	}
+	// Null endpoints render as documented tokens, never as a raw null
+	// leaking into the interval syntax.
 	r = Range{GLB: Null(), LUB: Int(5)}
-	if !strings.Contains(FormatRange(r), "NULL") {
-		t.Error(FormatRange(r))
+	if got := FormatRange(r); got != "[-∞, 5]" {
+		t.Errorf("half-open glb = %q, want [-∞, 5]", got)
+	}
+	r = Range{GLB: Int(5), LUB: Null()}
+	if got := FormatRange(r); got != "[5, +∞]" {
+		t.Errorf("half-open lub = %q, want [5, +∞]", got)
+	}
+	r = Range{}
+	if got := FormatRange(r); got != "NULL" {
+		t.Errorf("null range = %q, want NULL", got)
 	}
 }
 
@@ -411,4 +425,123 @@ func TestExplainAndJournalThroughFacade(t *testing.T) {
 			t.Errorf("line %d label = %q, want the SQL text", i, e.Query)
 		}
 	}
+}
+
+// TestMultiAggregateDivergentGroups is the regression test for the
+// multi-aggregate merge bug: a group present in one aggregate's answer
+// set but absent from another's used to be emitted with a zero-valued
+// Range (both endpoints null) that rendered like a real interval. The
+// merge must instead drop the group and count it in PartialGroups.
+// Divergent answer sets cannot be produced by a single SQL statement
+// (all aggregates share FROM/WHERE), so the translation is grafted from
+// two statements whose WHERE clauses differ.
+func TestMultiAggregateDivergentGroups(t *testing.T) {
+	sys, err := Open(bank(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trAll, err := sqlparse.ParseAndTranslate(
+		`SELECT CITY, COUNT(*) FROM Acc GROUP BY CITY`, sys.in.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trCheck, err := sqlparse.ParseAndTranslate(
+		`SELECT CITY, COUNT(*) FROM Acc WHERE TYPE = 'Check.' GROUP BY CITY`, sys.in.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unrestricted: consistent groups {LA, SJ} (A3's city is uncertain,
+	// so SF is not certain; A4 pins SJ). Checking accounts only: {LA}.
+	combined := &sqlparse.Translation{
+		Stmt:      trAll.Stmt,
+		Aggs:      []sqlparse.AggTranslation{trAll.Aggs[0], trCheck.Aggs[0]},
+		GroupCols: trAll.GroupCols,
+	}
+	res, err := sys.run(context.Background(), combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartialGroups != 1 {
+		t.Errorf("PartialGroups = %d, want 1 (SJ has no checking-account answer)", res.PartialGroups)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Key[0].AsString() != "LA" {
+		t.Fatalf("rows = %+v, want only the LA group", res.Rows)
+	}
+	for i, rng := range res.Rows[0].Ranges {
+		if rng.GLB.IsNull() || rng.LUB.IsNull() {
+			t.Errorf("range %d = %s: surviving rows must have no null cells", i, FormatRange(rng))
+		}
+	}
+}
+
+// TestConcurrentMixedQueries hammers one System from many goroutines
+// with a mix of scalar, grouped, multi-aggregate, DISTINCT and MIN/MAX
+// statements — the core assumption of the query server. Run under
+// -race (make race covers this package); answers must also match a
+// sequential run exactly.
+func TestConcurrentMixedQueries(t *testing.T) {
+	sys, err := Open(bank(t), Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`SELECT SUM(Acc.BAL) FROM Acc, CustAcc WHERE Acc.ACCID = CustAcc.ACCID AND CustAcc.CID = 'C2'`,
+		`SELECT CITY, COUNT(*) FROM Cust GROUP BY CITY ORDER BY CITY`,
+		`SELECT CITY, COUNT(*), MAX(BAL) FROM Acc GROUP BY CITY ORDER BY CITY`,
+		`SELECT COUNT(DISTINCT CITY) FROM Cust`,
+		`SELECT MIN(BAL) FROM Acc`,
+		`SELECT CITY, SUM(BAL) FROM Acc GROUP BY CITY`,
+	}
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := sys.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		want[i] = renderRows(res)
+	}
+	const goroutines = 8
+	const rounds = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds*len(queries))
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % len(queries)
+				res, err := sys.Query(queries[i])
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", queries[i], err)
+					return
+				}
+				if got := renderRows(res); got != want[i] {
+					errs <- fmt.Errorf("%s: concurrent answer drift:\n got %s\nwant %s", queries[i], got, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// renderRows flattens a result into a comparable string.
+func renderRows(res *Result) string {
+	var b strings.Builder
+	for _, row := range res.Rows {
+		for _, v := range row.Key {
+			b.WriteString(v.String())
+			b.WriteByte('|')
+		}
+		for _, r := range row.Ranges {
+			b.WriteString(FormatRange(r))
+			b.WriteByte('|')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }

@@ -1,4 +1,4 @@
-package aggcavsat
+package aggcavsat_test
 
 // Benchmarks regenerating the paper's evaluation artifacts: one
 // benchmark per figure and table of Section VI (see DESIGN.md's

@@ -44,6 +44,15 @@
 //	                  one pass over the stream)
 //	-qps F            open-loop target arrival rate (0 = closed loop)
 //	-replay-concurrency N  max in-flight queries (default 4)
+//	-target URL       replay over HTTP against a running cavsatd instead
+//	                  of in-process; each distinct query is also solved
+//	                  locally and the server's answer digests must match
+//	                  (the run exits non-zero on drift or when nothing
+//	                  was answered). The server must serve the identical
+//	                  instance: cavsatd -dbgen with the same -sf-small,
+//	                  -seed and inconsistency settings.
+//	-replay-instance  server tenant name for -target (default: the
+//	                  server's sole instance)
 //
 // Concurrency and timeouts:
 //
@@ -110,6 +119,8 @@ func main() {
 	replayN := flag.Int("replay-n", 0, "queries to issue during -replay (0 = one pass over the stream)")
 	qps := flag.Float64("qps", 0, "open-loop target arrival rate for -replay (0 = closed loop)")
 	replayConc := flag.Int("replay-concurrency", 0, "max in-flight queries during -replay (0 = default 4)")
+	target := flag.String("target", "", "replay against a running cavsatd at this base URL instead of in-process; answers are digest-checked against a local execution and the run fails on drift or zero answered queries")
+	replayInstance := flag.String("replay-instance", "", "server tenant to query in -target mode (default: the server's sole instance)")
 	flag.Parse()
 	cfg.DisableIncremental = !*incremental
 	cfg.DisableFrontendOpt = !*frontend
@@ -192,12 +203,27 @@ func main() {
 	var err error
 	switch {
 	case *replay:
-		_, err = r.Replay(bench.ReplayOptions{
+		var rep *bench.ReplayReport
+		rep, err = r.Replay(bench.ReplayOptions{
 			Source:      *replayFrom,
 			N:           *replayN,
 			QPS:         *qps,
 			Concurrency: *replayConc,
+			Target:      *target,
+			Instance:    *replayInstance,
 		}, os.Stdout)
+		// In target mode the replay doubles as a correctness gate: a
+		// server that answered nothing or answered differently from the
+		// local engine fails the run (CI relies on the exit code).
+		if err == nil && *target != "" {
+			switch {
+			case rep.Drift > 0:
+				err = fmt.Errorf("replay: %d answers drifted from the local execution", rep.Drift)
+			case rep.Answered() == 0:
+				err = fmt.Errorf("replay: no queries answered (issued %d, errors %d, timeouts %d, shed %d)",
+					rep.Issued, rep.Errors, rep.Timeouts, rep.Shed)
+			}
+		}
 	case *exp == "all":
 		err = r.All(os.Stdout)
 	default:

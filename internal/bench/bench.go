@@ -183,13 +183,7 @@ func (r *Runner) dbgen(sf, pct float64) (*db.Instance, error) {
 	if in, ok := r.dbgenCache[key]; ok {
 		return in, nil
 	}
-	base := tpch.Generate(sf, r.cfg.Seed)
-	in, err := tpch.Inject(base, tpch.InjectOptions{
-		Percent:  pct,
-		MinGroup: 2,
-		MaxGroup: 7,
-		Seed:     r.cfg.Seed + 1,
-	})
+	in, err := tpch.DemoInstance(sf, pct, r.cfg.Seed)
 	if err != nil {
 		return nil, err
 	}

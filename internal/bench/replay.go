@@ -11,7 +11,10 @@ import (
 	"sync"
 	"time"
 
+	"aggcavsat"
+	"aggcavsat/internal/core"
 	"aggcavsat/internal/obsv"
+	"aggcavsat/internal/server"
 	"aggcavsat/internal/sqlparse"
 	"aggcavsat/internal/tpch"
 )
@@ -41,16 +44,32 @@ type ReplayOptions struct {
 	// Percent is the injected inconsistency of the replayed instance
 	// (default 10, the Figure 1 setting).
 	Percent float64
+	// Target, when set, issues the stream against a running cavsatd at
+	// this base URL instead of an in-process engine. Every distinct
+	// query is also executed once locally over the same generated
+	// instance, and each server answer's digest is checked against the
+	// local one — mismatches count as Drift. The server must be built
+	// over the identical instance (cavsatd -dbgen with matching -sf,
+	// -inconsistency and -seed).
+	Target string
+	// Instance names the server tenant to query in Target mode; empty
+	// selects the server's sole instance.
+	Instance string
 }
 
 // ReplayQueryStats is the latency profile of one workload query within
 // a replay.
 type ReplayQueryStats struct {
-	Name     string               `json:"name"`
-	Issued   int                  `json:"issued"`
-	Errors   int                  `json:"errors"`
-	Timeouts int                  `json:"timeouts"`
-	Latency  obsv.SummarySnapshot `json:"latency"`
+	Name     string `json:"name"`
+	Issued   int    `json:"issued"`
+	Errors   int    `json:"errors"`
+	Timeouts int    `json:"timeouts"`
+	// Shed counts 429 rejections (Target mode only).
+	Shed int `json:"shed,omitempty"`
+	// Drift counts server answers whose digest disagreed with the local
+	// in-process execution (Target mode only; any nonzero is a bug).
+	Drift   int                  `json:"drift,omitempty"`
+	Latency obsv.SummarySnapshot `json:"latency"`
 }
 
 // ReplayReport is the outcome of one load replay.
@@ -58,11 +77,22 @@ type ReplayReport struct {
 	Issued   int `json:"issued"`
 	Errors   int `json:"errors"`
 	Timeouts int `json:"timeouts"`
+	// Shed counts 429 rejections from an overloaded server (Target mode).
+	Shed int `json:"shed,omitempty"`
+	// Drift counts answers that disagreed with the local execution
+	// (Target mode). CI gates on this staying zero.
+	Drift int `json:"drift,omitempty"`
 	// Skipped counts stream entries naming no known workload query
 	// (journal lines from ad-hoc SQL, comments that parse as names, …).
 	Skipped  int                  `json:"skipped"`
 	Overall  obsv.SummarySnapshot `json:"overall"`
 	PerQuery []ReplayQueryStats   `json:"per_query"`
+}
+
+// Answered returns the queries that produced an answer: issued minus
+// errors, timeouts and sheds.
+func (rep *ReplayReport) Answered() int {
+	return rep.Issued - rep.Errors - rep.Timeouts - rep.Shed
 }
 
 // replayAgg accumulates one query name's outcomes during the run.
@@ -71,6 +101,22 @@ type replayAgg struct {
 	issued   int
 	errors   int
 	timeouts int
+	shed     int
+	drift    int
+}
+
+// replayOutcome is the classified result of issuing one query, local or
+// remote.
+type replayOutcome struct {
+	err     error
+	timeout bool
+	shed    bool
+	drift   bool
+	// local marks in-process outcomes that carry engine stats worth a
+	// RunRecord.
+	local   bool
+	stats   core.Stats
+	answers int
 }
 
 // Replay issues the configured query stream against one engine over the
@@ -90,15 +136,12 @@ func (r *Runner) Replay(opts ReplayOptions, w io.Writer) (*ReplayReport, error) 
 	if err != nil {
 		return nil, err
 	}
-	eng, err := r.engine(in)
-	if err != nil {
-		return nil, err
-	}
 
 	// Resolve and translate every distinct name once, up front, so a
 	// typo fails the replay before any load is generated.
 	type plan struct {
 		name string
+		sql  string
 		tr   *sqlparse.Translation
 	}
 	plans := map[string]*plan{}
@@ -117,11 +160,75 @@ func (r *Runner) Replay(opts ReplayOptions, w io.Writer) (*ReplayReport, error) 
 		if err != nil {
 			return nil, fmt.Errorf("bench: replay query %s: %w", name, err)
 		}
-		plans[name] = &plan{name: name, tr: tr}
+		plans[name] = &plan{name: name, sql: q.SQL, tr: tr}
 		resolved = append(resolved, name)
 	}
 	if len(resolved) == 0 {
 		return nil, errors.New("bench: replay stream contains no known workload queries")
+	}
+
+	// Build the executor: an in-process engine, or an HTTP client plus
+	// a local reference digest per distinct query for drift detection.
+	var exec func(p *plan) replayOutcome
+	if opts.Target == "" {
+		eng, err := r.engine(in)
+		if err != nil {
+			return nil, err
+		}
+		exec = func(p *plan) replayOutcome {
+			ctx := obsv.WithQueryLabel(r.ctx(), p.name)
+			res, qerr := eng.RangeAnswersContext(ctx, p.tr.Aggs[0].Query)
+			switch {
+			case timedOut(qerr):
+				return replayOutcome{err: qerr, timeout: true}
+			case qerr != nil:
+				return replayOutcome{err: qerr}
+			}
+			return replayOutcome{local: true, stats: res.Stats, answers: len(res.Answers)}
+		}
+	} else {
+		// The server must have attached the byte-identical instance
+		// (cavsatd -dbgen with the same sf/inconsistency/seed); any
+		// divergence shows up as drift, never as silence.
+		sys, err := aggcavsat.Open(in, aggcavsat.Options{
+			Parallelism: r.cfg.Parallelism,
+			Timeout:     r.cfg.Timeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		expected := make(map[string]string, len(plans))
+		for name, p := range plans {
+			res, err := sys.Query(p.sql)
+			if err != nil {
+				return nil, fmt.Errorf("bench: replay reference %s: %w", name, err)
+			}
+			expected[name] = server.BuildResponse(res).Digest
+		}
+		client := server.NewClient(opts.Target)
+		exec = func(p *plan) replayOutcome {
+			resp, qerr := client.Query(r.ctx(), &server.QueryRequest{
+				Instance: opts.Instance,
+				SQL:      p.sql,
+				Label:    p.name,
+			})
+			if qerr != nil {
+				var re *server.RemoteError
+				if errors.As(qerr, &re) {
+					switch {
+					case re.Overloaded():
+						return replayOutcome{err: qerr, shed: true}
+					case re.Timeout():
+						return replayOutcome{err: qerr, timeout: true}
+					}
+				}
+				return replayOutcome{err: qerr}
+			}
+			return replayOutcome{
+				answers: len(resp.Rows),
+				drift:   resp.Digest != expected[p.name],
+			}
+		}
 	}
 	n := opts.N
 	if n <= 0 {
@@ -155,8 +262,7 @@ func (r *Runner) Replay(opts ReplayOptions, w io.Writer) (*ReplayReport, error) 
 		go func(p *plan, sched time.Time) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			ctx := obsv.WithQueryLabel(r.ctx(), p.name)
-			res, qerr := eng.RangeAnswersContext(ctx, p.tr.Aggs[0].Query)
+			out := exec(p)
 			lat := time.Since(sched)
 			mu.Lock()
 			defer mu.Unlock()
@@ -170,15 +276,24 @@ func (r *Runner) Replay(opts ReplayOptions, w io.Writer) (*ReplayReport, error) 
 			agg.sum.Observe(lat.Seconds())
 			overall.Observe(lat.Seconds())
 			switch {
-			case timedOut(qerr):
+			case out.shed:
+				agg.shed++
+				rep.Shed++
+			case out.timeout:
 				agg.timeouts++
 				rep.Timeouts++
 				r.record(p.name, queryResult{timeout: true, total: lat})
-			case qerr != nil:
+			case out.err != nil:
 				agg.errors++
 				rep.Errors++
 			default:
-				r.record(p.name, queryResult{stats: res.Stats, total: lat, answers: len(res.Answers)})
+				if out.drift {
+					agg.drift++
+					rep.Drift++
+				}
+				if out.local {
+					r.record(p.name, queryResult{stats: out.stats, total: lat, answers: out.answers})
+				}
 			}
 		}(p, sched)
 	}
@@ -197,6 +312,8 @@ func (r *Runner) Replay(opts ReplayOptions, w io.Writer) (*ReplayReport, error) 
 			Issued:   agg.issued,
 			Errors:   agg.errors,
 			Timeouts: agg.timeouts,
+			Shed:     agg.shed,
+			Drift:    agg.drift,
 			Latency:  agg.sum.Snapshot(),
 		})
 	}
@@ -207,29 +324,45 @@ func (r *Runner) Replay(opts ReplayOptions, w io.Writer) (*ReplayReport, error) 
 }
 
 // table renders the replay outcome in the suite's aligned-table format.
+// Target-mode replays grow shed and drift columns.
 func (rep *ReplayReport) table(opts ReplayOptions, sf, pct float64) *Table {
 	rate := "closed loop"
 	if opts.QPS > 0 {
 		rate = fmt.Sprintf("%g qps", opts.QPS)
 	}
+	title := fmt.Sprintf("Replay — %d queries, %s, sf=%g, %g%% inconsistency",
+		rep.Issued, rate, sf, pct)
+	remote := opts.Target != ""
+	if remote {
+		title += fmt.Sprintf(", target %s", opts.Target)
+	}
 	t := &Table{
-		Title: fmt.Sprintf("Replay — %d queries, %s, sf=%g, %g%% inconsistency",
-			rep.Issued, rate, sf, pct),
+		Title:  title,
 		Header: []string{"query", "n", "err", "t/o", "p50 ms", "p90 ms", "p99 ms", "max ms"},
 	}
-	row := func(name string, issued, errs, tos int, s obsv.SummarySnapshot) {
-		t.Rows = append(t.Rows, []string{
+	if remote {
+		t.Header = append(t.Header, "shed", "drift")
+	}
+	row := func(name string, q ReplayQueryStats, s obsv.SummarySnapshot) {
+		cells := []string{
 			name,
-			fmt.Sprintf("%d", issued),
-			fmt.Sprintf("%d", errs),
-			fmt.Sprintf("%d", tos),
+			fmt.Sprintf("%d", q.Issued),
+			fmt.Sprintf("%d", q.Errors),
+			fmt.Sprintf("%d", q.Timeouts),
 			msQuantile(s.P50), msQuantile(s.P90), msQuantile(s.P99), msQuantile(s.Max),
-		})
+		}
+		if remote {
+			cells = append(cells, fmt.Sprintf("%d", q.Shed), fmt.Sprintf("%d", q.Drift))
+		}
+		t.Rows = append(t.Rows, cells)
 	}
 	for _, q := range rep.PerQuery {
-		row(q.Name, q.Issued, q.Errors, q.Timeouts, q.Latency)
+		row(q.Name, q, q.Latency)
 	}
-	row("all", rep.Issued, rep.Errors, rep.Timeouts, rep.Overall)
+	row("all", ReplayQueryStats{
+		Issued: rep.Issued, Errors: rep.Errors, Timeouts: rep.Timeouts,
+		Shed: rep.Shed, Drift: rep.Drift,
+	}, rep.Overall)
 	return t
 }
 

@@ -9,11 +9,12 @@ import (
 	"aggcavsat/internal/obsv"
 )
 
-// fingerprint64 is the stable query fingerprint stamped on journal
-// lines: FNV-1a over the canonical rendering, hex-encoded. Two spellings
-// that render to the same algebraic query share a fingerprint, so
-// journal analysis can group by query without string matching.
-func fingerprint64(s string) string {
+// Fingerprint64 is the stable query fingerprint stamped on journal
+// lines and used as the query component of the server result-cache key:
+// FNV-1a over the canonical rendering, hex-encoded. Two spellings that
+// render to the same algebraic query share a fingerprint, so journal
+// analysis can group by query without string matching.
+func Fingerprint64(s string) string {
 	h := fnv.New64a()
 	h.Write([]byte(s))
 	return fmt.Sprintf("%016x", h.Sum64())
@@ -50,7 +51,7 @@ func (e *Engine) appendJournal(ctx context.Context, op, query string, answers []
 	entry := obsv.JournalEntry{
 		Time:        start,
 		Query:       label,
-		Fingerprint: fingerprint64(query),
+		Fingerprint: Fingerprint64(query),
 		Op:          op,
 		Options: obsv.JournalOptions{
 			Algorithm:   e.opts.MaxSAT.Algorithm.String(),

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"aggcavsat/internal/obsv"
+)
+
+// Typed admission failures. Both map to HTTP 429 (the request never
+// started solving), distinguished in metrics.
+var (
+	// ErrShed reports an admission queue at capacity: the request was
+	// rejected immediately.
+	ErrShed = errors.New("server: overloaded, queue full")
+	// ErrQueueTimeout reports a request that waited its full queue-wait
+	// allowance without a slot freeing up.
+	ErrQueueTimeout = errors.New("server: overloaded, queue wait expired")
+)
+
+// gate is a weighted semaphore with a bounded FIFO wait queue — the
+// server's admission controller. Capacity units are "solve weight"
+// (requests acquire 1 today; the weighting exists so heavier statements
+// can claim more than one slot without changing the contract). At most
+// maxQueue requests may wait for slots; arrivals beyond that are shed
+// immediately, and waiters that outlive maxWait (or their context) are
+// shed late. Fairness is strict FIFO: a waiter is admitted only when
+// every earlier waiter was admitted or gave up, so heavy requests
+// cannot be starved by a stream of light ones.
+type gate struct {
+	mu      sync.Mutex
+	cap     int64
+	cur     int64
+	maxWait time.Duration
+
+	maxQueue int
+	waiters  *list.List // of *gateWaiter, FIFO
+
+	// Gauges mirror the gate state into the metrics registry (nil-safe:
+	// a gate can run unwired in tests).
+	inflight *obsv.Gauge
+	queued   *obsv.Gauge
+}
+
+type gateWaiter struct {
+	weight int64
+	ready  chan struct{} // closed by release when the slot is granted
+}
+
+// newGate builds a gate admitting capacity weight units with at most
+// maxQueue waiting requests, each waiting at most maxWait.
+func newGate(capacity int64, maxQueue int, maxWait time.Duration) *gate {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &gate{
+		cap:      capacity,
+		maxWait:  maxWait,
+		maxQueue: maxQueue,
+		waiters:  list.New(),
+	}
+}
+
+// wire attaches the in-flight and queue-depth gauges.
+func (g *gate) wire(inflight, queued *obsv.Gauge) {
+	g.inflight = inflight
+	g.queued = queued
+}
+
+// Acquire claims weight units, waiting in FIFO order when the gate is
+// full. It fails fast with ErrShed when the wait queue is at capacity,
+// ErrQueueTimeout when maxWait elapses first, or ctx.Err() when the
+// caller gives up. A weight above capacity is clamped (it could never
+// be admitted otherwise).
+func (g *gate) Acquire(ctx context.Context, weight int64) error {
+	if weight <= 0 {
+		weight = 1
+	}
+	if weight > g.cap {
+		weight = g.cap
+	}
+	g.mu.Lock()
+	if g.cur+weight <= g.cap && g.waiters.Len() == 0 {
+		g.cur += weight
+		g.mu.Unlock()
+		g.setGauges()
+		return nil
+	}
+	if g.waiters.Len() >= g.maxQueue {
+		g.mu.Unlock()
+		return ErrShed
+	}
+	w := &gateWaiter{weight: weight, ready: make(chan struct{})}
+	elem := g.waiters.PushBack(w)
+	g.mu.Unlock()
+	g.setGauges()
+
+	var expire <-chan time.Time
+	if g.maxWait > 0 {
+		t := time.NewTimer(g.maxWait)
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case <-w.ready:
+		g.setGauges()
+		return nil
+	case <-expire:
+		return g.abandon(elem, w, ErrQueueTimeout)
+	case <-ctx.Done():
+		return g.abandon(elem, w, ctx.Err())
+	}
+}
+
+// abandon removes a waiter that gave up; if the slot was granted in the
+// race window, the grant is forwarded instead of leaked.
+func (g *gate) abandon(elem *list.Element, w *gateWaiter, cause error) error {
+	g.mu.Lock()
+	select {
+	case <-w.ready:
+		// Granted while we were giving up: keep the slot and succeed —
+		// releasing here would over-free, dropping it would leak.
+		g.mu.Unlock()
+		g.setGauges()
+		return nil
+	default:
+	}
+	g.waiters.Remove(elem)
+	g.grantLocked()
+	g.mu.Unlock()
+	g.setGauges()
+	return cause
+}
+
+// Release returns weight units and hands freed capacity to the queue.
+func (g *gate) Release(weight int64) {
+	if weight <= 0 {
+		weight = 1
+	}
+	if weight > g.cap {
+		weight = g.cap
+	}
+	g.mu.Lock()
+	g.cur -= weight
+	if g.cur < 0 {
+		g.cur = 0
+	}
+	g.grantLocked()
+	g.mu.Unlock()
+	g.setGauges()
+}
+
+// grantLocked admits queued waiters in FIFO order while capacity lasts.
+func (g *gate) grantLocked() {
+	for g.waiters.Len() > 0 {
+		front := g.waiters.Front()
+		w := front.Value.(*gateWaiter)
+		if g.cur+w.weight > g.cap {
+			return
+		}
+		g.cur += w.weight
+		g.waiters.Remove(front)
+		close(w.ready)
+	}
+}
+
+// setGauges publishes the current state (outside g.mu; the values are
+// re-read, so late writes converge).
+func (g *gate) setGauges() {
+	if g.inflight == nil {
+		return
+	}
+	g.mu.Lock()
+	cur, queued := g.cur, int64(g.waiters.Len())
+	g.mu.Unlock()
+	g.inflight.Set(cur)
+	g.queued.Set(queued)
+}

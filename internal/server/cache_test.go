@@ -1,0 +1,204 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func ck(q string, version uint64) cacheKey {
+	return cacheKey{queryFP: q, constraintFP: "c", version: version}
+}
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := newResultCache(4)
+	ctx := context.Background()
+	want := &QueryResponse{Digest: "d1"}
+	got, served, err := c.Do(ctx, ck("q1", 1), func() (*QueryResponse, error) { return want, nil })
+	if err != nil || served || got != want {
+		t.Fatalf("miss: got %v served=%v err=%v", got, served, err)
+	}
+	got, served, err = c.Do(ctx, ck("q1", 1), func() (*QueryResponse, error) {
+		t.Fatal("solve ran on a hit")
+		return nil, nil
+	})
+	if err != nil || !served || got != want {
+		t.Fatalf("hit: got %v served=%v err=%v", got, served, err)
+	}
+	// A new instance version is a different key.
+	ran := false
+	_, served, _ = c.Do(ctx, ck("q1", 2), func() (*QueryResponse, error) {
+		ran = true
+		return &QueryResponse{}, nil
+	})
+	if !ran || served {
+		t.Error("version bump served a stale answer")
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newResultCache(4)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if _, _, err := c.Do(ctx, ck("q", 1), func() (*QueryResponse, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("error cached: len = %d", c.Len())
+	}
+	ran := false
+	c.Do(ctx, ck("q", 1), func() (*QueryResponse, error) {
+		ran = true
+		return &QueryResponse{}, nil
+	})
+	if !ran {
+		t.Error("retry after error did not solve")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	ctx := context.Background()
+	solve := func() (*QueryResponse, error) { return &QueryResponse{}, nil }
+	c.Do(ctx, ck("a", 1), solve)
+	c.Do(ctx, ck("b", 1), solve)
+	c.Do(ctx, ck("a", 1), solve) // touch a: b becomes LRU
+	c.Do(ctx, ck("c", 1), solve) // evicts b
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	_, served, _ := c.Do(ctx, ck("a", 1), solve)
+	if !served {
+		t.Error("recently-touched entry evicted")
+	}
+	ran := false
+	c.Do(ctx, ck("b", 1), func() (*QueryResponse, error) {
+		ran = true
+		return &QueryResponse{}, nil
+	})
+	if !ran {
+		t.Error("evicted entry still served")
+	}
+}
+
+func TestCacheDisabledStillCoalesces(t *testing.T) {
+	c := newResultCache(0)
+	ctx := context.Background()
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	var solves atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Do(ctx, ck("q", 1), func() (*QueryResponse, error) {
+				solves.Add(1)
+				started <- struct{}{}
+				<-release
+				return &QueryResponse{}, nil
+			})
+		}()
+	}
+	<-started
+	close(release)
+	wg.Wait()
+	if n := solves.Load(); n < 1 || n > 4 {
+		t.Fatalf("solves = %d", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("disabled cache stored %d entries", c.Len())
+	}
+	// Next call must solve again: nothing was cached.
+	ran := false
+	c.Do(ctx, ck("q", 1), func() (*QueryResponse, error) {
+		ran = true
+		return &QueryResponse{}, nil
+	})
+	if !ran {
+		t.Error("disabled cache served an entry")
+	}
+}
+
+func TestCacheCoalesceSharesLeaderAnswer(t *testing.T) {
+	c := newResultCache(4)
+	ctx := context.Background()
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	want := &QueryResponse{Digest: "shared"}
+	var solves atomic.Int64
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(ctx, ck("q", 1), func() (*QueryResponse, error) {
+			solves.Add(1)
+			close(leaderIn)
+			<-release
+			return want, nil
+		})
+	}()
+	<-leaderIn
+
+	const followers = 5
+	results := make([]*QueryResponse, followers)
+	servedFlags := make([]bool, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, served, err := c.Do(ctx, ck("q", 1), func() (*QueryResponse, error) {
+				return nil, fmt.Errorf("follower %d solved", i)
+			})
+			if err != nil {
+				t.Errorf("follower %d: %v", i, err)
+				return
+			}
+			results[i], servedFlags[i] = got, served
+		}(i)
+	}
+	// Followers either join the leader's flight or, when they arrive
+	// after it lands, hit the cached entry — both must serve the
+	// leader's answer without solving.
+	close(release)
+	wg.Wait()
+
+	if n := solves.Load(); n != 1 {
+		t.Fatalf("solves = %d, want 1", n)
+	}
+	for i := 0; i < followers; i++ {
+		if results[i] != want || !servedFlags[i] {
+			t.Errorf("follower %d: got %v served=%v", i, results[i], servedFlags[i])
+		}
+	}
+}
+
+func TestCacheCoalesceContextCancel(t *testing.T) {
+	c := newResultCache(4)
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(context.Background(), ck("q", 1), func() (*QueryResponse, error) {
+			close(leaderIn)
+			<-release
+			return &QueryResponse{}, nil
+		})
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, ck("q", 1), func() (*QueryResponse, error) { return nil, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+	wg.Wait()
+}

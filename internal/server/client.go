@@ -1,0 +1,142 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a minimal HTTP client for cavsatd, used by aggbench's
+// target-replay mode and by CI smoke checks. It speaks the typed error
+// envelope: non-200 responses come back as *RemoteError.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7878".
+	BaseURL string
+	// HTTPClient defaults to a client with a 60s overall timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:    strings.TrimRight(baseURL, "/"),
+		HTTPClient: &http.Client{Timeout: 60 * time.Second},
+	}
+}
+
+// RemoteError is a typed non-200 answer from the server.
+type RemoteError struct {
+	Status       int
+	Code         string
+	Message      string
+	RetryAfterMS int64
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("server: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Overloaded reports a 429 shed.
+func (e *RemoteError) Overloaded() bool { return e.Status == http.StatusTooManyRequests }
+
+// Timeout reports a deadline or budget expiry.
+func (e *RemoteError) Timeout() bool {
+	return e.Code == CodeTimeout || e.Code == CodeBudget
+}
+
+// Query runs one statement against the server.
+func (c *Client) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteError(resp)
+	}
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decoding query response: %w", err)
+	}
+	return &out, nil
+}
+
+// Instances lists the server's attached tenants.
+func (c *Client) Instances(ctx context.Context) ([]TenantInfo, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/admin/instances", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteError(resp)
+	}
+	var out []TenantInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decoding instance list: %w", err)
+	}
+	return out, nil
+}
+
+// Metrics fetches the /metrics exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("server: /metrics returned %d", resp.StatusCode)
+	}
+	return string(b), nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// remoteError decodes the typed error envelope, falling back to the raw
+// body for non-JSON answers (proxies, panics).
+func remoteError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	re := &RemoteError{Status: resp.StatusCode}
+	var env ErrorResponse
+	if err := json.Unmarshal(body, &env); err == nil && env.Code != "" {
+		re.Code = env.Code
+		re.Message = env.Error
+		re.RetryAfterMS = env.RetryAfterMS
+	} else {
+		re.Code = CodeInternal
+		re.Message = strings.TrimSpace(string(body))
+	}
+	return re
+}

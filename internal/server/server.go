@@ -1,0 +1,383 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"aggcavsat"
+	"aggcavsat/internal/constraints"
+	"aggcavsat/internal/core"
+	"aggcavsat/internal/db"
+	"aggcavsat/internal/obsv"
+)
+
+// Metric names of the query service, registered in the obsv registry
+// and exposed through the same /metrics scrape as the engine counters.
+const (
+	MetricRequests  = "cavsatd_requests_total"
+	MetricShed      = "cavsatd_shed_total"     // 429s: queue full or queue wait expired
+	MetricTimeouts  = "cavsatd_timeouts_total" // per-request deadline or solver budget expiries
+	MetricErrors    = "cavsatd_errors_total"   // every non-200 that is not a shed
+	MetricInflight  = "cavsatd_inflight"       // gauge: admitted solves currently running
+	MetricQueued    = "cavsatd_queue_depth"    // gauge: requests waiting for a slot
+	MetricCacheHit  = "cavsatd_cache_hits_total"
+	MetricCacheMiss = "cavsatd_cache_misses_total"
+	MetricCoalesced = "cavsatd_coalesced_total" // joined an identical in-flight solve
+	MetricTenants   = "cavsatd_instances"       // gauge: attached tenants
+	MetricReqSecs   = "cavsatd_request_seconds" // summary: whole requests, queueing included
+)
+
+// Config tunes the query service.
+type Config struct {
+	// MaxInFlight bounds concurrently solving requests (the weighted
+	// semaphore's capacity). 0 means 4.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a solve slot; arrivals
+	// beyond it are shed with 429 immediately. 0 means 2×MaxInFlight;
+	// negative means no queue (shed as soon as the gate is full).
+	MaxQueue int
+	// QueueWait bounds how long an admitted-to-queue request may wait
+	// for a slot before being shed with 429. 0 means 5s.
+	QueueWait time.Duration
+	// RequestTimeout is the default per-request deadline propagated
+	// through QueryContext (requests may lower it, never raise it
+	// above this bound). 0 means 30s.
+	RequestTimeout time.Duration
+	// CacheEntries bounds the result cache; 0 means 1024, negative
+	// disables caching (singleflight coalescing stays on).
+	CacheEntries int
+	// RetryAfter is the hint returned with 429 responses. 0 means 1s.
+	RetryAfter time.Duration
+
+	// Metrics receives the service counters and, when also passed to
+	// tenant Options, the engine's own; required (New creates one if
+	// nil so the debug plane always has something to scrape).
+	Metrics *obsv.Registry
+	// Tracer, when non-nil, backs /debug/trace.
+	Tracer *obsv.Tracer
+	// Journal, when non-nil, receives the engine's wide-event lines
+	// (stamped "<instance>/<label>") and backs /debug/journal.
+	Journal *obsv.Journal
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 2 * c.MaxInFlight
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 5 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	switch {
+	case c.CacheEntries == 0:
+		c.CacheEntries = 1024
+	case c.CacheEntries < 0:
+		c.CacheEntries = 0
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = obsv.NewRegistry()
+	}
+	return c
+}
+
+// Server is the cavsatd query service: attach tenants, then serve
+// Handler (or Start a listener).
+type Server struct {
+	cfg     Config
+	tenants *tenants
+	gate    *gate
+	cache   *resultCache
+
+	requests *obsv.Counter
+	shed     *obsv.Counter
+	timeouts *obsv.Counter
+	errors   *obsv.Counter
+	tenantsG *obsv.Gauge
+	latency  *obsv.Summary
+
+	// exec runs one admitted query; tests override it to wedge or
+	// instrument the solver without a real slow instance.
+	exec func(ctx context.Context, t *Tenant, req *QueryRequest) (*aggcavsat.Result, error)
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	s := &Server{
+		cfg:     cfg,
+		tenants: newTenants(),
+		gate:    newGate(int64(cfg.MaxInFlight), cfg.MaxQueue, cfg.QueueWait),
+		cache:   newResultCache(cfg.CacheEntries),
+
+		requests: reg.Counter(MetricRequests),
+		shed:     reg.Counter(MetricShed),
+		timeouts: reg.Counter(MetricTimeouts),
+		errors:   reg.Counter(MetricErrors),
+		tenantsG: reg.Gauge(MetricTenants),
+		latency:  reg.Summary(MetricReqSecs, 0, nil),
+	}
+	s.gate.wire(reg.Gauge(MetricInflight), reg.Gauge(MetricQueued))
+	s.cache.wire(reg.Counter(MetricCacheHit), reg.Counter(MetricCacheMiss), reg.Counter(MetricCoalesced))
+	s.exec = s.runQuery
+	return s
+}
+
+// Attach registers an already-built tenant (e.g. the -dbgen demo
+// instance) under name; re-attaching replaces it at a fresh version.
+func (s *Server) Attach(name, dir string, sys *aggcavsat.System, in *db.Instance, dcs []constraints.DC) *Tenant {
+	t := s.tenants.attach(name, dir, sys, in, dcs)
+	s.tenantsG.Set(int64(s.tenants.count()))
+	return t
+}
+
+// AttachDir loads a schema.txt + CSV directory and attaches it, sharing
+// the server's metrics/journal wiring with the tenant's engine.
+func (s *Server) AttachDir(name, dir string, opts aggcavsat.Options) (*Tenant, error) {
+	opts.Metrics = s.cfg.Metrics
+	opts.Journal = s.cfg.Journal
+	sys, in, dcs, err := LoadTenantDir(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Attach(name, dir, sys, in, dcs), nil
+}
+
+// Tenant resolves an attached tenant by name ("" when exactly one).
+func (s *Server) Tenant(name string) (*Tenant, error) { return s.tenants.get(name) }
+
+// Handler builds the service mux: /query and /admin/instances, with
+// every other path (in particular /metrics, /healthz, /debug/*) falling
+// through to the obsv debug plane over the server's registry, tracer
+// and journal.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/admin/instances", s.handleInstances)
+	mux.Handle("/", obsv.Handler(s.cfg.Metrics, s.cfg.Tracer, s.cfg.Journal))
+	return mux
+}
+
+// handleQuery is the serving hot path: decode → resolve tenant →
+// result cache / singleflight → admission gate → deadline-bounded
+// solve → typed JSON.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Inc()
+	req, err := decodeQueryRequest(r)
+	if err != nil {
+		s.errors.Inc()
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	t, err := s.tenants.get(req.Instance)
+	if err != nil {
+		s.errors.Inc()
+		writeError(w, http.StatusNotFound, CodeUnknownInstance, "%v", err)
+		return
+	}
+
+	key := cacheKey{
+		queryFP:      core.Fingerprint64(normalizeSQL(req.SQL)),
+		constraintFP: t.ConstraintFP,
+		version:      t.Version,
+	}
+	resp, served, err := s.cache.Do(r.Context(), key, func() (*QueryResponse, error) {
+		return s.admitAndSolve(r.Context(), t, req)
+	})
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	// Cached/coalesced answers share one QueryResponse across requests:
+	// copy before stamping per-request fields.
+	out := *resp
+	out.Instance = t.Name
+	out.Version = t.Version
+	out.Cached = served
+	out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	s.latency.Observe(time.Since(start).Seconds())
+	writeJSON(w, http.StatusOK, &out)
+}
+
+// admitAndSolve passes the admission gate, applies the per-request
+// deadline, and runs the query.
+func (s *Server) admitAndSolve(ctx context.Context, t *Tenant, req *QueryRequest) (*QueryResponse, error) {
+	if err := s.gate.Acquire(ctx, 1); err != nil {
+		return nil, err
+	}
+	defer s.gate.Release(1)
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	res, err := s.exec(ctx, t, req)
+	if err != nil {
+		return nil, err
+	}
+	return BuildResponse(res), nil
+}
+
+// runQuery is the default exec: label the context with the tenant (and
+// the caller's label when given) so journal lines and traces carry the
+// tenant identity, then run the statement.
+func (s *Server) runQuery(ctx context.Context, t *Tenant, req *QueryRequest) (*aggcavsat.Result, error) {
+	label := req.Label
+	if label == "" {
+		label = req.SQL
+	}
+	ctx = obsv.WithQueryLabel(ctx, t.Name+"/"+label)
+	if s.cfg.Tracer != nil {
+		ctx = obsv.WithTracer(ctx, s.cfg.Tracer)
+	}
+	return t.System().QueryContext(ctx, req.SQL)
+}
+
+// writeQueryError maps solve/admission failures onto the typed JSON
+// envelope and the service counters.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrShed) || errors.Is(err, ErrQueueTimeout):
+		s.shed.Inc()
+		retry := s.cfg.RetryAfter
+		w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+			Error:        err.Error(),
+			Code:         CodeOverloaded,
+			RetryAfterMS: retry.Milliseconds(),
+		})
+	case errors.Is(err, aggcavsat.ErrTimeout) || errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout, CodeTimeout, "query deadline expired: %v", err)
+	case errors.Is(err, aggcavsat.ErrBudget):
+		s.timeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout, CodeBudget, "solver budget exhausted: %v", err)
+	case errors.Is(err, context.Canceled):
+		// The client went away; nobody reads this response.
+		s.errors.Inc()
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "request canceled")
+	default:
+		s.errors.Inc()
+		writeError(w, http.StatusBadRequest, CodeBadQuery, "%v", err)
+	}
+}
+
+// handleInstances serves the tenant registry: GET lists, POST attaches
+// {"name": ..., "dir": ...} hot.
+func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.tenants.list())
+	case http.MethodPost:
+		var req struct {
+			Name string `json:"name"`
+			Dir  string `json:"dir"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding attach request: %v", err)
+			return
+		}
+		if req.Name == "" || req.Dir == "" {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "attach wants both name and dir")
+			return
+		}
+		t, err := s.AttachDir(req.Name, req.Dir, aggcavsat.Options{})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "attaching %s: %v", req.Name, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, TenantInfo{
+			Name: t.Name, Dir: t.Dir, Version: t.Version, Mode: t.Mode,
+			ConstraintFP: t.ConstraintFP, Facts: t.Facts, Relations: t.Relations,
+			AttachedAt: t.AttachedAt,
+		})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, CodeBadRequest, "method %s not allowed", r.Method)
+	}
+}
+
+// decodeQueryRequest accepts POST JSON bodies and GET URL parameters.
+func decodeQueryRequest(r *http.Request) (*QueryRequest, error) {
+	req := &QueryRequest{}
+	switch r.Method {
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(req); err != nil {
+			return nil, fmt.Errorf("decoding query request: %w", err)
+		}
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.Instance = q.Get("instance")
+		req.SQL = q.Get("q")
+		req.Label = q.Get("label")
+		if v := q.Get("timeout_ms"); v != "" {
+			ms, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || ms < 0 {
+				return nil, fmt.Errorf("bad timeout_ms %q", v)
+			}
+			req.TimeoutMS = ms
+		}
+	default:
+		return nil, fmt.Errorf("method %s not allowed", r.Method)
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		return nil, errors.New("empty sql")
+	}
+	return req, nil
+}
+
+// normalizeSQL collapses whitespace so trivially reformatted statements
+// share a cache key (the algebraic fingerprint would need a parse; this
+// stays ahead of it on the cache hot path).
+func normalizeSQL(sql string) string {
+	return strings.Join(strings.Fields(sql), " ")
+}
+
+// Start listens on addr (":0" picks a free port) and serves Handler on
+// a background goroutine until Close.
+func Start(addr string, s *Server) (*Running, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	run := &Running{ln: ln, srv: &http.Server{Handler: s.Handler()}}
+	go run.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return run, nil
+}
+
+// Running is a started listener.
+type Running struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address.
+func (r *Running) Addr() string { return r.ln.Addr().String() }
+
+// Close shuts the listener down, draining in-flight requests briefly.
+func (r *Running) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return r.srv.Shutdown(ctx)
+}

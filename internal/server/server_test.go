@@ -1,0 +1,466 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aggcavsat"
+	"aggcavsat/internal/obsv"
+)
+
+// writeFixture materializes a small inconsistent bank instance as a
+// schema.txt + CSV directory (account A2 violates its key).
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"schema.txt": "relation Acc (AID:string CITY:string BAL:int) key AID\n",
+		"acc.csv":    "AID,CITY,BAL\nA1,LA,100\nA2,LA,50\nA2,SF,70\nA3,SJ,30\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// newTestServer boots a Server over the fixture with its handler on an
+// httptest listener.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(cfg)
+	if _, err := srv.AttachDir("bank", writeFixture(t), aggcavsat.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// postQuery issues one POST /query and decodes either envelope.
+func postQuery(t *testing.T, url string, req *QueryRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+const sumQuery = "SELECT SUM(BAL) FROM Acc"
+
+func TestQueryAndResultCache(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	var solves atomic.Int64
+	inner := srv.exec
+	srv.exec = func(ctx context.Context, tn *Tenant, req *QueryRequest) (*aggcavsat.Result, error) {
+		solves.Add(1)
+		return inner(ctx, tn, req)
+	}
+
+	resp, body := postQuery(t, ts.URL, &QueryRequest{SQL: sumQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first query: %d %s", resp.StatusCode, body)
+	}
+	var first QueryResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first answer claims cached")
+	}
+	if first.Instance != "bank" || first.Version == 0 {
+		t.Errorf("instance/version = %q/%d", first.Instance, first.Version)
+	}
+	// Consistent part: A1=100, A3=30; A2 contributes 50 or 70.
+	if want := "[180, 200]"; len(first.Rows) != 1 || first.Rows[0].Ranges[0].Text != want {
+		t.Fatalf("rows = %s", body)
+	}
+
+	// Same statement, reformatted: must hit the cache, skip the engine,
+	// and carry the identical digest.
+	resp, body = postQuery(t, ts.URL, &QueryRequest{SQL: "SELECT  SUM(BAL)\nFROM Acc"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second query: %d %s", resp.StatusCode, body)
+	}
+	var second QueryResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("second answer not served from cache")
+	}
+	if second.Digest != first.Digest {
+		t.Errorf("digest drifted: %s vs %s", second.Digest, first.Digest)
+	}
+	if n := solves.Load(); n != 1 {
+		t.Errorf("engine ran %d times, want 1", n)
+	}
+	reg := srv.cfg.Metrics
+	if v := reg.Counter(MetricCacheHit).Value(); v != 1 {
+		t.Errorf("cache hits = %d, want 1", v)
+	}
+	if v := reg.Counter(MetricCacheMiss).Value(); v != 1 {
+		t.Errorf("cache misses = %d, want 1", v)
+	}
+}
+
+func TestShedReturns429(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: -1, RetryAfter: 2 * time.Second})
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	srv.exec = func(ctx context.Context, tn *Tenant, req *QueryRequest) (*aggcavsat.Result, error) {
+		once.Do(func() { close(entered) })
+		<-release
+		return &aggcavsat.Result{}, nil
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, _ := postQuery(t, ts.URL, &QueryRequest{SQL: "SELECT COUNT(BAL) FROM Acc", Label: "wedged"})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("wedged query finished %d, want 200", resp.StatusCode)
+		}
+	}()
+	<-entered
+
+	// Distinct SQL so the request reaches the gate instead of
+	// coalescing with the wedged solve.
+	resp, body := postQuery(t, ts.URL, &QueryRequest{SQL: sumQuery})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d %s, want 429", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", ra)
+	}
+	var env ErrorResponse
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Code != CodeOverloaded || env.RetryAfterMS != 2000 {
+		t.Errorf("envelope = %+v", env)
+	}
+	if v := srv.cfg.Metrics.Counter(MetricShed).Value(); v != 1 {
+		t.Errorf("shed counter = %d, want 1", v)
+	}
+
+	close(release)
+	wg.Wait()
+}
+
+func TestQueueWaitExpiresInto429(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInFlight: 1, MaxQueue: 1, QueueWait: 30 * time.Millisecond})
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	srv.exec = func(ctx context.Context, tn *Tenant, req *QueryRequest) (*aggcavsat.Result, error) {
+		once.Do(func() { close(entered) })
+		<-release
+		return &aggcavsat.Result{}, nil
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postQuery(t, ts.URL, &QueryRequest{SQL: "SELECT COUNT(BAL) FROM Acc"})
+	}()
+	<-entered
+
+	start := time.Now()
+	resp, body := postQuery(t, ts.URL, &QueryRequest{SQL: sumQuery})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d %s, want 429", resp.StatusCode, body)
+	}
+	if waited := time.Since(start); waited < 25*time.Millisecond {
+		t.Errorf("shed after %v, want a full queue wait", waited)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestDeadlineReturnsTypedTimeout(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	srv.exec = func(ctx context.Context, tn *Tenant, req *QueryRequest) (*aggcavsat.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+
+	resp, body := postQuery(t, ts.URL, &QueryRequest{SQL: sumQuery, TimeoutMS: 30})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d %s, want 504", resp.StatusCode, body)
+	}
+	var env ErrorResponse
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Code != CodeTimeout {
+		t.Errorf("code = %q, want %q", env.Code, CodeTimeout)
+	}
+	if v := srv.cfg.Metrics.Counter(MetricTimeouts).Value(); v != 1 {
+		t.Errorf("timeout counter = %d, want 1", v)
+	}
+	// Timeouts are never cached: the next request solves again.
+	srv.exec = srv.runQuery
+	resp, body = postQuery(t, ts.URL, &QueryRequest{SQL: sumQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after timeout: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestServedAnswersMatchDirectExecution(t *testing.T) {
+	dir := writeFixture(t)
+	srv := New(Config{})
+	if _, err := srv.AttachDir("bank", dir, aggcavsat.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// An independent in-process load of the same directory must produce
+	// byte-identical digests for every statement the server answers.
+	sys, _, _, err := LoadTenantDir(dir, aggcavsat.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sql := range []string{
+		sumQuery,
+		"SELECT COUNT(BAL) FROM Acc",
+		"SELECT MIN(BAL) FROM Acc",
+		"SELECT CITY, MAX(BAL) FROM Acc GROUP BY CITY",
+	} {
+		resp, body := postQuery(t, ts.URL, &QueryRequest{SQL: sql})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d %s", sql, resp.StatusCode, body)
+		}
+		var served QueryResponse
+		if err := json.Unmarshal(body, &served); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Query(sql)
+		if err != nil {
+			t.Fatalf("%s: direct: %v", sql, err)
+		}
+		direct := BuildResponse(res)
+		if served.Digest != direct.Digest {
+			t.Errorf("%s: served digest %s != direct %s", sql, served.Digest, direct.Digest)
+		}
+	}
+}
+
+func TestAdminInstancesAndCacheInvalidation(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+
+	resp, err := http.Get(ts.URL + "/admin/instances")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []TenantInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || infos[0].Name != "bank" || infos[0].Mode != "keys" || infos[0].Facts != 4 {
+		t.Fatalf("instances = %+v", infos)
+	}
+
+	_, body := postQuery(t, ts.URL, &QueryRequest{SQL: sumQuery})
+	var first QueryResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hot re-attach under the same name: version bumps, so the cached
+	// answer for the old version is unreachable.
+	attach, _ := json.Marshal(map[string]string{"name": "bank", "dir": writeFixture(t)})
+	resp, err = http.Post(ts.URL+"/admin/instances", "application/json", bytes.NewReader(attach))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info TenantInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Version <= first.Version {
+		t.Fatalf("re-attach version %d, want > %d", info.Version, first.Version)
+	}
+
+	_, body = postQuery(t, ts.URL, &QueryRequest{SQL: sumQuery})
+	var second QueryResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Cached {
+		t.Error("answer served from the previous instance version's cache")
+	}
+	if second.Version != info.Version {
+		t.Errorf("answer version %d, want %d", second.Version, info.Version)
+	}
+	if v := srv.cfg.Metrics.Gauge(MetricTenants).Value(); v != 1 {
+		t.Errorf("instances gauge = %d, want 1", v)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name   string
+		req    *QueryRequest
+		status int
+		code   string
+	}{
+		{"unknown instance", &QueryRequest{Instance: "nope", SQL: sumQuery}, http.StatusNotFound, CodeUnknownInstance},
+		{"bad sql", &QueryRequest{SQL: "DELETE FROM Acc"}, http.StatusBadRequest, CodeBadQuery},
+		{"empty sql", &QueryRequest{SQL: "  "}, http.StatusBadRequest, CodeBadRequest},
+	} {
+		resp, body := postQuery(t, ts.URL, tc.req)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d %s, want %d", tc.name, resp.StatusCode, body, tc.status)
+			continue
+		}
+		var env ErrorResponse
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if env.Code != tc.code {
+			t.Errorf("%s: code = %q, want %q", tc.name, env.Code, tc.code)
+		}
+	}
+}
+
+func TestGetQueryAndDebugPlane(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, err := http.Get(ts.URL + "/query?q=" + strings.ReplaceAll(sumQuery, " ", "+") + "&label=smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /query = %d", resp.StatusCode)
+	}
+
+	metrics, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metrics.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(metrics.Body)
+	for _, want := range []string{MetricRequests, MetricShed, MetricInflight, MetricCacheHit} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	health, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d", health.StatusCode)
+	}
+}
+
+func TestJournalCarriesTenantLabel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := obsv.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Journal: j})
+
+	resp, body := postQuery(t, ts.URL, &QueryRequest{SQL: sumQuery, Label: "Q-sum"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := obsv.ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no journal entries written")
+	}
+	if got := entries[0].Query; got != "bank/Q-sum" {
+		t.Errorf("journal label = %q, want %q", got, "bank/Q-sum")
+	}
+}
+
+func TestCoalescedFollowersShareOneSolve(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInFlight: 2})
+	var solves atomic.Int64
+	release := make(chan struct{})
+	inner := srv.exec
+	srv.exec = func(ctx context.Context, tn *Tenant, req *QueryRequest) (*aggcavsat.Result, error) {
+		solves.Add(1)
+		<-release
+		return inner(ctx, tn, req)
+	}
+
+	const followers = 4
+	var wg sync.WaitGroup
+	digests := make([]string, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postQuery(t, ts.URL, &QueryRequest{SQL: sumQuery})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("follower %d: %d %s", i, resp.StatusCode, body)
+				return
+			}
+			var out QueryResponse
+			if err := json.Unmarshal(body, &out); err != nil {
+				t.Errorf("follower %d: %v", i, err)
+				return
+			}
+			digests[i] = out.Digest
+		}(i)
+	}
+	// Wait until the leader is wedged inside exec, then release; the
+	// followers must all ride its solve.
+	for solves.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let followers reach the flight
+	close(release)
+	wg.Wait()
+
+	if n := solves.Load(); n != 1 {
+		t.Errorf("engine ran %d times for %d identical queries, want 1", n, followers)
+	}
+	for i := 1; i < followers; i++ {
+		if digests[i] != digests[0] {
+			t.Errorf("follower %d digest %s != %s", i, digests[i], digests[0])
+		}
+	}
+	if v := srv.cfg.Metrics.Counter(MetricCoalesced).Value(); v == 0 {
+		t.Error("coalesce counter stayed zero")
+	}
+}

@@ -183,3 +183,19 @@ func addDays(r *xrand.Rand, base string, maxDelta int) string {
 	mm := total / 28
 	return fmt.Sprintf("%04d-%02d-%02d", mm/12, mm%12+1, d)
 }
+
+// DemoInstance builds the standard inconsistent DBGen instance used by
+// the bench replay harness and the cavsatd -dbgen demo tenant: Generate
+// at sf, then Inject with the Figure-1 group-size calibration ([2, 7])
+// and the derived seed the bench Runner uses. Both sides share this
+// constructor so a load replay against a server started with the same
+// (sf, pct, seed) triple compares answers over the identical instance.
+func DemoInstance(sf, pct float64, seed uint64) (*db.Instance, error) {
+	base := Generate(sf, seed)
+	return Inject(base, InjectOptions{
+		Percent:  pct,
+		MinGroup: 2,
+		MaxGroup: 7,
+		Seed:     seed + 1,
+	})
+}
