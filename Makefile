@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench ci
+.PHONY: all build test vet race bench fuzz ci
 
 all: build
 
@@ -26,14 +26,24 @@ vet:
 # skips the slowest property-test sweeps so the run stays usable on
 # small CI boxes.
 race:
-	$(GO) test -race -short . ./internal/obsv/... ./internal/sat/... ./internal/maxsat/... ./internal/core/... ./internal/cq/... ./internal/bench/... ./internal/server/...
+	$(GO) test -race -short . ./internal/obsv/... ./internal/sat/... ./internal/maxsat/... ./internal/core/... ./internal/cq/... ./internal/bench/... ./internal/server/... ./internal/planner/... ./internal/conquer/...
 
 # Micro-benchmarks: the clone-vs-rebuild and shared-base suites in
 # sat/maxsat/core (the PR 3 incremental-solving win), the compiled-vs-
 # interpreted evaluation and key-fast-path constraint suites in
-# cq/constraints (the PR 4 front-end win), plus the end-to-end harness
-# benchmarks. Pipe two runs through benchstat to compare.
+# cq/constraints (the PR 4 front-end win), the memoized-vs-fresh
+# rewriting index suite in conquer (the PR 8 planner fast path), plus
+# the end-to-end harness benchmarks. Pipe two runs through benchstat to
+# compare.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sat/ ./internal/maxsat/ ./internal/core/ ./internal/cq/ ./internal/constraints/ ./internal/bench/
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/sat/ ./internal/maxsat/ ./internal/core/ ./internal/cq/ ./internal/constraints/ ./internal/conquer/ ./internal/bench/
+
+# Fuzz smoke: a bounded run of the planner equivalence fuzzer
+# (planner-auto ≡ forced-SAT ≡ exhaustive repair enumeration on random
+# instances). The committed seed corpus always runs as part of `make
+# test`; this target additionally mutates for FUZZTIME.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzPlannerEquivalence -fuzztime=$(FUZZTIME) ./internal/planner/
 
 ci: build vet test race

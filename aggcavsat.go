@@ -41,6 +41,7 @@ import (
 	"aggcavsat/internal/db"
 	"aggcavsat/internal/maxsat"
 	"aggcavsat/internal/obsv"
+	"aggcavsat/internal/planner"
 	"aggcavsat/internal/sqlparse"
 )
 
@@ -150,6 +151,28 @@ func FD(rs *RelationSchema, lhs []string, rhs ...string) ([]DenialConstraint, er
 // SolverAlgorithm selects the MaxSAT strategy.
 type SolverAlgorithm = maxsat.Algorithm
 
+// PlannerMode selects the query planner's routing policy between the
+// WPMaxSAT reduction and the SAT-free rewriting fast path.
+type PlannerMode = planner.Mode
+
+// Planner routing policies.
+const (
+	// PlannerForceSAT routes every query through the WPMaxSAT reduction
+	// (the pre-planner behavior; the zero value).
+	PlannerForceSAT = planner.ModeSAT
+	// PlannerAuto routes rewritable queries through the compiled
+	// ConQuer-style rewriting and everything else (plus run-time
+	// rejections) through the solver. Answers are identical either way.
+	PlannerAuto = planner.ModeAuto
+	// PlannerForceRewrite requires the rewriting: non-rewritable queries
+	// fail with planner.ErrRewriteUnavailable instead of falling back.
+	PlannerForceRewrite = planner.ModeRewrite
+)
+
+// ParsePlannerMode parses a planner mode name ("auto", "force-sat",
+// "force-rewrite"; "sat" and "rewrite" are accepted shorthands).
+func ParsePlannerMode(s string) (PlannerMode, error) { return planner.ParseMode(s) }
+
 // MaxSAT solving strategies.
 const (
 	// SolverMaxHS is implicit-hitting-set MaxSAT, as in the MaxHS solver
@@ -218,13 +241,22 @@ type Options struct {
 	// engine call. Appends never block a solve: the journal sheds lines
 	// when its writer lags (and counts the drops).
 	Journal *Journal
+	// Planner selects the routing policy between the WPMaxSAT reduction
+	// and the SAT-free rewriting fast path. The zero value
+	// (PlannerForceSAT) preserves the pre-planner behavior; servers and
+	// CLIs default to PlannerAuto explicitly.
+	Planner PlannerMode
 }
 
 // System answers queries over one instance.
 type System struct {
-	in     *db.Instance
-	engine *core.Engine
+	in      *db.Instance
+	engine  *core.Engine
+	planner PlannerMode
 }
+
+// PlannerMode returns the routing policy the system was opened with.
+func (s *System) PlannerMode() PlannerMode { return s.planner }
 
 // Open prepares a system over the instance.
 func Open(in *Instance, opts Options) (*System, error) {
@@ -245,6 +277,7 @@ func Open(in *Instance, opts Options) (*System, error) {
 		DisableIncremental: opts.DisableIncremental,
 		Explain:            opts.Explain,
 		Journal:            opts.Journal,
+		Planner:            opts.Planner,
 	}
 	if len(opts.DenialConstraints) > 0 {
 		engOpts.Mode = core.DCMode
@@ -254,7 +287,7 @@ func Open(in *Instance, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{in: in, engine: eng}, nil
+	return &System{in: in, engine: eng, planner: opts.Planner}, nil
 }
 
 // Row is one group of a query result: the grouping key (empty for
@@ -281,6 +314,10 @@ type Result struct {
 	// Explains holds one per-solve report per aggregate in the SELECT
 	// list, in order, when Options.Explain is set.
 	Explains []*Explain
+	// Route summarizes which executor answered the statement's
+	// aggregates: "rewrite" (the planner's SAT-free fast path), "sat"
+	// (the WPMaxSAT reduction), or "mixed" when they differ.
+	Route string
 }
 
 // Query parses an aggregation-SQL statement, computes the range
@@ -334,6 +371,12 @@ func (s *System) run(ctx context.Context, tr *sqlparse.Translation) (*Result, er
 		res.Stats = accumulate(res.Stats, rep.Stats)
 		if rep.Explain != nil {
 			res.Explains = append(res.Explains, rep.Explain)
+		}
+		switch {
+		case ai == 0:
+			res.Route = rep.Route
+		case res.Route != rep.Route:
+			res.Route = "mixed"
 		}
 		for _, a := range rep.Answers {
 			if len(positions) != len(a.Key) {
@@ -440,6 +483,7 @@ func FormatRange(r Range) string {
 }
 
 func accumulate(a, b Stats) Stats {
+	a.RewriteTime += b.RewriteTime
 	a.WitnessTime += b.WitnessTime
 	a.ConstraintTime += b.ConstraintTime
 	a.EncodeTime += b.EncodeTime

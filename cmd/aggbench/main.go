@@ -56,6 +56,10 @@
 //
 // Concurrency and timeouts:
 //
+//	-planner M        planner mode for every engine the suite builds:
+//	                  force-sat (default — the paper tables measure the
+//	                  WPMaxSAT pipeline), auto, force-rewrite; the pr8
+//	                  experiment measures auto vs force-sat regardless
 //	-incremental=false  run every experiment on the legacy
 //	                  one-solver-per-run path (the pr3 experiment
 //	                  measures both paths regardless)
@@ -87,6 +91,7 @@ import (
 
 	"aggcavsat/internal/bench"
 	"aggcavsat/internal/obsv"
+	"aggcavsat/internal/planner"
 )
 
 func main() {
@@ -103,6 +108,7 @@ func main() {
 	flag.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
 	flag.IntVar(&cfg.Parallelism, "parallel", cfg.Parallelism, "worker-pool size per query (0 = GOMAXPROCS, 1 = sequential)")
 	flag.IntVar(&cfg.Parallelism, "p", cfg.Parallelism, "shorthand for -parallel")
+	plannerMode := flag.String("planner", "force-sat", "planner mode for every engine the suite builds: force-sat (default; the paper tables measure the WPMaxSAT pipeline), auto, force-rewrite (the pr8 experiment measures auto vs force-sat regardless)")
 	incremental := flag.Bool("incremental", true, "share per-component hard-clause solver bases inside each engine (false = legacy one-solver-per-run path; the pr3 experiment measures both regardless)")
 	frontend := flag.Bool("frontend", true, "use the compiled relational front end (false = legacy interpreted evaluation and grouping; the pr4 experiment measures both regardless)")
 	flag.DurationVar(&cfg.Timeout, "timeout", cfg.Timeout, "wall-clock bound per query, e.g. 30s (0 = none)")
@@ -124,6 +130,12 @@ func main() {
 	flag.Parse()
 	cfg.DisableIncremental = !*incremental
 	cfg.DisableFrontendOpt = !*frontend
+	pm, perr := planner.ParseMode(*plannerMode)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "aggbench:", perr)
+		os.Exit(1)
+	}
+	cfg.Planner = pm
 
 	level := slog.LevelWarn
 	if *verbose {

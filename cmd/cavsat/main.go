@@ -40,6 +40,16 @@
 //	                  flight dump (e.g. 5s; 0 = only errors/timeouts)
 //	-v                debug logging (log/slog) on stderr
 //
+// Planner:
+//
+//	-planner auto     route rewritable queries through the SAT-free
+//	                  ConQuer-style rewriting, the rest through the
+//	                  solver (default). force-sat always uses the
+//	                  solver; force-rewrite fails on non-rewritable
+//	                  queries instead of falling back. Answers are
+//	                  identical on every route; -explain shows which
+//	                  route answered and why.
+//
 // Concurrency and timeouts:
 //
 //	-parallel N       worker-pool size for independent groups/components
@@ -71,6 +81,7 @@ import (
 
 func main() {
 	dataDir := flag.String("data", ".", "directory with schema.txt and <relation>.csv files")
+	plannerMode := flag.String("planner", "auto", "query planner mode: auto (rewrite when possible, solver otherwise), force-sat, force-rewrite")
 	solver := flag.String("solver", "maxhs", "MaxSAT algorithm: maxhs, rc2, lsu, external")
 	external := flag.String("external-solver", "", "path to a MaxHS-compatible binary (solver=external)")
 	stats := flag.Bool("stats", false, "print a per-phase statistics table")
@@ -113,12 +124,15 @@ func main() {
 	fatalIf(err)
 	logger.Debug("database loaded", "dir", *dataDir, "facts", in.NumFacts(), "elapsed", time.Since(loadStart))
 
+	pm, err := aggcavsat.ParsePlannerMode(*plannerMode)
+	fatalIf(err)
 	opts := aggcavsat.Options{
 		DenialConstraints:  parsed.FDs,
 		ExternalSolverPath: *external,
 		Parallelism:        *parallel,
 		Timeout:            *timeout,
 		DisableIncremental: !*incremental,
+		Planner:            pm,
 	}
 	switch *solver {
 	case "maxhs":
@@ -231,8 +245,11 @@ func main() {
 // printStats renders the per-phase breakdown table on stderr.
 func printStats(st aggcavsat.Stats) {
 	tw := tabwriter.NewWriter(os.Stderr, 2, 4, 2, ' ', 0)
-	total := st.WitnessTime + st.ConstraintTime + st.EncodeTime + st.SolveTime
+	total := st.RewriteTime + st.WitnessTime + st.ConstraintTime + st.EncodeTime + st.SolveTime
 	fmt.Fprintf(tw, "phase\ttime\t\n")
+	if st.RewriteTime > 0 {
+		fmt.Fprintf(tw, "rewrite\t%v\t\n", st.RewriteTime)
+	}
 	fmt.Fprintf(tw, "witness\t%v\t\n", st.WitnessTime)
 	fmt.Fprintf(tw, "constraint\t%v\t\n", st.ConstraintTime)
 	fmt.Fprintf(tw, "encode\t%v\t\n", st.EncodeTime)

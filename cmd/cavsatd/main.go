@@ -30,8 +30,15 @@
 // it per request, never raise it).
 //
 // The result cache holds -cache-entries finished answers keyed by
-// (query fingerprint, constraint fingerprint, instance version);
-// identical concurrent queries coalesce into one solve.
+// (query fingerprint, constraint fingerprint, instance version, planner
+// mode); identical concurrent queries coalesce into one solve.
+//
+// The -planner flag (default auto) routes rewritable queries through
+// the SAT-free ConQuer-style executor and everything else through the
+// solver; answers are identical on every route. Each response carries
+// its route, and /metrics exposes cavsatd_route_total{route=...}
+// counters that sum to the queries served (cached answers count under
+// the route that originally computed them).
 //
 // The -dbgen tenant is the aggbench replay instance: -sf,
 // -inconsistency and -seed default to the bench settings, so
@@ -91,6 +98,7 @@ func main() {
 	journalPath := flag.String("journal", "", "append one wide-event JSON line per solve to this file")
 	flightDir := flag.String("flight-dir", "", "write flight-recorder bundles for anomalous queries into this directory")
 	slowQuery := flag.Duration("slow-query", 0, "queries slower than this dump a flight bundle even on success (0 = only errors/timeouts)")
+	plannerMode := flag.String("planner", "auto", "query planner mode for every attached instance: auto (rewrite when possible, solver otherwise), force-sat, force-rewrite")
 	solver := flag.String("solver", "maxhs", "MaxSAT algorithm: maxhs, rc2, lsu, external")
 	external := flag.String("external-solver", "", "path to a MaxHS-compatible binary (solver=external)")
 	parallel := flag.Int("parallel", 0, "solver worker-pool size per query (0 = GOMAXPROCS, 1 = sequential)")
@@ -109,11 +117,14 @@ func main() {
 		fatalIf(fmt.Errorf("nothing to serve: pass -dbgen and/or -data name=dir"))
 	}
 
+	pm, err := aggcavsat.ParsePlannerMode(*plannerMode)
+	fatalIf(err)
 	opts := aggcavsat.Options{
 		ExternalSolverPath: *external,
 		Parallelism:        *parallel,
 		SlowQuery:          *slowQuery,
 		DisableIncremental: !*incremental,
+		Planner:            pm,
 	}
 	switch *solver {
 	case "maxhs":
@@ -137,6 +148,7 @@ func main() {
 		QueueWait:      *queueWait,
 		RequestTimeout: *requestTimeout,
 		CacheEntries:   *cacheEntries,
+		Planner:        pm,
 		Metrics:        obsv.NewRegistry(),
 		Tracer:         obsv.NewTracer(),
 	}

@@ -33,6 +33,7 @@ import (
 	"aggcavsat/internal/medigap"
 	"aggcavsat/internal/obsv"
 	"aggcavsat/internal/pdbench"
+	"aggcavsat/internal/planner"
 	"aggcavsat/internal/sqlparse"
 	"aggcavsat/internal/tpch"
 )
@@ -75,6 +76,11 @@ type Config struct {
 	// violations); the pr4 experiment ignores it and always measures
 	// both front ends.
 	DisableFrontendOpt bool
+	// Planner is the routing policy for every engine the suite builds.
+	// The default (force-sat, the zero value) keeps the paper tables
+	// measuring the WPMaxSAT pipeline; the pr8 experiment measures auto
+	// vs force-sat regardless of this setting.
+	Planner planner.Mode
 }
 
 // DefaultConfig returns the calibration used by EXPERIMENTS.md. The
@@ -287,6 +293,7 @@ func (r *Runner) engine(in *db.Instance) (*core.Engine, error) {
 		Journal:            r.cfg.Journal,
 		DisableIncremental: r.cfg.DisableIncremental,
 		DisableFrontendOpt: r.cfg.DisableFrontendOpt,
+		Planner:            r.cfg.Planner,
 	})
 }
 
@@ -774,6 +781,7 @@ func (r *Runner) All(w io.Writer) error {
 		{"ablation", r.Ablation},
 		{"pr3", r.IncrementalCompare},
 		{"pr4", r.FrontendCompare},
+		{"pr8", r.PlannerCompare},
 	}
 	for _, e := range experiments {
 		r.setExperiment(e.name)
@@ -834,6 +842,8 @@ func (r *Runner) experimentByName(name string) (*Table, error) {
 		return r.IncrementalCompare()
 	case "pr4", "frontend":
 		return r.FrontendCompare()
+	case "pr8", "planner":
+		return r.PlannerCompare()
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q", name)
 	}
@@ -844,6 +854,6 @@ func Names() []string {
 	return []string{
 		"fig1", "fig2", "table2", "fig3", "table3ab", "fig4", "table3cd",
 		"fig5", "fig6", "fig7", "fig8", "table4", "fig9", "ablation", "pr3",
-		"pr4",
+		"pr4", "pr8",
 	}
 }

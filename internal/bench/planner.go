@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"aggcavsat/internal/core"
+	"aggcavsat/internal/planner"
+	"aggcavsat/internal/tpch"
+)
+
+// PlannerCompare (experiment "pr8") measures the hybrid planner against
+// an all-SAT baseline on the DBGen suite, in one process and one run:
+// the same instance and queries go through an engine in planner-auto
+// mode (rewritable queries take the ConQuer-style SAT-free executor,
+// the rest fall back to the solver) and an engine in force-sat mode
+// (the pre-planner behavior). Answers are digest-verified identical per
+// query — a drift is an error, not a row — and the headline number is
+// the end-to-end time reduction on the rewriting-eligible subset.
+//
+// Every query runs reps times per mode on one engine per mode (the
+// deployment shape: an engine serves many queries over one instance, so
+// the planner's plan cache and the memoized indexes amortize) and the
+// best repetition is reported.
+func (r *Runner) PlannerCompare() (*Table, error) {
+	r.setExperiment("PR8") // records land in BENCH_PR8.json
+	const reps = 3
+	in, err := r.dbgen(r.cfg.SFSmall, 10)
+	if err != nil {
+		return nil, err
+	}
+	queries := append(append([]tpch.Query{}, tpch.ScalarQueries()...), tpch.GroupedQueries()...)
+
+	t := &Table{
+		Title: fmt.Sprintf("PR8 — planner auto vs force-sat, DBGen 10%%, sf=%g (best of %d)",
+			r.cfg.SFSmall, reps),
+		Header: []string{"query", "route", "sat_ms", "auto_ms", "reduction", "answers"},
+	}
+	type meas struct {
+		total   time.Duration
+		answers int
+		route   string
+		digest  uint64
+	}
+	run := func(mode planner.Mode) (map[string]meas, error) {
+		eng, err := core.New(in, core.Options{
+			Mode:        core.KeysMode,
+			MaxSAT:      r.cfg.Solver,
+			Parallelism: r.cfg.Parallelism,
+			Timeout:     r.cfg.Timeout,
+			Planner:     mode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		best := map[string]meas{}
+		for rep := 0; rep < reps; rep++ {
+			for _, q := range queries {
+				tr, err := q.Translate()
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				rep2, err := eng.RangeAnswersContext(r.ctx(), tr.Aggs[0].Query)
+				if err != nil {
+					return nil, err
+				}
+				m := meas{
+					total:   time.Since(start),
+					answers: len(rep2.Answers),
+					route:   rep2.Route,
+					digest:  answerFingerprint(rep2.Answers),
+				}
+				if prev, ok := best[q.Name]; !ok || m.total < prev.total {
+					best[q.Name] = m
+				}
+			}
+		}
+		return best, nil
+	}
+
+	sat, err := run(planner.ModeSAT)
+	if err != nil {
+		return nil, err
+	}
+	auto, err := run(planner.ModeAuto)
+	if err != nil {
+		return nil, err
+	}
+
+	var eligibleSAT, eligibleAuto time.Duration
+	eligible := 0
+	for _, q := range queries {
+		s, a := sat[q.Name], auto[q.Name]
+		if s.digest != a.digest {
+			return nil, fmt.Errorf("bench: pr8: %s: answers diverge between force-sat and auto (digest %016x vs %016x)",
+				q.Name, s.digest, a.digest)
+		}
+		r.curSetting = "mode=force-sat"
+		r.recordStats(q.Name, core.Stats{}, s.total, s.answers)
+		r.curSetting = "mode=auto"
+		r.recordStats(q.Name, core.Stats{}, a.total, a.answers)
+		if a.route == "rewrite" {
+			eligible++
+			eligibleSAT += s.total
+			eligibleAuto += a.total
+		}
+		reduction := "n/a"
+		if s.total > 0 {
+			reduction = fmt.Sprintf("%.1f%%", 100*(1-float64(a.total)/float64(s.total)))
+		}
+		t.Rows = append(t.Rows, []string{
+			q.Name, a.route, ms(s.total), ms(a.total), reduction,
+			fmt.Sprintf("%d", a.answers),
+		})
+	}
+	summary := "n/a"
+	if eligibleSAT > 0 {
+		summary = fmt.Sprintf("%.1f%%", 100*(1-float64(eligibleAuto)/float64(eligibleSAT)))
+	}
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("eligible subset (%d)", eligible), "rewrite",
+		ms(eligibleSAT), ms(eligibleAuto), summary, "",
+	})
+	return t, nil
+}
+
+// answerFingerprint hashes a route's answers (keys, endpoints, and the
+// EmptyPossible marker, in order) so the two modes can be compared for
+// drift without retaining the answer sets.
+func answerFingerprint(answers []core.GroupAnswer) uint64 {
+	h := fnv.New64a()
+	for _, a := range answers {
+		for _, v := range a.Key {
+			fmt.Fprintf(h, "%v|", v)
+		}
+		fmt.Fprintf(h, "=%v..%v;%v\n", a.GLB, a.LUB, a.EmptyPossible)
+	}
+	return h.Sum64()
+}

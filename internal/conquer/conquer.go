@@ -1,4 +1,4 @@
-// Package conquer implements a ConQuer-style baseline: range consistent
+// Package conquer implements a ConQuer-style rewriting: range consistent
 // answers of C_aggforest aggregation queries computed by pure relational
 // evaluation, with no SAT solving.
 //
@@ -23,9 +23,18 @@
 // Queries outside the class are rejected with ErrNotInClass — exactly
 // how the paper treats Q5 ("not in C_aggforest and thus ConQuer cannot
 // compute its range consistent answers").
+//
+// The package splits classification from execution so internal/planner
+// can use it as the engine's fast path: Analyze compiles a query against
+// a schema into an instance-independent Plan (cacheable per query
+// shape), and Plan.Execute runs it over an instance with memoized
+// Indexes, a bounded worker pool over grouping keys, and cooperative
+// context cancellation. Baseline wraps both for the sequential
+// single-shot use the tests and benchmarks rely on.
 package conquer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -52,10 +61,13 @@ type GroupRange struct {
 // Baseline evaluates C_aggforest queries over one instance.
 type Baseline struct {
 	in *db.Instance
+	ix *Indexes
 }
 
-// New creates a baseline evaluator.
-func New(in *db.Instance) *Baseline { return &Baseline{in: in} }
+// New creates a baseline evaluator. The per-relation lookup indexes are
+// memoized on the Baseline, so repeated RangeAnswers calls over the same
+// instance skip re-indexing.
+func New(in *db.Instance) *Baseline { return &Baseline{in: in, ix: NewIndexes(in)} }
 
 // RangeAnswers computes the range consistent answers of q, or
 // ErrNotInClass when the query falls outside the supported class.
@@ -64,11 +76,11 @@ func (b *Baseline) RangeAnswers(q cq.AggQuery) ([]GroupRange, error) {
 	if err := q.Validate(b.in.Schema()); err != nil {
 		return nil, err
 	}
-	plan, err := b.analyze(q)
+	plan, err := Analyze(b.in.Schema(), q)
 	if err != nil {
 		return nil, err
 	}
-	return plan.solve()
+	return plan.Execute(context.Background(), b.in, b.ix, 1)
 }
 
 // varOcc is one occurrence of a variable: which atom and position.
@@ -91,6 +103,18 @@ type atomInfo struct {
 	// groupPositions lists (head index, attr position) for grouping
 	// variables owned by this atom.
 	groupPositions []groupPos
+	// local is the compiled form of the atom's constants, duplicate
+	// variables, and conditions.
+	local localCheck
+	// keyFromParent maps, for non-root atoms, each key index to the
+	// parent tuple position providing its value (-1 when the key
+	// position is bound by a constant, stored in keyConsts).
+	keyFromParent []int
+	keyConsts     db.Tuple
+	keyIdentity   []int
+	// subtreeGroupIdx lists, sorted, the head indices of grouping
+	// variables owned by this atom's subtree.
+	subtreeGroupIdx []int
 }
 
 type joinEdge struct {
@@ -103,8 +127,32 @@ type groupPos struct {
 	pos       int
 }
 
-type plan struct {
-	in      *db.Instance
+// localCheck is the compiled, allocation-free form of an atom's local
+// filters — constant bindings, repeated-variable equalities, and
+// comparison conditions — all resolved to tuple positions at Analyze
+// time so Execute never rebuilds a variable binding map per fact.
+type localCheck struct {
+	constPos []int
+	constVal []db.Value
+	dupPairs [][2]int
+	conds    []condCheck
+}
+
+// condCheck is one compiled comparison: each side is either a constant
+// (pos < 0) or a tuple position of the owning atom.
+type condCheck struct {
+	op       cq.CmpOp
+	leftPos  int
+	leftVal  db.Value
+	rightPos int
+	rightVal db.Value
+}
+
+// Plan is a compiled rewriting for one C_aggforest query. It is built
+// from the schema alone — no instance data — so callers may cache one
+// Plan per query shape and Execute it against successive versions of an
+// instance.
+type Plan struct {
 	q       cq.AggQuery
 	atoms   []atomInfo
 	root    int
@@ -112,8 +160,14 @@ type plan struct {
 	grouped bool
 }
 
-// analyze checks class membership and builds the join tree.
-func (b *Baseline) analyze(q cq.AggQuery) (*plan, error) {
+// Grouped reports whether the plan's query has grouping attributes.
+func (p *Plan) Grouped() bool { return p.grouped }
+
+// Analyze checks class membership against the schema and compiles the
+// join tree. The query must already have its head built (cq.AggQuery
+// BuildHead) and validate against the schema; Baseline and the planner
+// both guarantee that before calling.
+func Analyze(schema *db.Schema, q cq.AggQuery) (*Plan, error) {
 	if len(q.Underlying.Disjuncts) != 1 {
 		return nil, fmt.Errorf("%w: unions of conjunctive queries are not rewritable here", ErrNotInClass)
 	}
@@ -130,7 +184,7 @@ func (b *Baseline) analyze(q cq.AggQuery) (*plan, error) {
 	// Variable occurrences.
 	occs := map[string][]varOcc{}
 	for ai, a := range d.Atoms {
-		rs := b.in.Schema().Relation(a.Rel)
+		rs := schema.Relation(a.Rel)
 		if !rs.HasKey() {
 			return nil, fmt.Errorf("%w: relation %s has no key constraint", ErrNotInClass, rs.Name)
 		}
@@ -190,7 +244,7 @@ func (b *Baseline) analyze(q cq.AggQuery) (*plan, error) {
 
 	var firstErr error
 	for _, root := range rootCandidates {
-		p, err := b.buildTree(q, d, root, occs, condsOf, nGroup, aggVar)
+		p, err := buildTree(schema, q, d, root, occs, condsOf, nGroup, aggVar)
 		if err == nil {
 			return p, nil
 		}
@@ -204,16 +258,16 @@ func (b *Baseline) analyze(q cq.AggQuery) (*plan, error) {
 	return nil, firstErr
 }
 
-func (b *Baseline) buildTree(q cq.AggQuery, d cq.CQ, root int,
+func buildTree(schema *db.Schema, q cq.AggQuery, d cq.CQ, root int,
 	occs map[string][]varOcc, condsOf [][]cq.Condition,
-	nGroup int, aggVar string) (*plan, error) {
+	nGroup int, aggVar string) (*Plan, error) {
 
 	n := len(d.Atoms)
 	atoms := make([]atomInfo, n)
 	for ai, a := range d.Atoms {
 		atoms[ai] = atomInfo{
 			atom:   a,
-			rel:    b.in.Schema().Relation(a.Rel),
+			rel:    schema.Relation(a.Rel),
 			parent: -1,
 			conds:  condsOf[ai],
 		}
@@ -328,6 +382,60 @@ func (b *Baseline) buildTree(q cq.AggQuery, d cq.CQ, root int,
 		atoms[ai].parentJoin = edges
 	}
 
+	// Compile the per-atom local filters and child-key layouts once so
+	// Execute's inner loops work purely on tuple positions.
+	for ai := range atoms {
+		a := atoms[ai].atom
+		firstPos := map[string]int{}
+		var lc localCheck
+		for pos, t := range a.Args {
+			if t.IsConst {
+				lc.constPos = append(lc.constPos, pos)
+				lc.constVal = append(lc.constVal, t.Const)
+				continue
+			}
+			if fp, ok := firstPos[t.Var]; ok {
+				lc.dupPairs = append(lc.dupPairs, [2]int{fp, pos})
+			} else {
+				firstPos[t.Var] = pos
+			}
+		}
+		for _, c := range atoms[ai].conds {
+			cc := condCheck{op: c.Op, leftPos: -1, rightPos: -1}
+			if c.Left.IsConst {
+				cc.leftVal = c.Left.Const
+			} else {
+				cc.leftPos = firstPos[c.Left.Var]
+			}
+			if c.Right.IsConst {
+				cc.rightVal = c.Right.Const
+			} else {
+				cc.rightPos = firstPos[c.Right.Var]
+			}
+			lc.conds = append(lc.conds, cc)
+		}
+		atoms[ai].local = lc
+
+		rel := atoms[ai].rel
+		atoms[ai].keyFromParent = make([]int, len(rel.Key))
+		atoms[ai].keyConsts = make(db.Tuple, len(rel.Key))
+		atoms[ai].keyIdentity = make([]int, len(rel.Key))
+		for i, kp := range rel.Key {
+			atoms[ai].keyIdentity[i] = i
+			atoms[ai].keyFromParent[i] = -1
+			if a.Args[kp].IsConst {
+				atoms[ai].keyConsts[i] = a.Args[kp].Const
+				continue
+			}
+			for _, edge := range atoms[ai].parentJoin {
+				if edge.childKeyPos == kp {
+					atoms[ai].keyFromParent[i] = edge.parentPos
+					break
+				}
+			}
+		}
+	}
+
 	// Grouping variables: each is owned by one atom. Join variables
 	// occur in several atoms; prefer an occurrence on the root so the
 	// per-group evaluation can reuse the group-independent child states.
@@ -348,6 +456,23 @@ func (b *Baseline) buildTree(q cq.AggQuery, d cq.CQ, root int,
 			groupPos{headIndex: hi, pos: owner.pos})
 	}
 
+	// subtreeGroupIdx: the head indices owned by each atom's subtree,
+	// used by Execute to enumerate reachable group projections.
+	var fillSubtree func(ai int) []int
+	fillSubtree = func(ai int) []int {
+		var idx []int
+		for _, gp := range atoms[ai].groupPositions {
+			idx = append(idx, gp.headIndex)
+		}
+		for _, ci := range atoms[ai].children {
+			idx = append(idx, fillSubtree(ci)...)
+		}
+		sort.Ints(idx)
+		atoms[ai].subtreeGroupIdx = idx
+		return idx
+	}
+	fillSubtree(root)
+
 	aggPos := -1
 	if aggVar != "" {
 		for _, o := range occs[aggVar] {
@@ -361,8 +486,7 @@ func (b *Baseline) buildTree(q cq.AggQuery, d cq.CQ, root int,
 		}
 	}
 
-	return &plan{
-		in:      b.in,
+	return &Plan{
 		q:       q,
 		atoms:   atoms,
 		root:    root,
@@ -390,204 +514,161 @@ func isKeyPos(rs *db.RelationSchema, pos int) bool {
 }
 
 // factState caches per-fact pass/cert/poss flags for one group filter.
+// States live in a dense slice indexed by FactID (each fact is evaluated
+// under exactly one atom — the query is self-join-free); done marks the
+// memo entry as computed.
 type factState struct {
+	done bool
 	pass bool
 	cert bool
 	poss bool
 }
 
-// solve runs the interval DP.
-func (p *plan) solve() ([]GroupRange, error) {
-	// Precompute per-atom structures: local pass, key-group maps, and
-	// join indexes keyed by the child's key projection.
-	type atomData struct {
-		facts  []db.FactID
-		byKey  map[string][]db.FactID // child lookup by key projection
-		keyPos []int
+// failedState is the read-only state returned for root facts excluded
+// by a group filter on the shared-memo path.
+var failedState = &factState{done: true}
+
+// atomData is the per-atom slice of the instance the executor scans:
+// the relation's facts and the key-projection lookup map, both served
+// from the (memoized) Indexes.
+type atomData struct {
+	facts  []db.FactID
+	byKey  map[string][]db.FactID // child lookup by key projection
+	groups [][]db.FactID          // key-equal groups, enumeration order
+	keyPos []int
+}
+
+// executor binds a Plan to one instance for a single Execute call.
+type executor struct {
+	*Plan
+	in   *db.Instance
+	data []atomData
+}
+
+// Execute runs the interval DP over the instance. ix supplies the
+// memoized per-relation lookup maps (pass nil to index from scratch);
+// parallelism bounds the worker pool fanned out over grouping keys (≤ 1
+// runs sequentially). Cancelling ctx aborts the evaluation cooperatively
+// and returns the context's error.
+func (p *Plan) Execute(ctx context.Context, in *db.Instance, ix *Indexes, parallelism int) ([]GroupRange, error) {
+	if ix == nil || ix.in != in {
+		ix = NewIndexes(in)
 	}
-	data := make([]atomData, len(p.atoms))
+	tables := ix.tables()
+	x := &executor{Plan: p, in: in, data: make([]atomData, len(p.atoms))}
 	for ai := range p.atoms {
 		rel := p.atoms[ai].rel
-		facts := p.in.RelFacts(rel.Name)
-		ad := atomData{facts: facts, keyPos: rel.Key}
-		ad.byKey = make(map[string][]db.FactID)
-		for _, f := range facts {
-			k := p.in.Fact(f).Tuple.Key(rel.Key)
-			ad.byKey[k] = append(ad.byKey[k], f)
+		ad := atomData{keyPos: rel.Key}
+		if ri := tables[strings.ToLower(rel.Name)]; ri != nil {
+			ad.facts = ri.facts
+			ad.byKey = ri.byKey
+			ad.groups = ri.groups
 		}
-		data[ai] = ad
+		x.data[ai] = ad
 	}
+	return x.run(ctx, parallelism)
+}
 
-	// localPass evaluates atom-level constants and conditions on a fact.
-	localPass := func(ai int, f db.FactID) bool {
-		t := p.in.Fact(f).Tuple
-		atom := p.atoms[ai].atom
-		binding := map[string]db.Value{}
-		for pos, term := range atom.Args {
-			if term.IsConst {
-				if !term.Const.Equal(t[pos]) {
-					return false
-				}
-				continue
-			}
-			if prev, ok := binding[term.Var]; ok {
-				if !prev.Equal(t[pos]) {
-					return false
-				}
-				continue
-			}
-			binding[term.Var] = t[pos]
-		}
-		for _, c := range p.atoms[ai].conds {
-			val := func(term cq.Term) db.Value {
-				if term.IsConst {
-					return term.Const
-				}
-				return binding[term.Var]
-			}
-			if !c.Op.Apply(val(c.Left), val(c.Right)) {
-				return false
-			}
-		}
-		return true
-	}
-
-	// Enumerate candidate groups: distinct group keys over rows of the
-	// full (inconsistent) instance.
-	e := cq.NewEvaluator(p.in)
-	q := p.q
-	var groupKeys []db.Tuple
-	if p.grouped {
-		rows := e.EvalUCQ(q.Underlying)
-		positions := make([]int, len(q.GroupBy))
-		for i := range positions {
-			positions[i] = i
-		}
-		seen := map[string]bool{}
-		for _, r := range rows {
-			k := r.Head[:len(q.GroupBy)].Key(positions)
-			if !seen[k] {
-				seen[k] = true
-				groupKeys = append(groupKeys, r.Head[:len(q.GroupBy)].Clone())
-			}
-		}
-		sort.Slice(groupKeys, func(i, j int) bool { return groupKeys[i].Compare(groupKeys[j]) < 0 })
-	} else {
-		groupKeys = []db.Tuple{{}}
-	}
-
+func (x *executor) run(ctx context.Context, parallelism int) ([]GroupRange, error) {
 	// When every grouping attribute lives on the root atom, the child
 	// states are group-independent: compute them once and filter only
 	// the root facts per group (this is what keeps the rewriting's cost
 	// one scan, not one scan per group, on high-cardinality groupings
 	// like Q3's ORDER keys).
 	rootOnlyGrouping := true
-	for ai := range p.atoms {
-		if ai != p.root && len(p.atoms[ai].groupPositions) > 0 {
+	for ai := range x.atoms {
+		if ai != x.root && len(x.atoms[ai].groupPositions) > 0 {
 			rootOnlyGrouping = false
 			break
 		}
 	}
 
-	// makeEval builds a memoized bottom-up state evaluator. A nil group
-	// key disables group filtering (used for the shared child states).
-	makeEval := func(g db.Tuple, skipRootFilter bool) func(ai int, f db.FactID) *factState {
-		states := make([]map[db.FactID]*factState, len(p.atoms))
-		for ai := range states {
-			states[ai] = make(map[db.FactID]*factState, len(data[ai].facts))
-		}
-		var evalFact func(ai int, f db.FactID) *factState
-		evalFact = func(ai int, f db.FactID) *factState {
-			if st, ok := states[ai][f]; ok {
-				return st
-			}
-			st := &factState{}
-			states[ai][f] = st
-			st.pass = localPass(ai, f)
-			if st.pass && g != nil && !(skipRootFilter && ai == p.root) {
-				// Group filter: owned grouping positions must match g.
-				for _, gp := range p.atoms[ai].groupPositions {
-					if !p.in.Fact(f).Tuple[gp.pos].Equal(g[gp.headIndex]) {
-						st.pass = false
-						break
-					}
-				}
-			}
-			if !st.pass {
-				return st
-			}
-			st.cert, st.poss = true, true
-			for _, ci := range p.atoms[ai].children {
-				// The referenced child key-equal group.
-				key := p.childKey(ci, f)
-				members := data[ci].byKey[key]
-				if len(members) == 0 {
-					st.cert, st.poss = false, false
-					return st
-				}
-				anyPoss, allCert := false, true
-				for _, m := range members {
-					ms := evalFact(ci, m)
-					if ms.poss {
-						anyPoss = true
-					}
-					if !ms.cert {
-						allCert = false
-					}
-				}
-				st.cert = st.cert && allCert
-				st.poss = st.poss && anyPoss
-			}
-			return st
-		}
-		return evalFact
+	// Root key-equal groups, straight from the memoized partition.
+	rootData := x.data[x.root]
+	allRootGroups := make([]rootGroup, len(rootData.groups))
+	for i, members := range rootData.groups {
+		allRootGroups[i] = rootGroup{members: members}
 	}
 
-	// Root key-equal groups, shared across grouping keys.
-	rootData := data[p.root]
-	var allRootGroups []rootGroup
-	seenKey := map[string]bool{}
-	for _, f := range rootData.facts {
-		k := p.in.Fact(f).Tuple.Key(rootData.keyPos)
-		if seenKey[k] {
-			continue
+	// Shared, group-independent states, pre-populated sequentially so
+	// the parallel per-group closures below only ever read the memo.
+	// activeGroups keeps only the root key-equal groups able to start a
+	// witness at all — the rest contribute [0,0] to COUNT/SUM bounds,
+	// stay escapable for MIN/MAX, and can never certify an answer, so
+	// every aggregation below skips them.
+	sharedEval := x.makeEval(nil)
+	activeGroups := allRootGroups[:0:0]
+	for ri, rg := range allRootGroups {
+		if ri&255 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
 		}
-		seenKey[k] = true
-		allRootGroups = append(allRootGroups, rootGroup{members: rootData.byKey[k]})
-	}
-
-	var sharedEval func(ai int, f db.FactID) *factState
-	if rootOnlyGrouping {
-		sharedEval = makeEval(nil, false)
-	}
-
-	var out []GroupRange
-	for _, g := range groupKeys {
-		var evalFact func(ai int, f db.FactID) *factState
-		if rootOnlyGrouping {
-			// Shared child states; per-group filter applied to root
-			// facts on top of the shared pass/cert/poss.
-			g := g
-			evalFact = func(ai int, f db.FactID) *factState {
-				st := sharedEval(ai, f)
-				if ai != p.root || !st.pass || len(g) == 0 {
-					return st
-				}
-				for _, gp := range p.atoms[p.root].groupPositions {
-					if !p.in.Fact(f).Tuple[gp.pos].Equal(g[gp.headIndex]) {
-						return &factState{}
-					}
-				}
-				return st
+		anyPoss := false
+		for _, f := range rg.members {
+			if sharedEval(x.root, f).poss {
+				anyPoss = true
 			}
-		} else {
-			evalFact = makeEval(g, false)
 		}
+		if anyPoss {
+			activeGroups = append(activeGroups, rg)
+		}
+	}
 
-		res, err := p.aggregate(g, allRootGroups, evalFact)
+	// Candidate group keys and, for grouped queries, the root key-equal
+	// groups able to contribute to each.
+	groupKeys := []db.Tuple{{}}
+	var perGroup [][]rootGroup
+	if x.grouped {
+		var err error
+		groupKeys, perGroup, err = x.bucketByGroupKey(ctx, activeGroups, sharedEval)
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	results := make([]*GroupRange, len(groupKeys))
+	err := forEach(ctx, parallelism, len(groupKeys), func(ctx context.Context, gi int) error {
+		g := groupKeys[gi]
+		rgs := activeGroups
+		if x.grouped {
+			rgs = perGroup[gi]
+		}
+		var evalFact func(ai int, f db.FactID) *factState
+		switch {
+		case !x.grouped:
+			evalFact = sharedEval
+		case rootOnlyGrouping:
+			// Shared child states; per-group filter applied to root
+			// facts on top of the shared pass/cert/poss.
+			evalFact = func(ai int, f db.FactID) *factState {
+				st := sharedEval(ai, f)
+				if ai != x.root || !st.pass {
+					return st
+				}
+				for _, gp := range x.atoms[x.root].groupPositions {
+					if !x.in.Fact(f).Tuple[gp.pos].Equal(g[gp.headIndex]) {
+						return failedState
+					}
+				}
+				return st
+			}
+		default:
+			// Grouping attributes on child atoms: the child states are
+			// group-dependent, so evaluate afresh — but only over this
+			// key's bucket of root groups.
+			evalFact = x.makeEval(g)
+		}
+		res, err := x.aggregate(g, rgs, evalFact)
+		if err != nil {
+			return err
+		}
+		results[gi] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []GroupRange
+	for _, res := range results {
 		if res != nil {
 			out = append(out, *res)
 		}
@@ -596,50 +677,263 @@ func (p *plan) solve() ([]GroupRange, error) {
 	return out, nil
 }
 
-// childKey builds the lookup key of the child group referenced by the
-// parent fact: join positions take the parent's values, constant key
-// positions take the constant.
-func (p *plan) childKey(ci int, parentFact db.FactID) string {
-	rel := p.atoms[ci].rel
-	pt := p.in.Fact(parentFact).Tuple
-	vals := make(db.Tuple, len(rel.Key))
-	positions := make([]int, len(rel.Key))
-	for i, kp := range rel.Key {
-		positions[i] = i
-		if p.atoms[ci].atom.Args[kp].IsConst {
-			vals[i] = p.atoms[ci].atom.Args[kp].Const
-			continue
+// bucketByGroupKey enumerates the candidate group keys and, per key,
+// the root key-equal groups able to contribute a row to it. A root
+// fact's witness fixes one member per referenced child key-equal group
+// (full-key joins are functional), so its reachable group keys are the
+// merges of its own grouping positions with one reachable projection
+// per grouped child subtree. Enumerating those per root fact, memoized
+// bottom-up, replaces the former full-join evaluation of the underlying
+// query — the candidate keys fall out of the same scan that buckets the
+// root groups. Key-equal groups absent from a key's bucket cannot
+// affect it: no member matches the key's group filter, so they add
+// [0,0] to COUNT/SUM bounds, stay escapable for MIN/MAX, and can never
+// certify the key as a consistent answer.
+func (x *executor) bucketByGroupKey(ctx context.Context, rgs []rootGroup,
+	sharedEval func(int, db.FactID) *factState) ([]db.Tuple, [][]rootGroup, error) {
+
+	nG := len(x.q.GroupBy)
+	identity := make([]int, nG)
+	for i := range identity {
+		identity[i] = i
+	}
+	scratch := make(db.Tuple, x.maxKeyLen())
+
+	// reach(ai, f): the distinct group projections attainable by a
+	// witness whose subtree at atom ai goes through fact f; nil when no
+	// such witness exists. Projections are full-width tuples with only
+	// the subtree-owned head positions filled.
+	reachMemo := make([][]db.Tuple, x.in.NumFacts())
+	reachDone := make([]bool, x.in.NumFacts())
+	var reach func(ai int, f db.FactID) []db.Tuple
+	reach = func(ai int, f db.FactID) []db.Tuple {
+		if reachDone[f] {
+			return reachMemo[f]
 		}
-		for _, edge := range p.atoms[ci].parentJoin {
-			if edge.childKeyPos == kp {
-				vals[i] = pt[edge.parentPos]
-				break
+		reachDone[f] = true
+		if !sharedEval(ai, f).poss {
+			return nil
+		}
+		t := x.in.Fact(f).Tuple
+		base := make(db.Tuple, nG)
+		for _, gp := range x.atoms[ai].groupPositions {
+			base[gp.headIndex] = t[gp.pos]
+		}
+		acc := []db.Tuple{base}
+		for _, ci := range x.atoms[ai].children {
+			sub := x.atoms[ci].subtreeGroupIdx
+			if len(sub) == 0 {
+				// No grouping below this child: poss already guarantees
+				// the subtree completes, and it binds no head position.
+				continue
+			}
+			members := x.data[ci].byKey[x.childKey(ci, f, scratch)]
+			var childProjs []db.Tuple
+			seen := map[string]bool{}
+			for _, m := range members {
+				for _, p := range reach(ci, m) {
+					k := p.Key(sub)
+					if !seen[k] {
+						seen[k] = true
+						childProjs = append(childProjs, p)
+					}
+				}
+			}
+			merged := make([]db.Tuple, 0, len(acc)*len(childProjs))
+			for _, a := range acc {
+				for _, c := range childProjs {
+					mt := a.Clone()
+					for _, hi := range sub {
+						mt[hi] = c[hi]
+					}
+					merged = append(merged, mt)
+				}
+			}
+			acc = merged
+		}
+		reachMemo[f] = acc
+		return acc
+	}
+
+	type bucket struct {
+		key  db.Tuple
+		gids []int // indices into rgs
+	}
+	buckets := map[string]*bucket{}
+	for ri := range rgs {
+		if ri&255 == 0 && ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
+		for _, f := range rgs[ri].members {
+			for _, g := range reach(x.root, f) {
+				k := g.Key(identity)
+				b := buckets[k]
+				if b == nil {
+					b = &bucket{key: g}
+					buckets[k] = b
+				}
+				// Facts of one key-equal group are scanned
+				// consecutively, so a trailing-id check dedupes.
+				if n := len(b.gids); n == 0 || b.gids[n-1] != ri {
+					b.gids = append(b.gids, ri)
+				}
 			}
 		}
 	}
-	// Reuse Tuple.Key on a synthetic tuple ordered like rel.Key — the
-	// same encoding byKey uses (Key(rel.Key) projects in key order).
-	return vals.Key(positions)
+
+	keys := make([]db.Tuple, 0, len(buckets))
+	for _, b := range buckets {
+		keys = append(keys, b.key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+	perGroup := make([][]rootGroup, len(keys))
+	for gi, g := range keys {
+		b := buckets[g.Key(identity)]
+		groups := make([]rootGroup, len(b.gids))
+		for i, ri := range b.gids {
+			groups[i] = rgs[ri]
+		}
+		perGroup[gi] = groups
+	}
+	return keys, perGroup, nil
+}
+
+// maxKeyLen is the widest key among the plan's relations — the scratch
+// size childKey needs.
+func (x *executor) maxKeyLen() int {
+	n := 0
+	for ai := range x.atoms {
+		if k := len(x.atoms[ai].rel.Key); k > n {
+			n = k
+		}
+	}
+	return n
+}
+
+// localPass evaluates atom-level constants and conditions on a fact.
+// All checks are position-compiled (localCheck), so this allocates
+// nothing on the hot path.
+func (x *executor) localPass(ai int, f db.FactID) bool {
+	t := x.in.Fact(f).Tuple
+	lc := &x.atoms[ai].local
+	for i, pos := range lc.constPos {
+		if !lc.constVal[i].Equal(t[pos]) {
+			return false
+		}
+	}
+	for _, d := range lc.dupPairs {
+		if !t[d[0]].Equal(t[d[1]]) {
+			return false
+		}
+	}
+	for _, c := range lc.conds {
+		l, r := c.leftVal, c.rightVal
+		if c.leftPos >= 0 {
+			l = t[c.leftPos]
+		}
+		if c.rightPos >= 0 {
+			r = t[c.rightPos]
+		}
+		if !c.op.Apply(l, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// makeEval builds a memoized bottom-up state evaluator. A nil group
+// key disables group filtering (used for the shared child states).
+// The memo is one dense slice indexed by FactID; the evaluator is for
+// single-goroutine use (the shared memo is pre-populated sequentially
+// before any parallel readers see it).
+func (x *executor) makeEval(g db.Tuple) func(ai int, f db.FactID) *factState {
+	states := make([]factState, x.in.NumFacts())
+	scratch := make(db.Tuple, x.maxKeyLen())
+	var evalFact func(ai int, f db.FactID) *factState
+	evalFact = func(ai int, f db.FactID) *factState {
+		st := &states[f]
+		if st.done {
+			return st
+		}
+		st.done = true
+		st.pass = x.localPass(ai, f)
+		if st.pass && g != nil {
+			// Group filter: owned grouping positions must match g.
+			for _, gp := range x.atoms[ai].groupPositions {
+				if !x.in.Fact(f).Tuple[gp.pos].Equal(g[gp.headIndex]) {
+					st.pass = false
+					break
+				}
+			}
+		}
+		if !st.pass {
+			return st
+		}
+		st.cert, st.poss = true, true
+		for _, ci := range x.atoms[ai].children {
+			// The referenced child key-equal group.
+			key := x.childKey(ci, f, scratch)
+			members := x.data[ci].byKey[key]
+			if len(members) == 0 {
+				st.cert, st.poss = false, false
+				return st
+			}
+			anyPoss, allCert := false, true
+			for _, m := range members {
+				ms := evalFact(ci, m)
+				if ms.poss {
+					anyPoss = true
+				}
+				if !ms.cert {
+					allCert = false
+				}
+			}
+			st.cert = st.cert && allCert
+			st.poss = st.poss && anyPoss
+		}
+		return st
+	}
+	return evalFact
+}
+
+// childKey builds the lookup key of the child group referenced by the
+// parent fact: join positions take the parent's values, constant key
+// positions take the constant. scratch must hold at least len(rel.Key)
+// slots; the layout (keyFromParent/keyConsts) is precompiled by
+// Analyze, and the encoding matches what byKey uses (Key(rel.Key)
+// projects in key order).
+func (x *executor) childKey(ci int, parentFact db.FactID, scratch db.Tuple) string {
+	a := &x.atoms[ci]
+	pt := x.in.Fact(parentFact).Tuple
+	vals := scratch[:len(a.keyFromParent)]
+	for i, pp := range a.keyFromParent {
+		if pp >= 0 {
+			vals[i] = pt[pp]
+		} else {
+			vals[i] = a.keyConsts[i]
+		}
+	}
+	return vals.Key(a.keyIdentity)
 }
 
 // aggregate combines per-root-group optima into the group's interval.
 // Returns nil when the group is not a consistent answer.
-func (p *plan) aggregate(g db.Tuple, rootGroups []rootGroup,
+func (x *executor) aggregate(g db.Tuple, rootGroups []rootGroup,
 	evalFact func(int, db.FactID) *factState) (*GroupRange, error) {
 
-	op := p.q.Op
+	op := x.q.Op
 	value := func(f db.FactID) (int64, bool, error) {
 		switch op {
 		case cq.CountStar:
 			return 1, true, nil
 		case cq.Count:
-			v := p.in.Fact(f).Tuple[p.aggPos]
+			v := x.in.Fact(f).Tuple[x.aggPos]
 			if v.IsNull() {
 				return 0, true, nil
 			}
 			return 1, true, nil
 		case cq.Sum:
-			v := p.in.Fact(f).Tuple[p.aggPos]
+			v := x.in.Fact(f).Tuple[x.aggPos]
 			if v.IsNull() {
 				return 0, true, nil
 			}
@@ -657,23 +951,26 @@ func (p *plan) aggregate(g db.Tuple, rootGroups []rootGroup,
 	}
 
 	// Consistency: some root group contributes a row to g in every
-	// repair.
-	consistent := false
-	for _, rg := range rootGroups {
-		all := true
-		for _, f := range rg.members {
-			if !evalFact(p.root, f).cert {
-				all = false
+	// repair. Only group keys can be non-answers — a scalar query
+	// always yields its one row — so skip the scan entirely otherwise.
+	if x.grouped {
+		consistent := false
+		for _, rg := range rootGroups {
+			all := true
+			for _, f := range rg.members {
+				if !evalFact(x.root, f).cert {
+					all = false
+					break
+				}
+			}
+			if all && len(rg.members) > 0 {
+				consistent = true
 				break
 			}
 		}
-		if all && len(rg.members) > 0 {
-			consistent = true
-			break
+		if !consistent {
+			return nil, nil
 		}
-	}
-	if p.grouped && !consistent {
-		return nil, nil
 	}
 
 	switch op {
@@ -683,7 +980,7 @@ func (p *plan) aggregate(g db.Tuple, rootGroups []rootGroup,
 			minC := int64(math.MaxInt64)
 			maxC := int64(0)
 			for _, f := range rg.members {
-				st := evalFact(p.root, f)
+				st := evalFact(x.root, f)
 				v, ok, err := value(f)
 				if err != nil {
 					return nil, err
@@ -712,23 +1009,23 @@ func (p *plan) aggregate(g db.Tuple, rootGroups []rootGroup,
 		}
 		return &GroupRange{Key: g, GLB: db.Int(glb), LUB: db.Int(lub)}, nil
 	case cq.Min, cq.Max:
-		return p.aggregateMinMax(g, rootGroups, evalFact)
+		return x.aggregateMinMax(g, rootGroups, evalFact)
 	default:
 		return nil, fmt.Errorf("%w: operator %s", ErrNotInClass, op)
 	}
 }
 
-func (p *plan) aggregateMinMax(g db.Tuple, rootGroups []rootGroup,
+func (x *executor) aggregateMinMax(g db.Tuple, rootGroups []rootGroup,
 	evalFact func(int, db.FactID) *factState) (*GroupRange, error) {
 
-	op := p.q.Op
+	op := x.q.Op
 	// emptyPossible: every root group has an escape (an alternative
 	// whose row can be avoided).
 	emptyPossible := true
 	for _, rg := range rootGroups {
 		escapable := false
 		for _, f := range rg.members {
-			if !evalFact(p.root, f).cert {
+			if !evalFact(x.root, f).cert {
 				escapable = true
 				break
 			}
@@ -746,8 +1043,8 @@ func (p *plan) aggregateMinMax(g db.Tuple, rootGroups []rootGroup,
 		var groupWorst db.Value // worst forced value among alternatives
 		allCert := len(rg.members) > 0
 		for _, f := range rg.members {
-			st := evalFact(p.root, f)
-			v := p.in.Fact(f).Tuple[p.aggPos]
+			st := evalFact(x.root, f)
+			v := x.in.Fact(f).Tuple[x.aggPos]
 			if v.IsNull() {
 				allCert = false
 				continue
@@ -799,7 +1096,7 @@ func better(op cq.AggOp, a, b db.Value) bool {
 }
 
 // Describe renders the join tree for diagnostics.
-func (p *plan) Describe() string {
+func (p *Plan) Describe() string {
 	var b strings.Builder
 	for ai, a := range p.atoms {
 		fmt.Fprintf(&b, "%d: %s parent=%d\n", ai, a.rel.Name, a.parent)

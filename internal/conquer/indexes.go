@@ -1,0 +1,82 @@
+package conquer
+
+import (
+	"strings"
+	"sync"
+
+	"aggcavsat/internal/db"
+)
+
+// relIndex is the lookup structure for one relation: its fact list, a
+// map from key projection to the key-equal group members sharing it,
+// and the group member lists themselves in enumeration order (so
+// Execute never re-derives the partition with per-fact key strings).
+type relIndex struct {
+	facts  []db.FactID
+	byKey  map[string][]db.FactID
+	groups [][]db.FactID
+}
+
+// Indexes memoizes the per-relation lookup maps the executor joins
+// through. Instances are append-only, so the memo is keyed by fact
+// count — the same invalidation rule as db.Instance.KeyEqualGroups,
+// which supplies the grouping (one hash-verified partition shared with
+// the SAT engine instead of a fresh string-keyed map per call).
+//
+// All methods are safe for concurrent use; a Planner shares one Indexes
+// across every query served against its instance.
+type Indexes struct {
+	in *db.Instance
+
+	mu     sync.Mutex
+	nFacts int
+	rels   map[string]*relIndex
+}
+
+// NewIndexes creates an empty memo over the instance. Nothing is built
+// until the first Execute needs it.
+func NewIndexes(in *db.Instance) *Indexes { return &Indexes{in: in} }
+
+// tables returns the per-relation lookup maps, rebuilding them only
+// when facts were appended since the last call. Keys are lowercase
+// relation names (matching db.KeyEqualGroup.Rel); callers must treat
+// the result as read-only.
+func (ix *Indexes) tables() map[string]*relIndex {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	n := ix.in.NumFacts()
+	if ix.rels != nil && n == ix.nFacts {
+		return ix.rels
+	}
+	schema := ix.in.Schema()
+	rels := make(map[string]*relIndex)
+	for _, g := range ix.in.KeyEqualGroups() {
+		ri := rels[g.Rel]
+		if ri == nil {
+			ri = &relIndex{facts: ix.in.RelFacts(g.Rel), byKey: map[string][]db.FactID{}}
+			rels[g.Rel] = ri
+		}
+		rs := schema.Relation(g.Rel)
+		if !rs.HasKey() {
+			// Keyless relations never pass Analyze; keep their fact list
+			// for completeness but skip the (meaningless) key map.
+			continue
+		}
+		// One key string per group instead of one per fact: the group's
+		// members agree on the key projection by construction.
+		k := ix.in.Fact(g.Facts[0]).Tuple.Key(rs.Key)
+		ri.byKey[k] = g.Facts
+		ri.groups = append(ri.groups, g.Facts)
+	}
+	// Relations with zero facts have no groups; materialize empty
+	// entries so lookups distinguish "empty relation" from "stale memo".
+	for _, rs := range schema.Relations() {
+		lc := strings.ToLower(rs.Name)
+		if rels[lc] == nil {
+			rels[lc] = &relIndex{byKey: map[string][]db.FactID{}}
+		}
+	}
+	ix.nFacts = n
+	ix.rels = rels
+	return rels
+}

@@ -1,0 +1,66 @@
+package conquer
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// forEach runs fn(i) for every i in [0, n) on at most workers
+// goroutines, mirroring the engine worker pool: items are claimed from
+// a shared atomic counter and fn(i) writes into slot i of a
+// caller-owned slice, keeping the merged output deterministic. The
+// first error cancels the derived context and is returned after all
+// workers drain; a dead parent context wins and is returned as the
+// context's own error (the caller maps it to its typed sentinel).
+func forEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		once     sync.Once
+		firstErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || wctx.Err() != nil {
+					return
+				}
+				if err := fn(wctx, i); err != nil {
+					once.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstErr
+}

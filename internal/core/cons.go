@@ -51,7 +51,7 @@ func (e *Engine) ConsistentAnswersContext(ctx context.Context, u cq.UCQ) ([]db.T
 		if err != nil {
 			answers = nil
 		}
-		e.appendJournal(ctx, "consistent_answers", u.String(), answers, snap, err, start, dur, anomaly, bundle)
+		e.appendJournal(ctx, "consistent_answers", u.String(), answers, snap, err, start, dur, anomaly, bundle, rc)
 	}
 	if sp != nil {
 		sp.SetInt("answers", int64(len(out)))

@@ -26,17 +26,20 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"aggcavsat/internal/cnf"
+	"aggcavsat/internal/conquer"
 	"aggcavsat/internal/constraints"
 	"aggcavsat/internal/cq"
 	"aggcavsat/internal/db"
 	"aggcavsat/internal/maxsat"
 	"aggcavsat/internal/obsv"
+	"aggcavsat/internal/planner"
 )
 
 // ConstraintMode selects how repairs are defined.
@@ -112,6 +115,17 @@ type Options struct {
 	// is non-blocking (obsv.Journal sheds load when the writer lags), so
 	// journaling never perturbs answers or stalls solves.
 	Journal *obsv.Journal
+	// Planner selects how queries are routed between the WPMaxSAT
+	// reduction and the ConQuer-style rewriting fast path
+	// (internal/planner). The zero value (planner.ModeSAT) preserves the
+	// pre-planner behavior: every query solves through SAT.
+	// planner.ModeAuto answers C_aggforest queries by pure relational
+	// evaluation and falls back to the solver on everything else
+	// (including data-dependent rejections discovered mid-rewrite);
+	// planner.ModeRewrite forces the rewriting and fails queries it
+	// cannot answer. Answers are identical across modes — only the
+	// executor changes.
+	Planner planner.Mode
 	// DisableFrontendOpt forces the legacy relational front end: the
 	// recursive interpreted CQ evaluator with string-keyed indexes and
 	// sequential enumeration, uncached string-keyed key-equal grouping,
@@ -126,9 +140,10 @@ type Options struct {
 // constraint context (key-equal groups or minimal violations and
 // near-violations) is computed once and shared across queries.
 type Engine struct {
-	in   *db.Instance
-	eval *cq.Evaluator
-	opts Options
+	in      *db.Instance
+	eval    *cq.Evaluator
+	opts    Options
+	planner *planner.Planner
 
 	// ctx is built at most once, under ctxOnce: parallel workers race to
 	// be the builder, everyone else blocks until the build finishes and
@@ -158,6 +173,7 @@ func New(in *db.Instance, opts Options) (*Engine, error) {
 		}
 	}
 	e := &Engine{in: in, eval: cq.NewEvaluator(in), opts: opts}
+	e.planner = planner.New(in, opts.Planner, opts.Mode == DCMode)
 	if opts.DisableFrontendOpt {
 		e.eval.SetInterpreted(true)
 	} else {
@@ -198,6 +214,7 @@ type Stats struct {
 	ConstraintTime time.Duration // key-equal groups / minimal+near violations
 	EncodeTime     time.Duration // clause construction
 	SolveTime      time.Duration // MaxSAT / SAT solving
+	RewriteTime    time.Duration // ConQuer-style rewriting execution (planner fast path)
 
 	SATCalls            int64 // SAT solver invocations (across MaxSAT runs)
 	MaxSATRuns          int   // number of MaxSAT instances solved
@@ -239,6 +256,12 @@ type Report struct {
 	Stats   Stats
 	Metrics obsv.Snapshot
 	Explain *Explain
+	// Route records which executor answered the call: "rewrite" (the
+	// planner's SAT-free fast path) or "sat" (the WPMaxSAT reduction).
+	// RouteReason explains a SAT route (why the rewriting was not
+	// taken); empty on the rewrite route.
+	Route       string
+	RouteReason string
 }
 
 // RangeAnswers computes the range consistent answers of the aggregation
@@ -280,16 +303,18 @@ func (e *Engine) RangeAnswersContext(ctx context.Context, q cq.AggQuery) (*Repor
 	anomaly := e.classifyAnomaly(err, dur)
 	bundle := fl.finish(anomaly, err, local)
 	if err != nil {
-		e.appendJournal(ctx, op, q.String(), nil, local.Snapshot(), err, start, dur, anomaly, bundle)
+		e.appendJournal(ctx, op, q.String(), nil, local.Snapshot(), err, start, dur, anomaly, bundle, rc)
 		sp.End()
 		return nil, err
 	}
 	rep.Metrics = local.Snapshot()
 	rep.Stats = StatsFromSnapshot(rep.Metrics)
+	rep.Route = rc.route.String()
+	rep.RouteReason = rc.routeReason
 	if e.opts.Explain {
 		rep.Explain = e.buildExplain(q.String(), q.Op.String(), rc, rep.Stats)
 	}
-	e.appendJournal(ctx, op, q.String(), rep.Answers, rep.Metrics, nil, start, dur, anomaly, bundle)
+	e.appendJournal(ctx, op, q.String(), rep.Answers, rep.Metrics, nil, start, dur, anomaly, bundle, rc)
 	if sp != nil {
 		sp.SetInt("answers", int64(len(rep.Answers)))
 		sp.SetInt("sat_calls", rep.Stats.SATCalls)
@@ -298,7 +323,38 @@ func (e *Engine) RangeAnswersContext(ctx context.Context, q cq.AggQuery) (*Repor
 	return rep, nil
 }
 
+// rangeAnswers routes one call: the planner picks the executor, the
+// route is stamped on the recorder exactly once (so the per-route
+// counters sum to the calls served), and a rewrite that rejects itself
+// mid-execution on a data-dependent property falls back to the solver
+// in auto mode.
 func (e *Engine) rangeAnswers(ctx context.Context, q cq.AggQuery, rc *recorder) (*Report, error) {
+	d := e.planner.Decide(q)
+	if d.Route == planner.RouteRewrite {
+		rep, err := e.rewriteRange(ctx, q, d.Plan, rc)
+		switch {
+		case err == nil:
+			rc.routed(planner.RouteRewrite, "", d.PlanCached)
+			return rep, nil
+		case !errors.Is(err, conquer.ErrNotInClass):
+			// Real failure (cancellation, timeout) on the rewrite route.
+			rc.routed(planner.RouteRewrite, "", d.PlanCached)
+			return nil, err
+		case e.opts.Planner == planner.ModeRewrite:
+			rc.routed(planner.RouteRewrite, "", d.PlanCached)
+			return nil, err
+		default:
+			// Data-dependent rejection discovered at execution time:
+			// fall through to the solver.
+			d = planner.Decision{Route: planner.RouteSAT,
+				Reason: "runtime fallback: " + planner.TrimReason(err), PlanCached: d.PlanCached}
+		}
+	}
+	if e.opts.Planner == planner.ModeRewrite {
+		rc.routed(planner.RouteSAT, d.Reason, d.PlanCached)
+		return nil, fmt.Errorf("%w: %s", planner.ErrRewriteUnavailable, d.Reason)
+	}
+	rc.routed(planner.RouteSAT, d.Reason, d.PlanCached)
 	if q.Scalar() {
 		rep := &Report{}
 		ans, err := e.scalarRange(ctx, q, nil, rc)

@@ -81,6 +81,16 @@ type Explain struct {
 	Incremental bool   `json:"incremental"`
 	Parallelism int    `json:"parallelism"`
 
+	// Route is the executor the planner picked: "rewrite" (ConQuer-style
+	// SAT-free fast path) or "sat" (the WPMaxSAT reduction). RouteReason
+	// explains a SAT route — the structural classifier rejection, the
+	// forced mode, or a run-time fallback; empty on the rewrite route.
+	// PlanCached reports that the routing decision came from the
+	// planner's per-shape cache.
+	Route       string `json:"route"`
+	RouteReason string `json:"route_reason,omitempty"`
+	PlanCached  bool   `json:"plan_cached"`
+
 	// ConstraintCached reports that the constraint context (key-equal
 	// groups / minimal violations) was served from a cache rather than
 	// built during this call. FastPathRels/GenericDCs attribute the DC
@@ -149,6 +159,10 @@ func (e *Engine) buildExplain(query, op string, rc *recorder, stats Stats) *Expl
 		Incremental: e.incremental(),
 		Parallelism: e.parallelism(),
 
+		Route:       rc.route.String(),
+		RouteReason: rc.routeReason,
+		PlanCached:  rc.planCached,
+
 		ConstraintCached: rc.constraintHit.Load(),
 		FastPathRels:     cc.fastRels,
 		GenericDCs:       cc.genericDCs,
@@ -195,6 +209,14 @@ func (ex *Explain) WriteTable(w io.Writer) error {
 	fmt.Fprintf(tw, "op\t%s\n", ex.Op)
 	fmt.Fprintf(tw, "mode\t%s\n", ex.Mode)
 	fmt.Fprintf(tw, "frontend\t%s\n", ex.Frontend)
+	route := ex.Route
+	if ex.RouteReason != "" {
+		route += " (" + ex.RouteReason + ")"
+	}
+	if ex.Route == "rewrite" && ex.PlanCached {
+		route += " (plan cached)"
+	}
+	fmt.Fprintf(tw, "route\t%s\n", route)
 	solver := ex.Algorithm
 	if ex.Incremental {
 		solver += " (incremental)"
@@ -215,11 +237,14 @@ func (ex *Explain) WriteTable(w io.Writer) error {
 
 	s := ex.Stats
 	fmt.Fprintf(tw, "phase\ttime\talloc\n")
+	if s.RewriteTime > 0 {
+		fmt.Fprintf(tw, "rewrite\t%v\t\n", s.RewriteTime)
+	}
 	fmt.Fprintf(tw, "witness\t%v\t%s\n", s.WitnessTime, byteCount(s.WitnessAllocBytes))
 	fmt.Fprintf(tw, "constraint\t%v\t\n", s.ConstraintTime)
 	fmt.Fprintf(tw, "encode\t%v\t%s\n", s.EncodeTime, byteCount(s.EncodeAllocBytes))
 	fmt.Fprintf(tw, "solve\t%v\t%s\n", s.SolveTime, byteCount(s.SolveAllocBytes))
-	fmt.Fprintf(tw, "total\t%v\t\n", s.WitnessTime+s.ConstraintTime+s.EncodeTime+s.SolveTime)
+	fmt.Fprintf(tw, "total\t%v\t\n", s.RewriteTime+s.WitnessTime+s.ConstraintTime+s.EncodeTime+s.SolveTime)
 	fmt.Fprintln(tw)
 
 	if len(ex.Components) > 0 {

@@ -22,14 +22,18 @@ func Fingerprint64(s string) string {
 
 // answersDigest hashes the rendered answers (group keys and range
 // endpoints in order), so two journals can be diffed for answer drift
-// without storing the answers themselves.
+// without storing the answers themselves. FromConsistentPart is
+// deliberately excluded: it is provenance (did the SAT path skip the
+// solver), not part of the answer, and the rewriting route never sets
+// it — hashing it would make identical answers from different routes
+// look like drift.
 func answersDigest(answers []GroupAnswer) string {
 	h := fnv.New64a()
 	for _, a := range answers {
 		for _, v := range a.Key {
 			fmt.Fprintf(h, "%v|", v)
 		}
-		fmt.Fprintf(h, "=%v..%v;%v;%v\n", a.GLB, a.LUB, a.FromConsistentPart, a.EmptyPossible)
+		fmt.Fprintf(h, "=%v..%v;%v\n", a.GLB, a.LUB, a.EmptyPossible)
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
@@ -39,7 +43,7 @@ func answersDigest(answers []GroupAnswer) string {
 // when its writer lags), so this sits on the hot path of every engine
 // call without perturbing it. answers is nil on an error exit — the
 // line then carries the anomaly classification instead of a digest.
-func (e *Engine) appendJournal(ctx context.Context, op, query string, answers []GroupAnswer, snap obsv.Snapshot, err error, start time.Time, dur time.Duration, anomaly, bundle string) {
+func (e *Engine) appendJournal(ctx context.Context, op, query string, answers []GroupAnswer, snap obsv.Snapshot, err error, start time.Time, dur time.Duration, anomaly, bundle string, rc *recorder) {
 	j := e.opts.Journal
 	if j == nil {
 		return
@@ -59,6 +63,7 @@ func (e *Engine) appendJournal(ctx context.Context, op, query string, answers []
 			Parallelism: e.parallelism(),
 			Incremental: e.incremental(),
 			Frontend:    e.frontendString(),
+			Planner:     e.opts.Planner.String(),
 		},
 
 		TotalMS:      float64(dur) / float64(time.Millisecond),
@@ -80,6 +85,11 @@ func (e *Engine) appendJournal(ctx context.Context, op, query string, answers []
 
 		Anomaly:      anomaly,
 		FlightBundle: bundle,
+	}
+	if rc != nil && rc.routeStamped {
+		entry.Route = rc.route.String()
+		entry.RouteReason = rc.routeReason
+		entry.RewriteMS = float64(snap.Counters[obsv.MetricRewriteNS]) / float64(time.Millisecond)
 	}
 	if err != nil {
 		entry.Error = err.Error()

@@ -15,6 +15,7 @@ import (
 
 	"aggcavsat/internal/cq"
 	"aggcavsat/internal/obsv"
+	"aggcavsat/internal/planner"
 )
 
 // TestJournalOneLinePerCall: every engine call — grouped or scalar —
@@ -252,5 +253,79 @@ func TestJournalErrorLine(t *testing.T) {
 	}
 	if entries[0].Error == "" || entries[0].AnswerDigest != "" {
 		t.Errorf("error line = %+v", entries[0])
+	}
+}
+
+// TestJournalRouteFields: range-query lines carry the planner route and
+// its reason, answer digests agree across routes (the digest excludes
+// SAT-only provenance bits), and consistent-answer lines — which never
+// route — carry no route at all.
+func TestJournalRouteFields(t *testing.T) {
+	r := rng(77)
+	in := randomInstance(&r)
+	var autoBuf, satBuf bytes.Buffer
+	jAuto := obsv.NewJournal(&autoBuf, 0)
+	jSAT := obsv.NewJournal(&satBuf, 0)
+	auto, err := New(in, Options{Mode: KeysMode, Planner: planner.ModeAuto, Journal: jAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat, err := New(in, Options{Mode: KeysMode, Planner: planner.ModeSAT, Journal: jSAT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := joinQuery(cq.CountStar, true) // in C_aggforest: rewrites under auto
+	if _, err := auto.RangeAnswers(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := auto.RangeAnswers(joinQuery(cq.CountDistinct, false)); err != nil {
+		t.Fatal(err) // operator outside the rewriting: routes to SAT
+	}
+	u := cq.Single(cq.CQ{Head: []string{"g"}, Atoms: []cq.Atom{
+		{Rel: "R", Args: []cq.Term{cq.V("k"), cq.V("g"), cq.V("v")}},
+	}})
+	if _, _, err := auto.ConsistentAnswers(u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sat.RangeAnswers(q); err != nil {
+		t.Fatal(err)
+	}
+	jAuto.Close()
+	jSAT.Close()
+
+	autoLines, err := obsv.ReadJournal(&autoBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	satLines, err := obsv.ReadJournal(&satBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(autoLines) != 3 || len(satLines) != 1 {
+		t.Fatalf("lines: auto=%d sat=%d", len(autoLines), len(satLines))
+	}
+	rw, opRejected, cons := autoLines[0], autoLines[1], autoLines[2]
+	if rw.Route != "rewrite" || rw.RouteReason != "" {
+		t.Errorf("rewrite line route %q reason %q", rw.Route, rw.RouteReason)
+	}
+	if rw.Options.Planner != "auto" {
+		t.Errorf("planner option = %q, want auto", rw.Options.Planner)
+	}
+	if opRejected.Route != "sat" || !strings.Contains(opRejected.RouteReason, "not supported by the rewriting") {
+		t.Errorf("rejected line route %q reason %q", opRejected.Route, opRejected.RouteReason)
+	}
+	if cons.Route != "" || cons.RouteReason != "" {
+		t.Errorf("consistent-answers line carries route %q (%q)", cons.Route, cons.RouteReason)
+	}
+	satLine := satLines[0]
+	if satLine.Route != "sat" || satLine.RouteReason != planner.ReasonForcedSAT {
+		t.Errorf("forced-sat line route %q reason %q", satLine.Route, satLine.RouteReason)
+	}
+	if satLine.Options.Planner != "force-sat" {
+		t.Errorf("planner option = %q, want force-sat", satLine.Options.Planner)
+	}
+	// Identical answers from different executors hash identically.
+	if rw.AnswerDigest == "" || rw.AnswerDigest != satLine.AnswerDigest {
+		t.Errorf("digest drift across routes: rewrite %q vs sat %q", rw.AnswerDigest, satLine.AnswerDigest)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"aggcavsat/internal/cnf"
 	"aggcavsat/internal/obsv"
+	"aggcavsat/internal/planner"
 )
 
 // recorder funnels the instrumentation of one engine call into obsv
@@ -31,6 +32,28 @@ type recorder struct {
 	// constraintHit records whether this call's constraint context came
 	// from a cache (engine-level reuse or the package-wide DC memo).
 	constraintHit atomic.Bool
+
+	// Route verdict of the call, stamped exactly once by rangeAnswers
+	// (single writer: the goroutine running the call; read after it
+	// returns). routeReason explains a SAT route; planCached reports a
+	// plan-cache hit in the planner.
+	route        planner.Route
+	routeReason  string
+	planCached   bool
+	routeStamped bool
+}
+
+// routed stamps the final route on the recorder and bumps the
+// per-route counter — exactly once per engine call, after any fallback
+// has settled, so the route counters sum to the calls served.
+func (rc *recorder) routed(r planner.Route, reason string, planCached bool) {
+	rc.route, rc.routeReason, rc.planCached = r, reason, planCached
+	rc.routeStamped = true
+	if r == planner.RouteRewrite {
+		rc.counter(obsv.MetricRouteRewrite, 1)
+	} else {
+		rc.counter(obsv.MetricRouteSAT, 1)
+	}
 }
 
 // newRecorder creates the call-local registry and links the session one.
@@ -160,6 +183,13 @@ func (rc *recorder) endSolve(pm phaseMark) time.Duration {
 	return d
 }
 
+func (rc *recorder) endRewrite(pm phaseMark) time.Duration {
+	d := rc.endPhase("rewrite", pm)
+	rc.counter(obsv.MetricRewriteNS, int64(d))
+	rc.observe(obsv.MetricPhaseSecondsPrefix+"rewrite", d)
+	return d
+}
+
 // baseHit counts one Engine.bases outcome: a component's hard-clause
 // encoding and solver base served from the memo (hit) or built (miss).
 func (rc *recorder) baseHit(hit bool) {
@@ -208,6 +238,7 @@ func StatsFromSnapshot(s obsv.Snapshot) Stats {
 		ConstraintTime:      time.Duration(s.Gauges[obsv.MetricConstraintNS]),
 		EncodeTime:          time.Duration(s.Counters[obsv.MetricEncodeNS]),
 		SolveTime:           time.Duration(s.Counters[obsv.MetricSolveNS]),
+		RewriteTime:         time.Duration(s.Counters[obsv.MetricRewriteNS]),
 		SATCalls:            s.Counters[obsv.MetricSATCalls],
 		MaxSATRuns:          int(s.Counters[obsv.MetricMaxSATRuns]),
 		Vars:                int(s.Counters[obsv.MetricCNFVars]),

@@ -40,6 +40,10 @@ type JournalOptions struct {
 	Incremental bool `json:"incremental"`
 	// Frontend is "compiled" or "interpreted".
 	Frontend string `json:"frontend"`
+	// Planner is the configured planner mode ("auto", "force-sat",
+	// "force-rewrite"); empty on lines written before the planner
+	// existed.
+	Planner string `json:"planner,omitempty"`
 }
 
 // JournalEntry is one wide event: everything the system knows about one
@@ -68,7 +72,15 @@ type JournalEntry struct {
 	Answers      int    `json:"answers"`
 	AnswerDigest string `json:"answer_digest,omitempty"`
 
+	// Route records which executor answered a range query ("rewrite" or
+	// "sat"); RouteReason explains a SAT route (classifier rejection,
+	// forced mode, or run-time fallback). Both are empty on operations
+	// the planner does not route (consistent_answers).
+	Route       string `json:"route,omitempty"`
+	RouteReason string `json:"route_reason,omitempty"`
+
 	TotalMS      float64 `json:"total_ms"`
+	RewriteMS    float64 `json:"rewrite_ms,omitempty"`
 	WitnessMS    float64 `json:"witness_ms"`
 	ConstraintMS float64 `json:"constraint_ms"`
 	EncodeMS     float64 `json:"encode_ms"`

@@ -27,7 +27,7 @@ const (
 	MetricWitnesses       = "aggcavsat_witnesses_total"
 	MetricGroups          = "aggcavsat_groups_total"
 
-	MetricPhaseSecondsPrefix = "aggcavsat_phase_seconds_" // + witness|constraint|encode|solve
+	MetricPhaseSecondsPrefix = "aggcavsat_phase_seconds_" // + witness|constraint|encode|solve|rewrite
 
 	// Query-level observability (PR 6). The cache counters record, per
 	// call, how often a solve unit was served from the per-component
@@ -45,6 +45,16 @@ const (
 	MetricQuerySeconds    = "aggcavsat_query_seconds"           // summary: whole engine calls
 	MetricJournalWritten  = "aggcavsat_journal_written_total"   // journal lines persisted
 	MetricJournalDropped  = "aggcavsat_journal_dropped_total"   // journal lines shed by the bounded writer
+
+	// Planner observability (PR 8). The route counters are one labelled
+	// family — a call increments exactly one of them after its route
+	// settles (including a run-time fallback), so their sum equals the
+	// range-query calls served. MetricRewriteNS accumulates wall time in
+	// the SAT-free rewriting executor, the rewrite-route sibling of the
+	// witness/encode/solve phase counters.
+	MetricRouteRewrite = `aggcavsat_planner_route_total{route="rewrite"}`
+	MetricRouteSAT     = `aggcavsat_planner_route_total{route="sat"}`
+	MetricRewriteNS    = "aggcavsat_rewrite_ns_total"
 )
 
 // DurationBuckets are the default histogram bucket upper bounds for

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // WritePrometheus renders every metric in the Prometheus text exposition
@@ -18,8 +19,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 // WritePrometheus renders the snapshot in the Prometheus text format.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
+	// Counter names may carry a label set (`family{k="v"}`); the TYPE
+	// header names the bare family and appears once per family. Sorted
+	// order keeps a family's labelled members adjacent, so tracking the
+	// previous family suffices.
+	lastFamily := ""
 	for _, name := range sortedKeys(s.Counters) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[name]); err != nil {
+		family := metricFamily(name)
+		if family != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", family); err != nil {
+				return err
+			}
+			lastFamily = family
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
 			return err
 		}
 	}
@@ -101,6 +114,15 @@ func (t *Tracer) WritePrometheus(w io.Writer) error {
 			"# TYPE obsv_spans_open gauge\nobsv_spans_open %d\n",
 		t.Dropped(), t.Open())
 	return err
+}
+
+// metricFamily strips a trailing label set from a metric name:
+// `foo_total{route="sat"}` → `foo_total`. Unlabelled names pass through.
+func metricFamily(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
 }
 
 func formatFloat(v float64) string {

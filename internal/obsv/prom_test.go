@@ -110,3 +110,33 @@ func TestPrometheusHistogramInvariants(t *testing.T) {
 		t.Errorf("+Inf bucket (%d) != _count (%d): 0.0.4 violation", infVal, countVal)
 	}
 }
+
+// TestPrometheusLabelledFamily: counters named with label sets (the
+// planner route family) share one # TYPE line per family — the bare
+// family name, emitted once — and keep their own sample lines. Scrapers
+// reject duplicate or label-bearing TYPE lines, so this is load-bearing.
+func TestPrometheusLabelledFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MetricRouteRewrite).Add(5)
+	r.Counter(MetricRouteSAT).Add(2)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	typeLine := "# TYPE aggcavsat_planner_route_total counter"
+	if got := strings.Count(out, typeLine); got != 1 {
+		t.Errorf("TYPE line appears %d times, want exactly 1:\n%s", got, out)
+	}
+	if strings.Contains(out, "# TYPE aggcavsat_planner_route_total{") {
+		t.Errorf("TYPE line carries a label set:\n%s", out)
+	}
+	for _, sample := range []string{
+		`aggcavsat_planner_route_total{route="rewrite"} 5`,
+		`aggcavsat_planner_route_total{route="sat"} 2`,
+	} {
+		if !strings.Contains(out, sample) {
+			t.Errorf("missing sample %q:\n%s", sample, out)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package planner routes aggregation queries between the WPMaxSAT
+// engine and the ConQuer-style rewriting fast path.
+//
+// The classifier inspects the (query, constraints) pair: under primary
+// keys alone, a self-join-free conjunctive query whose join tree is
+// rooted at the aggregation relation with full-key child joins (the
+// C_aggforest class compiled by internal/conquer) is answered by pure
+// relational evaluation — no solver. Everything else, and every query
+// under non-key denial constraints, falls back to the SAT reduction.
+//
+// Classification is structural, so it is cached per query shape: the
+// first Decide for a shape runs conquer.Analyze and memoizes either the
+// compiled Plan or the rejection reason. Plans are instance-independent;
+// the data side is covered by a conquer.Indexes memo keyed by the
+// instance's fact count (its version — instances are append-only), so a
+// cached plan stays valid across appends and only the lookup maps are
+// rebuilt.
+//
+// Some rejections are data-dependent and only surface while executing a
+// plan (a negative or non-integer SUM value, a scalar MIN/MAX whose
+// result can be empty). The engine handles those at run time: in auto
+// mode it falls back to the solver, in force-rewrite mode it surfaces
+// the error.
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	"aggcavsat/internal/conquer"
+	"aggcavsat/internal/cq"
+	"aggcavsat/internal/db"
+)
+
+// Mode selects how queries are routed.
+type Mode int
+
+const (
+	// ModeSAT routes every query to the WPMaxSAT engine. It is the zero
+	// value so engines configured before the planner existed keep their
+	// behavior bit for bit.
+	ModeSAT Mode = iota
+	// ModeAuto routes rewritable queries to the compiled rewriting and
+	// everything else — including run-time rejections — to the solver.
+	ModeAuto
+	// ModeRewrite forces the rewriting: queries outside the class fail
+	// with ErrRewriteUnavailable instead of falling back.
+	ModeRewrite
+)
+
+// String renders the mode as its flag spelling.
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeRewrite:
+		return "force-rewrite"
+	default:
+		return "force-sat"
+	}
+}
+
+// ParseMode parses a -planner flag value: auto, force-sat or
+// force-rewrite (sat and rewrite are accepted as shorthands).
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "auto":
+		return ModeAuto, nil
+	case "force-sat", "sat":
+		return ModeSAT, nil
+	case "force-rewrite", "rewrite":
+		return ModeRewrite, nil
+	}
+	return ModeSAT, fmt.Errorf("planner: unknown mode %q (want auto, force-sat or force-rewrite)", s)
+}
+
+// ErrRewriteUnavailable is returned (wrapped, with the rejection
+// reason) when ModeRewrite is forced on a query the rewriting cannot
+// answer. Match with errors.Is.
+var ErrRewriteUnavailable = errors.New("planner: query is not rewritable and planner mode is force-rewrite")
+
+// Route is the executor chosen for one query.
+type Route int
+
+const (
+	// RouteSAT solves through the WPMaxSAT reduction.
+	RouteSAT Route = iota
+	// RouteRewrite answers through the compiled ConQuer-style rewriting.
+	RouteRewrite
+)
+
+// String renders the route as recorded in metrics, journals and explain
+// reports.
+func (r Route) String() string {
+	if r == RouteRewrite {
+		return "rewrite"
+	}
+	return "sat"
+}
+
+// Rejection reasons that do not come out of conquer.Analyze. Tests pin
+// these strings; they also appear verbatim in explain reports and
+// journal entries.
+const (
+	// ReasonForcedSAT is stamped when the mode pins every query to the
+	// solver.
+	ReasonForcedSAT = "planner mode forces the solver"
+	// ReasonDenialConstraints rejects rewriting under DC-mode repairs:
+	// the ConQuer argument is a primary-key result, non-key denial
+	// constraints need the solver.
+	ReasonDenialConstraints = "non-key denial constraints require the solver"
+)
+
+// Decision is the routing verdict for one query.
+type Decision struct {
+	Route Route
+	// Reason explains a SAT route (why the rewriting was not taken);
+	// empty on the rewrite route.
+	Reason string
+	// Plan is the compiled rewriting for RouteRewrite decisions.
+	Plan *conquer.Plan
+	// PlanCached reports that the decision (plan or rejection) came
+	// from the per-shape cache rather than a fresh classification.
+	PlanCached bool
+}
+
+// Planner classifies queries for one engine. It owns the per-shape plan
+// cache and the instance's rewriting indexes; both are safe for
+// concurrent use.
+type Planner struct {
+	schema *db.Schema
+	mode   Mode
+	hasDCs bool
+	ix     *conquer.Indexes
+
+	mu    sync.Mutex
+	plans map[string]*cachedDecision
+}
+
+// cachedDecision memoizes one shape's classification: a compiled plan,
+// or the reason it was rejected.
+type cachedDecision struct {
+	plan   *conquer.Plan
+	reason string
+}
+
+// New creates a planner for the instance. hasDCs marks engines whose
+// repairs come from denial constraints rather than primary keys; those
+// always route to the solver.
+func New(in *db.Instance, mode Mode, hasDCs bool) *Planner {
+	return &Planner{
+		schema: in.Schema(),
+		mode:   mode,
+		hasDCs: hasDCs,
+		ix:     conquer.NewIndexes(in),
+		plans:  map[string]*cachedDecision{},
+	}
+}
+
+// Mode returns the configured routing mode.
+func (p *Planner) Mode() Mode { return p.mode }
+
+// Indexes returns the instance's memoized rewriting indexes, shared by
+// every plan executed against it.
+func (p *Planner) Indexes() *conquer.Indexes { return p.ix }
+
+// Decide classifies q (already head-built and schema-validated) and
+// returns the route with its compiled plan or rejection reason.
+func (p *Planner) Decide(q cq.AggQuery) Decision {
+	if p.mode == ModeSAT {
+		return Decision{Route: RouteSAT, Reason: ReasonForcedSAT}
+	}
+	if p.hasDCs {
+		return Decision{Route: RouteSAT, Reason: ReasonDenialConstraints}
+	}
+	fp := fingerprint(q)
+	p.mu.Lock()
+	c, ok := p.plans[fp]
+	p.mu.Unlock()
+	if !ok {
+		c = &cachedDecision{}
+		plan, err := conquer.Analyze(p.schema, q)
+		if err != nil {
+			c.reason = TrimReason(err)
+		} else {
+			c.plan = plan
+		}
+		p.mu.Lock()
+		// Two goroutines may race to classify the same shape; both
+		// compute the identical verdict, last write wins.
+		p.plans[fp] = c
+		p.mu.Unlock()
+	}
+	if c.plan == nil {
+		return Decision{Route: RouteSAT, Reason: c.reason, PlanCached: ok}
+	}
+	return Decision{Route: RouteRewrite, Plan: c.plan, PlanCached: ok}
+}
+
+// TrimReason compresses a conquer classification error into the bare
+// reason recorded in explain reports and journals: the ErrNotInClass
+// prefix is implied by the SAT route, so only the detail after it is
+// kept.
+func TrimReason(err error) string {
+	msg := err.Error()
+	if rest, ok := strings.CutPrefix(msg, conquer.ErrNotInClass.Error()+": "); ok {
+		return rest
+	}
+	return msg
+}
+
+// fingerprint keys the plan cache: FNV-1a over the canonical query
+// rendering, so two spellings of the same algebraic query share a
+// cache entry.
+func fingerprint(q cq.AggQuery) string {
+	h := fnv.New64a()
+	h.Write([]byte(q.String()))
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,602 @@
+// Tests live in an external package so they can drive the planner
+// through internal/core (which imports the planner) and cross-check the
+// routed answers against internal/exhaustive.
+package planner_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"aggcavsat/internal/conquer"
+	"aggcavsat/internal/core"
+	"aggcavsat/internal/cq"
+	"aggcavsat/internal/db"
+	"aggcavsat/internal/exhaustive"
+	"aggcavsat/internal/obsv"
+	"aggcavsat/internal/planner"
+)
+
+// treeSchema mirrors the conquer test schema (the generators are
+// unexported there): fact table L(id, okey, g, v) with key id, dimension
+// O(okey, c, status) with key okey, dimension C(ckey, seg) with key ckey
+// referenced from O.c — the lineitem→orders→customer shape.
+func treeSchema() *db.Schema {
+	s := db.NewSchema()
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "L",
+		Attrs: []db.Attribute{
+			{Name: "id", Kind: db.KindInt},
+			{Name: "okey", Kind: db.KindInt},
+			{Name: "g", Kind: db.KindString},
+			{Name: "v", Kind: db.KindInt},
+		},
+		Key: []int{0},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "O",
+		Attrs: []db.Attribute{
+			{Name: "okey", Kind: db.KindInt},
+			{Name: "c", Kind: db.KindInt},
+			{Name: "status", Kind: db.KindString},
+		},
+		Key: []int{0},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "C",
+		Attrs: []db.Attribute{
+			{Name: "ckey", Kind: db.KindInt},
+			{Name: "seg", Kind: db.KindString},
+		},
+		Key: []int{0},
+	})
+	return s
+}
+
+type rng uint64
+
+func (r *rng) next(n int) int {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = rng(x)
+	return int(x % uint64(n))
+}
+
+func ptrRng(seed uint64) *rng {
+	r := rng(seed)
+	return &r
+}
+
+// randomTreeInstance builds a small instance with key violations in all
+// three relations and non-negative values, so every structurally
+// rewritable query on it also executes on the rewrite route (no
+// negative-SUM runtime fallback; scalar MIN/MAX may still fall back when
+// a repair empties the join).
+func randomTreeInstance(r *rng) *db.Instance {
+	in := db.NewInstance(treeSchema())
+	segs := []string{"A", "B"}
+	stats := []string{"x", "y"}
+	groups := []string{"p", "q"}
+	nC := 1 + r.next(2)
+	for k := 0; k < nC; k++ {
+		alts := 1 + r.next(2)
+		for a := 0; a < alts; a++ {
+			in.MustInsert("C", db.Int(int64(k)), db.Str(segs[a%len(segs)]))
+		}
+	}
+	nO := 1 + r.next(3)
+	for k := 0; k < nO; k++ {
+		alts := 1 + r.next(2)
+		for a := 0; a < alts; a++ {
+			in.MustInsert("O",
+				db.Int(int64(k)),
+				db.Int(int64(r.next(nC+1))), // may dangle (missing customer)
+				db.Str(stats[a%len(stats)]))
+		}
+	}
+	nL := 2 + r.next(3)
+	for k := 0; k < nL; k++ {
+		alts := 1 + r.next(3)
+		for a := 0; a < alts; a++ {
+			in.MustInsert("L",
+				db.Int(int64(k)),
+				db.Int(int64(r.next(nO+1))), // may dangle
+				db.Str(groups[(a+r.next(2))%len(groups)]),
+				db.Int(int64(r.next(5)))) // non-negative values 0..4
+		}
+	}
+	return in
+}
+
+func treeQuery(op cq.AggOp, grouped bool, withCustomer bool, statusFilter bool) cq.AggQuery {
+	atoms := []cq.Atom{
+		{Rel: "L", Args: []cq.Term{cq.V("id"), cq.V("okey"), cq.V("g"), cq.V("v")}},
+		{Rel: "O", Args: []cq.Term{cq.V("okey"), cq.V("c"), cq.V("st")}},
+	}
+	if withCustomer {
+		atoms = append(atoms, cq.Atom{Rel: "C", Args: []cq.Term{cq.V("c"), cq.V("seg")}})
+	}
+	var conds []cq.Condition
+	if statusFilter {
+		conds = append(conds, cq.Condition{Left: cq.V("st"), Op: cq.OpEQ, Right: cq.C(db.Str("x"))})
+	}
+	q := cq.AggQuery{
+		Op:         op,
+		AggVar:     "v",
+		Underlying: cq.Single(cq.CQ{Atoms: atoms, Conds: conds}),
+	}
+	if grouped {
+		q.GroupBy = []string{"g"}
+	}
+	return q
+}
+
+func newEngine(t testing.TB, in *db.Instance, mode planner.Mode) *core.Engine {
+	t.Helper()
+	eng, err := core.New(in, core.Options{Mode: core.KeysMode, Planner: mode, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]planner.Mode{
+		"auto":          planner.ModeAuto,
+		"force-sat":     planner.ModeSAT,
+		"sat":           planner.ModeSAT,
+		"force-rewrite": planner.ModeRewrite,
+		"rewrite":       planner.ModeRewrite,
+		" AUTO ":        planner.ModeAuto,
+	}
+	for s, want := range cases {
+		got, err := planner.ParseMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := planner.ParseMode("greedy"); err == nil {
+		t.Error("ParseMode accepted an unknown mode")
+	}
+	// The flag spellings round-trip; zero values stay on the legacy path.
+	if planner.ModeSAT.String() != "force-sat" || planner.ModeAuto.String() != "auto" ||
+		planner.ModeRewrite.String() != "force-rewrite" {
+		t.Error("mode strings drifted from the flag spellings")
+	}
+	if planner.RouteSAT.String() != "sat" || planner.RouteRewrite.String() != "rewrite" {
+		t.Error("route strings drifted from the metric label values")
+	}
+}
+
+// TestDecideCachesPlans pins the per-shape memoization: the second
+// Decide for the same shape reports PlanCached and reuses the compiled
+// plan (or the rejection reason) without re-running Analyze.
+func TestDecideCachesPlans(t *testing.T) {
+	in := randomTreeInstance(ptrRng(11))
+	p := planner.New(in, planner.ModeAuto, false)
+
+	q := treeQuery(cq.Sum, true, true, false).BuildHead()
+	d1 := p.Decide(q)
+	if d1.Route != planner.RouteRewrite || d1.Plan == nil || d1.PlanCached {
+		t.Fatalf("first decision: %+v", d1)
+	}
+	d2 := p.Decide(q)
+	if d2.Route != planner.RouteRewrite || !d2.PlanCached || d2.Plan != d1.Plan {
+		t.Fatalf("second decision did not reuse the cached plan: %+v", d2)
+	}
+
+	selfJoin := selfJoinQuery().BuildHead()
+	r1 := p.Decide(selfJoin)
+	if r1.Route != planner.RouteSAT || r1.PlanCached || r1.Reason != "query has self-joins" {
+		t.Fatalf("first rejection: %+v", r1)
+	}
+	r2 := p.Decide(selfJoin)
+	if r2.Route != planner.RouteSAT || !r2.PlanCached || r2.Reason != r1.Reason {
+		t.Fatalf("second rejection not cached: %+v", r2)
+	}
+}
+
+func selfJoinQuery() cq.AggQuery {
+	return cq.AggQuery{
+		Op: cq.CountStar,
+		Underlying: cq.Single(cq.CQ{Atoms: []cq.Atom{
+			{Rel: "L", Args: []cq.Term{cq.V("a"), cq.V("k"), cq.V("g"), cq.V("v")}},
+			{Rel: "L", Args: []cq.Term{cq.V("b"), cq.V("k"), cq.V("h"), cq.V("w")}},
+		}}),
+	}
+}
+
+// aggOffRootQuery aggregates over a child attribute (O.c) while L joins
+// O on O's key: O must be the root to own the aggregation attribute,
+// which makes L's join edge a non-key join.
+func aggOffRootQuery() cq.AggQuery {
+	return cq.AggQuery{
+		Op:     cq.Sum,
+		AggVar: "c",
+		Underlying: cq.Single(cq.CQ{Atoms: []cq.Atom{
+			{Rel: "L", Args: []cq.Term{cq.V("id"), cq.V("okey"), cq.V("g"), cq.V("v")}},
+			{Rel: "O", Args: []cq.Term{cq.V("okey"), cq.V("c"), cq.V("st")}},
+		}}),
+	}
+}
+
+// cyclicSchema/cyclicQuery: A joins B on b and C on c, and B joins C on
+// d — a triangle, so the join graph is not a tree from any root.
+func cyclicSchema() *db.Schema {
+	s := db.NewSchema()
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "A",
+		Attrs: []db.Attribute{
+			{Name: "a", Kind: db.KindInt},
+			{Name: "b", Kind: db.KindInt},
+			{Name: "c", Kind: db.KindInt},
+			{Name: "v", Kind: db.KindInt},
+		},
+		Key: []int{0},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "B",
+		Attrs: []db.Attribute{
+			{Name: "b", Kind: db.KindInt},
+			{Name: "d", Kind: db.KindInt},
+		},
+		Key: []int{0},
+	})
+	s.MustAddRelation(&db.RelationSchema{
+		Name: "CC",
+		Attrs: []db.Attribute{
+			{Name: "c", Kind: db.KindInt},
+			{Name: "d", Kind: db.KindInt},
+		},
+		Key: []int{0},
+	})
+	return s
+}
+
+func cyclicQuery() cq.AggQuery {
+	return cq.AggQuery{
+		Op:     cq.Sum,
+		AggVar: "v",
+		Underlying: cq.Single(cq.CQ{Atoms: []cq.Atom{
+			{Rel: "A", Args: []cq.Term{cq.V("a"), cq.V("b"), cq.V("c"), cq.V("v")}},
+			{Rel: "B", Args: []cq.Term{cq.V("b"), cq.V("d")}},
+			{Rel: "CC", Args: []cq.Term{cq.V("c"), cq.V("d")}},
+		}}),
+	}
+}
+
+// TestClassifierRejections pins, for every structural fallback, the SAT
+// route plus the exact reason string surfaced in explain reports and
+// journal entries. The strings are a contract with operators reading
+// those artifacts — change them deliberately.
+func TestClassifierRejections(t *testing.T) {
+	in := randomTreeInstance(ptrRng(21))
+
+	union := treeQuery(cq.Sum, false, false, false)
+	union.Underlying.Disjuncts = append(union.Underlying.Disjuncts, union.Underlying.Disjuncts[0])
+
+	cases := []struct {
+		name   string
+		q      cq.AggQuery
+		reason string
+	}{
+		{"self_join", selfJoinQuery(), "query has self-joins"},
+		{"agg_attr_off_root", aggOffRootQuery(), "join on non-key attribute okey of L"},
+		{"union", union, "unions of conjunctive queries are not rewritable here"},
+		{"distinct_operator", treeQuery(cq.SumDistinct, false, false, false),
+			"operator " + cq.SumDistinct.String() + " not supported by the rewriting"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := newEngine(t, in, planner.ModeAuto)
+			rep, err := eng.RangeAnswers(tc.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkSATRoute(t, rep, tc.reason)
+		})
+	}
+
+	t.Run("cyclic_join", func(t *testing.T) {
+		cin := db.NewInstance(cyclicSchema())
+		cin.MustInsert("A", db.Int(1), db.Int(1), db.Int(1), db.Int(3))
+		cin.MustInsert("B", db.Int(1), db.Int(7))
+		cin.MustInsert("CC", db.Int(1), db.Int(7))
+		eng := newEngine(t, cin, planner.ModeAuto)
+		rep, err := eng.RangeAnswers(cyclicQuery())
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSATRoute(t, rep, "join graph is not a tree")
+	})
+
+	t.Run("forced_sat", func(t *testing.T) {
+		eng := newEngine(t, in, planner.ModeSAT)
+		rep, err := eng.RangeAnswers(treeQuery(cq.Sum, false, false, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSATRoute(t, rep, planner.ReasonForcedSAT)
+	})
+
+	t.Run("denial_constraints", func(t *testing.T) {
+		// Any DC-mode engine routes to the solver before classification.
+		p := planner.New(in, planner.ModeAuto, true)
+		d := p.Decide(treeQuery(cq.Sum, false, false, false).BuildHead())
+		if d.Route != planner.RouteSAT || d.Reason != planner.ReasonDenialConstraints {
+			t.Fatalf("DC decision: %+v", d)
+		}
+	})
+}
+
+// checkSATRoute asserts the report and its explain block agree on the
+// SAT route and the given reason.
+func checkSATRoute(t *testing.T, rep *core.Report, reason string) {
+	t.Helper()
+	if rep.Route != "sat" || rep.RouteReason != reason {
+		t.Fatalf("route %q reason %q, want sat / %q", rep.Route, rep.RouteReason, reason)
+	}
+	if rep.Explain == nil {
+		t.Fatal("explain missing")
+	}
+	if rep.Explain.Route != "sat" || rep.Explain.RouteReason != reason {
+		t.Fatalf("explain route %q reason %q, want sat / %q",
+			rep.Explain.Route, rep.Explain.RouteReason, reason)
+	}
+}
+
+// TestRuntimeFallback covers the data-dependent rejections the
+// classifier cannot see: the plan starts executing, rejects itself, and
+// auto mode re-routes the call to the solver with a "runtime fallback"
+// reason.
+func TestRuntimeFallback(t *testing.T) {
+	t.Run("negative_sum", func(t *testing.T) {
+		neg := db.NewInstance(treeSchema())
+		neg.MustInsert("L", db.Int(1), db.Int(1), db.Str("p"), db.Int(-5))
+		neg.MustInsert("O", db.Int(1), db.Int(1), db.Str("x"))
+		eng := newEngine(t, neg, planner.ModeAuto)
+		rep, err := eng.RangeAnswers(treeQuery(cq.Sum, false, false, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Route != "sat" || !strings.HasPrefix(rep.RouteReason, "runtime fallback: ") {
+			t.Fatalf("route %q reason %q", rep.Route, rep.RouteReason)
+		}
+		if !strings.Contains(rep.RouteReason, "SUM over negative values") {
+			t.Fatalf("reason %q does not name the rejection", rep.RouteReason)
+		}
+		if len(rep.Answers) != 1 || rep.Answers[0].GLB.AsInt() != -5 || rep.Answers[0].LUB.AsInt() != -5 {
+			t.Fatalf("fallback answers: %+v", rep.Answers)
+		}
+	})
+
+	t.Run("scalar_min_empty", func(t *testing.T) {
+		// L's sole key group has a variant dangling into a missing order:
+		// one repair empties the join, so scalar MIN has EmptyPossible and
+		// the rewriting hands the call back to the iterative-SAT procedure.
+		in := db.NewInstance(treeSchema())
+		in.MustInsert("L", db.Int(1), db.Int(1), db.Str("p"), db.Int(3))
+		in.MustInsert("L", db.Int(1), db.Int(9), db.Str("p"), db.Int(4))
+		in.MustInsert("O", db.Int(1), db.Int(1), db.Str("x"))
+		eng := newEngine(t, in, planner.ModeAuto)
+		rep, err := eng.RangeAnswers(treeQuery(cq.Min, false, false, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Route != "sat" || !strings.HasPrefix(rep.RouteReason, "runtime fallback: ") {
+			t.Fatalf("route %q reason %q", rep.Route, rep.RouteReason)
+		}
+		if len(rep.Answers) != 1 || !rep.Answers[0].EmptyPossible {
+			t.Fatalf("answers: %+v", rep.Answers)
+		}
+	})
+}
+
+// TestForceRewrite pins the force-rewrite contract: in-class queries
+// answer on the rewrite route, structurally rejected queries fail with
+// ErrRewriteUnavailable, and run-time rejections surface the conquer
+// classification error instead of falling back.
+func TestForceRewrite(t *testing.T) {
+	in := randomTreeInstance(ptrRng(31))
+	eng := newEngine(t, in, planner.ModeRewrite)
+
+	rep, err := eng.RangeAnswers(treeQuery(cq.Sum, true, true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Route != "rewrite" || rep.RouteReason != "" {
+		t.Fatalf("route %q reason %q, want rewrite with empty reason", rep.Route, rep.RouteReason)
+	}
+	if rep.Explain == nil || rep.Explain.Route != "rewrite" {
+		t.Fatalf("explain: %+v", rep.Explain)
+	}
+
+	if _, err := eng.RangeAnswers(selfJoinQuery()); !errors.Is(err, planner.ErrRewriteUnavailable) {
+		t.Fatalf("structural rejection under force-rewrite: %v", err)
+	}
+
+	neg := db.NewInstance(treeSchema())
+	neg.MustInsert("L", db.Int(1), db.Int(1), db.Str("p"), db.Int(-5))
+	neg.MustInsert("O", db.Int(1), db.Int(1), db.Str("x"))
+	negEng := newEngine(t, neg, planner.ModeRewrite)
+	_, err = negEng.RangeAnswers(treeQuery(cq.Sum, false, false, false))
+	if !errors.Is(err, conquer.ErrNotInClass) {
+		t.Fatalf("runtime rejection under force-rewrite: %v", err)
+	}
+	if errors.Is(err, planner.ErrRewriteUnavailable) {
+		t.Fatalf("runtime rejection mislabelled as structural: %v", err)
+	}
+}
+
+// TestRouteCountersSumToCalls asserts the metrics contract: every
+// RangeAnswers call increments exactly one of the two route counters,
+// including calls that settle on SAT only after a runtime fallback.
+func TestRouteCountersSumToCalls(t *testing.T) {
+	reg := obsv.NewRegistry()
+	in := randomTreeInstance(ptrRng(41))
+	eng, err := core.New(in, core.Options{Mode: core.KeysMode, Planner: planner.ModeAuto, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	for _, q := range []cq.AggQuery{
+		treeQuery(cq.Sum, false, false, false),         // rewrite
+		treeQuery(cq.Count, true, true, false),         // rewrite
+		treeQuery(cq.Max, true, false, true),           // rewrite
+		selfJoinQuery(),                                // sat (structural)
+		treeQuery(cq.SumDistinct, false, false, false), // sat (operator)
+	} {
+		if _, err := eng.RangeAnswers(q); err != nil {
+			t.Fatal(err)
+		}
+		calls++
+	}
+	rw := reg.Counter(obsv.MetricRouteRewrite).Value()
+	sat := reg.Counter(obsv.MetricRouteSAT).Value()
+	if rw+sat != int64(calls) {
+		t.Fatalf("route counters %d+%d != %d calls", rw, sat, calls)
+	}
+	if rw == 0 || sat == 0 {
+		t.Fatalf("expected both routes exercised: rewrite=%d sat=%d", rw, sat)
+	}
+}
+
+// TestPlannerEquivalence is the tentpole property test: on random
+// inconsistent instances, planner-auto, forced-SAT and brute-force
+// repair enumeration must produce identical range consistent answers
+// for every operator and query shape in the overlap — and auto must
+// actually take the rewrite route unless a data-dependent rejection
+// forced it back.
+func TestPlannerEquivalence(t *testing.T) {
+	ops := []cq.AggOp{cq.CountStar, cq.Count, cq.Sum, cq.Min, cq.Max}
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for seed := 1; seed <= trials; seed++ {
+		r := rng(seed*693951 + 17)
+		in := randomTreeInstance(&r)
+		auto := newEngine(t, in, planner.ModeAuto)
+		sat := newEngine(t, in, planner.ModeSAT)
+		for _, op := range ops {
+			for _, grouped := range []bool{false, true} {
+				for _, withC := range []bool{false, true} {
+					for _, filt := range []bool{false, true} {
+						q := treeQuery(op, grouped, withC, filt)
+						label := fmt.Sprintf("seed %d op %v grouped %v withC %v filt %v",
+							seed, op, grouped, withC, filt)
+						checkEquivalence(t, label, in, q, auto, sat)
+					}
+				}
+			}
+		}
+	}
+}
+
+func checkEquivalence(t *testing.T, label string, in *db.Instance, q cq.AggQuery, auto, sat *core.Engine) {
+	t.Helper()
+	want, err := exhaustive.RangeAnswers(in, q, exhaustive.Options{Mode: exhaustive.ModeKeys})
+	if err != nil {
+		t.Fatalf("%s: exhaustive: %v", label, err)
+	}
+	a, err := auto.RangeAnswers(q)
+	if err != nil {
+		t.Fatalf("%s: auto: %v", label, err)
+	}
+	s, err := sat.RangeAnswers(q)
+	if err != nil {
+		t.Fatalf("%s: sat: %v", label, err)
+	}
+	if a.Route != "rewrite" && !strings.HasPrefix(a.RouteReason, "runtime fallback: ") {
+		t.Fatalf("%s: auto route %q (%s) on an in-class query", label, a.Route, a.RouteReason)
+	}
+	if s.Route != "sat" {
+		t.Fatalf("%s: forced-sat route %q", label, s.Route)
+	}
+	compareToExhaustive(t, label+" [auto]", a.Answers, want)
+	compareToExhaustive(t, label+" [sat]", s.Answers, want)
+	if len(a.Answers) != len(s.Answers) {
+		t.Fatalf("%s: auto %d answers vs sat %d", label, len(a.Answers), len(s.Answers))
+	}
+	for i := range a.Answers {
+		x, y := a.Answers[i], s.Answers[i]
+		if x.Key.Compare(y.Key) != 0 || !valuesMatch(x.GLB, y.GLB) || !valuesMatch(x.LUB, y.LUB) ||
+			x.EmptyPossible != y.EmptyPossible {
+			t.Fatalf("%s: answer %d diverges between routes:\n auto %+v\n sat  %+v", label, i, x, y)
+		}
+	}
+}
+
+func compareToExhaustive(t *testing.T, label string, got []core.GroupAnswer, want []exhaustive.GroupRange) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d answers vs exhaustive %d\n got %+v\nwant %+v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Key.Compare(w.Key) != 0 {
+			t.Fatalf("%s: key %v vs %v", label, g.Key, w.Key)
+		}
+		if g.EmptyPossible != w.EmptyPossible {
+			t.Fatalf("%s: key %v EmptyPossible %v vs exhaustive %v", label, g.Key, g.EmptyPossible, w.EmptyPossible)
+		}
+		if !valuesMatch(g.GLB, w.GLB) || !valuesMatch(g.LUB, w.LUB) {
+			t.Fatalf("%s: key %v range [%v,%v] vs exhaustive [%v,%v]",
+				label, g.Key, g.GLB, g.LUB, w.GLB, w.LUB)
+		}
+	}
+}
+
+func valuesMatch(a, b db.Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() == b.IsNull()
+	}
+	return a.Equal(b)
+}
+
+// TestTrimReason pins the prefix-stripping used for journal/explain
+// reason strings.
+func TestTrimReason(t *testing.T) {
+	err := fmt.Errorf("%w: query has self-joins", conquer.ErrNotInClass)
+	if got := planner.TrimReason(err); got != "query has self-joins" {
+		t.Fatalf("TrimReason = %q", got)
+	}
+	other := errors.New("context deadline exceeded")
+	if got := planner.TrimReason(other); got != other.Error() {
+		t.Fatalf("TrimReason on non-class error = %q", got)
+	}
+}
+
+// FuzzPlannerEquivalence is the randomized cross-check: arbitrary
+// (seed, operator, shape) triples must keep planner-auto, forced-SAT
+// and exhaustive repair enumeration in exact agreement. The seed corpus
+// in testdata covers every operator and both routes.
+func FuzzPlannerEquivalence(f *testing.F) {
+	f.Add(uint64(1), 0, 0)
+	f.Add(uint64(7), 2, 7)
+	f.Add(uint64(1234567), 3, 5)
+	f.Add(uint64(42), 4, 2)
+	f.Fuzz(func(t *testing.T, seed uint64, opIdx int, shape int) {
+		ops := []cq.AggOp{cq.CountStar, cq.Count, cq.Sum, cq.Min, cq.Max}
+		if opIdx < 0 {
+			opIdx = -opIdx
+		}
+		if opIdx < 0 { // math.MinInt negates to itself
+			opIdx = 0
+		}
+		op := ops[opIdx%len(ops)]
+		if seed == 0 {
+			seed = 1
+		}
+		r := rng(seed)
+		in := randomTreeInstance(&r)
+		q := treeQuery(op, shape&1 != 0, shape&2 != 0, shape&4 != 0)
+		auto := newEngine(t, in, planner.ModeAuto)
+		sat := newEngine(t, in, planner.ModeSAT)
+		label := fmt.Sprintf("seed %d op %v shape %#x", seed, op, shape&7)
+		checkEquivalence(t, label, in, q, auto, sat)
+	})
+}

@@ -76,6 +76,11 @@ type QueryResponse struct {
 	// Cached reports that the answer came from the result cache without
 	// touching the engine.
 	Cached bool `json:"cached"`
+	// Route is the executor that computed the answer: "rewrite" (the
+	// planner's SAT-free fast path), "sat" (the WPMaxSAT reduction), or
+	// "mixed" when a multi-aggregate statement split. Cached answers
+	// keep the route that originally computed them.
+	Route string `json:"route,omitempty"`
 	// ElapsedMS is the server-side latency of this request, queueing
 	// included.
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -112,6 +117,7 @@ func BuildResponse(res *aggcavsat.Result) *QueryResponse {
 		Columns:       res.Columns,
 		Rows:          make([]RowJSON, len(res.Rows)),
 		PartialGroups: res.PartialGroups,
+		Route:         res.Route,
 		SolveMS:       float64(res.Stats.SolveTime.Microseconds()) / 1000,
 		SATCalls:      res.Stats.SATCalls,
 	}

@@ -20,6 +20,13 @@ type cacheKey struct {
 	queryFP      string
 	constraintFP string
 	version      uint64
+	// planner is the tenant's routing policy ("auto", "force-sat",
+	// "force-rewrite"). Routes produce identical answers, but the key
+	// still separates them so a re-attach under a different policy (or
+	// two tenants differing only in policy) can never serve an answer
+	// computed under the other one — route provenance (QueryResponse.
+	// Route) stays truthful.
+	planner string
 }
 
 // resultCache is a mutex-guarded LRU of finished answers with

@@ -31,7 +31,10 @@ type Tenant struct {
 	// mode plus the schema keys or the denial-constraint set.
 	ConstraintFP string
 	// Mode is "keys" or "dc".
-	Mode       string
+	Mode string
+	// Planner is the routing policy of the tenant's engine ("auto",
+	// "force-sat", "force-rewrite"); part of the result-cache key.
+	Planner    string
 	Facts      int
 	Relations  int
 	AttachedAt time.Time
@@ -49,6 +52,7 @@ type TenantInfo struct {
 	Dir          string    `json:"dir,omitempty"`
 	Version      uint64    `json:"version"`
 	Mode         string    `json:"mode"`
+	Planner      string    `json:"planner"`
 	ConstraintFP string    `json:"constraint_fp"`
 	Facts        int       `json:"facts"`
 	Relations    int       `json:"relations"`
@@ -82,6 +86,7 @@ func (ts *tenants) attach(name, dir string, sys *aggcavsat.System, in *db.Instan
 		Version:      ts.version,
 		ConstraintFP: constraintFingerprint(in.Schema(), dcs),
 		Mode:         mode,
+		Planner:      sys.PlannerMode().String(),
 		Facts:        in.NumFacts(),
 		Relations:    len(in.Schema().Relations()),
 		AttachedAt:   time.Now(),
@@ -123,6 +128,7 @@ func (ts *tenants) list() []TenantInfo {
 			Dir:          t.Dir,
 			Version:      t.Version,
 			Mode:         t.Mode,
+			Planner:      t.Planner,
 			ConstraintFP: t.ConstraintFP,
 			Facts:        t.Facts,
 			Relations:    t.Relations,

@@ -32,6 +32,15 @@ const (
 	MetricCoalesced = "cavsatd_coalesced_total" // joined an identical in-flight solve
 	MetricTenants   = "cavsatd_instances"       // gauge: attached tenants
 	MetricReqSecs   = "cavsatd_request_seconds" // summary: whole requests, queueing included
+
+	// Per-route counters: every 200 /query response increments exactly
+	// one, cached answers under the route that originally computed them,
+	// so the family sums to the queries served. (The engine's own
+	// aggcavsat_planner_route_total counts solves, which cache hits never
+	// reach.)
+	MetricRouteRewrite = `cavsatd_route_total{route="rewrite"}`
+	MetricRouteSAT     = `cavsatd_route_total{route="sat"}`
+	MetricRouteMixed   = `cavsatd_route_total{route="mixed"}`
 )
 
 // Config tunes the query service.
@@ -55,6 +64,10 @@ type Config struct {
 	CacheEntries int
 	// RetryAfter is the hint returned with 429 responses. 0 means 1s.
 	RetryAfter time.Duration
+	// Planner is the routing policy applied to every tenant engine the
+	// server builds (AttachDir and hot attaches). The zero value is
+	// force-sat; cavsatd defaults its -planner flag to auto.
+	Planner aggcavsat.PlannerMode
 
 	// Metrics receives the service counters and, when also passed to
 	// tenant Options, the engine's own; required (New creates one if
@@ -113,6 +126,10 @@ type Server struct {
 	tenantsG *obsv.Gauge
 	latency  *obsv.Summary
 
+	routeRewrite *obsv.Counter
+	routeSAT     *obsv.Counter
+	routeMixed   *obsv.Counter
+
 	// exec runs one admitted query; tests override it to wedge or
 	// instrument the solver without a real slow instance.
 	exec func(ctx context.Context, t *Tenant, req *QueryRequest) (*aggcavsat.Result, error)
@@ -134,6 +151,10 @@ func New(cfg Config) *Server {
 		errors:   reg.Counter(MetricErrors),
 		tenantsG: reg.Gauge(MetricTenants),
 		latency:  reg.Summary(MetricReqSecs, 0, nil),
+
+		routeRewrite: reg.Counter(MetricRouteRewrite),
+		routeSAT:     reg.Counter(MetricRouteSAT),
+		routeMixed:   reg.Counter(MetricRouteMixed),
 	}
 	s.gate.wire(reg.Gauge(MetricInflight), reg.Gauge(MetricQueued))
 	s.cache.wire(reg.Counter(MetricCacheHit), reg.Counter(MetricCacheMiss), reg.Counter(MetricCoalesced))
@@ -154,6 +175,7 @@ func (s *Server) Attach(name, dir string, sys *aggcavsat.System, in *db.Instance
 func (s *Server) AttachDir(name, dir string, opts aggcavsat.Options) (*Tenant, error) {
 	opts.Metrics = s.cfg.Metrics
 	opts.Journal = s.cfg.Journal
+	opts.Planner = s.cfg.Planner
 	sys, in, dcs, err := LoadTenantDir(dir, opts)
 	if err != nil {
 		return nil, err
@@ -199,6 +221,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		queryFP:      core.Fingerprint64(normalizeSQL(req.SQL)),
 		constraintFP: t.ConstraintFP,
 		version:      t.Version,
+		planner:      t.Planner,
 	}
 	resp, served, err := s.cache.Do(r.Context(), key, func() (*QueryResponse, error) {
 		return s.admitAndSolve(r.Context(), t, req)
@@ -214,6 +237,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	out.Version = t.Version
 	out.Cached = served
 	out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	s.countRoute(out.Route)
 	s.latency.Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, &out)
 }
@@ -253,6 +277,21 @@ func (s *Server) runQuery(ctx context.Context, t *Tenant, req *QueryRequest) (*a
 		ctx = obsv.WithTracer(ctx, s.cfg.Tracer)
 	}
 	return t.System().QueryContext(ctx, req.SQL)
+}
+
+// countRoute bumps the per-route served counter: every 200 response
+// lands in exactly one bucket, so the cavsatd_route_total family sums
+// to the queries served. Unexpected values count as "sat" (the
+// conservative executor) rather than silently skewing the sum.
+func (s *Server) countRoute(route string) {
+	switch route {
+	case "rewrite":
+		s.routeRewrite.Inc()
+	case "mixed":
+		s.routeMixed.Inc()
+	default:
+		s.routeSAT.Inc()
+	}
 }
 
 // writeQueryError maps solve/admission failures onto the typed JSON
@@ -310,7 +349,8 @@ func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, TenantInfo{
 			Name: t.Name, Dir: t.Dir, Version: t.Version, Mode: t.Mode,
-			ConstraintFP: t.ConstraintFP, Facts: t.Facts, Relations: t.Relations,
+			Planner: t.Planner, ConstraintFP: t.ConstraintFP,
+			Facts: t.Facts, Relations: t.Relations,
 			AttachedAt: t.AttachedAt,
 		})
 	default:

@@ -464,3 +464,86 @@ func TestCoalescedFollowersShareOneSolve(t *testing.T) {
 		t.Error("coalesce counter stayed zero")
 	}
 }
+
+// TestRouteCountersSumToServedResponses pins the service-level metrics
+// contract: every 200 /query response — cache hits included — bumps
+// exactly one cavsatd_route_total counter, cached answers count under
+// the route that originally computed them, and non-200 responses count
+// nothing.
+func TestRouteCountersSumToServedResponses(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Planner: aggcavsat.PlannerAuto})
+	served := 0
+	query := func(sql string) QueryResponse {
+		t.Helper()
+		resp, body := postQuery(t, ts.URL, &QueryRequest{SQL: sql})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d %s", sql, resp.StatusCode, body)
+		}
+		served++
+		var out QueryResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	first := query(sumQuery) // single-relation SUM: the rewrite fast path
+	if first.Route != "rewrite" || first.Cached {
+		t.Fatalf("first response route %q cached %v, want fresh rewrite", first.Route, first.Cached)
+	}
+	cached := query(sumQuery) // cache hit keeps the original route
+	if !cached.Cached || cached.Route != "rewrite" {
+		t.Fatalf("cached response route %q cached %v", cached.Route, cached.Cached)
+	}
+	satOut := query("SELECT COUNT(DISTINCT BAL) FROM Acc") // outside the rewriting
+	if satOut.Route != "sat" {
+		t.Fatalf("DISTINCT routed %q, want sat", satOut.Route)
+	}
+
+	// A failed request counts no route.
+	if resp, _ := postQuery(t, ts.URL, &QueryRequest{SQL: "DELETE FROM Acc"}); resp.StatusCode == http.StatusOK {
+		t.Fatal("invalid SQL served")
+	}
+
+	reg := srv.cfg.Metrics
+	rw := reg.Counter(MetricRouteRewrite).Value()
+	sat := reg.Counter(MetricRouteSAT).Value()
+	mixed := reg.Counter(MetricRouteMixed).Value()
+	if rw+sat+mixed != int64(served) {
+		t.Fatalf("route counters %d+%d+%d != %d served responses", rw, sat, mixed, served)
+	}
+	if rw != 2 || sat != 1 {
+		t.Fatalf("rewrite=%d sat=%d, want 2 and 1", rw, sat)
+	}
+
+	// The tenant listing advertises the serving policy.
+	resp, err := http.Get(ts.URL + "/admin/instances")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []TenantInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || infos[0].Planner != "auto" {
+		t.Fatalf("instances = %+v", infos)
+	}
+
+	// /metrics exposes the family with one TYPE line and all three labels.
+	metrics, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metrics.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(metrics.Body)
+	if got := strings.Count(buf.String(), "# TYPE cavsatd_route_total counter"); got != 1 {
+		t.Errorf("cavsatd_route_total TYPE lines = %d, want 1", got)
+	}
+	for _, want := range []string{MetricRouteRewrite, MetricRouteSAT, MetricRouteMixed} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
