@@ -21,12 +21,14 @@ vet:
 # components/candidate shards) with the flight recorder fed from worker
 # goroutines, the parallel witness enumerator (shared evaluator,
 # plan/index caches), the bench harness, the facade (one System hammered
-# by concurrent QueryContext callers), and the query service (admission
-# gate handoffs, singleflight coalescing, hot tenant re-attach). -short
-# skips the slowest property-test sweeps so the run stays usable on
-# small CI boxes.
+# by concurrent QueryContext callers), the query service (admission
+# gate handoffs, singleflight coalescing, hot tenant re-attach), and the
+# fact store (frozen columnar instances and mmap-backed snapshots read
+# by concurrent query workers while the dictionary and arenas must stay
+# immutable). -short skips the slowest property-test sweeps so the run
+# stays usable on small CI boxes.
 race:
-	$(GO) test -race -short . ./internal/obsv/... ./internal/sat/... ./internal/maxsat/... ./internal/core/... ./internal/cq/... ./internal/bench/... ./internal/server/... ./internal/planner/... ./internal/conquer/...
+	$(GO) test -race -short . ./internal/obsv/... ./internal/sat/... ./internal/maxsat/... ./internal/core/... ./internal/cq/... ./internal/bench/... ./internal/server/... ./internal/planner/... ./internal/conquer/... ./internal/db/...
 
 # Micro-benchmarks: the clone-vs-rebuild and shared-base suites in
 # sat/maxsat/core (the PR 3 incremental-solving win), the compiled-vs-

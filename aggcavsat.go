@@ -93,6 +93,9 @@ type (
 	Journal = obsv.Journal
 	// JournalEntry is one decoded journal line.
 	JournalEntry = obsv.JournalEntry
+	// Snapshot is an mmap-backed columnar database file handle; its
+	// Instance is frozen and reads straight out of the mapping.
+	Snapshot = db.Snapshot
 )
 
 // OpenJournal opens (appending) a query journal at path.
@@ -141,6 +144,12 @@ func NewInstance(s *Schema) *Instance { return db.NewInstance(s) }
 
 // LoadDir loads an instance from a directory of <relation>.csv files.
 func LoadDir(s *Schema, dir string) (*Instance, error) { return db.LoadDir(s, dir) }
+
+// OpenDir loads a data directory like LoadDir, but maps a columnar
+// snapshot (snapshot.bin, written by datagen -snapshot) zero-copy when
+// one is present instead of parsing CSV. The Snapshot is non-nil
+// exactly when the snapshot path was taken; Close it after use.
+func OpenDir(s *Schema, dir string) (*Instance, *Snapshot, error) { return db.OpenDir(s, dir) }
 
 // FD builds denial constraints for the functional dependency lhs → rhs
 // on the relation.

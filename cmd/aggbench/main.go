@@ -23,7 +23,11 @@
 //	-slow-query D     queries slower than D dump a flight bundle even on
 //	                  success (0 = only timeouts/errors)
 //	-compare old.json diff this run's records against a BENCH_*.json
-//	                  baseline and report slowdowns (informational)
+//	                  baseline and report slowdowns plus allocation and
+//	                  live-heap growth (informational unless
+//	                  -compare-strict, which exits non-zero on a
+//	                  deterministic flag: memory growth, answers drift,
+//	                  or a new timeout — never wall-clock alone)
 //	-journal f.jsonl  append one wide-event JSON line per engine call
 //	                  (bounded, non-blocking writer; -listen exposes the
 //	                  tail at /debug/journal)
@@ -117,7 +121,8 @@ func main() {
 	listen := flag.String("listen", "", "serve /metrics, /debug/trace, /debug/pprof and /healthz on this address while the suite runs")
 	flightDir := flag.String("flight-dir", "", "write flight-recorder bundles for anomalous queries into this directory")
 	flag.DurationVar(&cfg.SlowQuery, "slow-query", cfg.SlowQuery, "queries slower than this dump a flight bundle even on success (0 = only timeouts/errors)")
-	compare := flag.String("compare", "", "diff this run's records against a BENCH_*.json baseline (informational)")
+	compare := flag.String("compare", "", "diff this run's records against a BENCH_*.json baseline (time, allocation, and live-heap columns; informational unless -compare-strict)")
+	compareStrict := flag.Bool("compare-strict", false, "exit non-zero when -compare flags a deterministic regression (memory growth, answers drift, new timeout; wall-clock stays informational)")
 	journalPath := flag.String("journal", "", "append one wide-event JSON line per engine call to this file")
 	journalRead := flag.String("journal-read", "", "decode a journal file, print a per-query summary, and exit")
 	replay := flag.Bool("replay", false, "replay a query stream against one engine and print a latency percentile table")
@@ -277,6 +282,10 @@ func main() {
 		}
 		rep := bench.CompareRecords(baseline, r.Records(), bench.CompareOptions{})
 		rep.Fprint(os.Stderr)
+		if *compareStrict && len(rep.GatingRegressions()) > 0 {
+			fmt.Fprintln(os.Stderr, "aggbench: -compare-strict: deterministic regressions flagged")
+			os.Exit(1)
+		}
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

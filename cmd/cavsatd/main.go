@@ -29,9 +29,15 @@
 // hint. Each request is bounded by -request-timeout (clients may lower
 // it per request, never raise it).
 //
+// Attached directories that hold a columnar snapshot (snapshot.bin,
+// written by datagen -snapshot) are mmap'ed zero-copy instead of
+// parsing CSV; the snapshot's content fingerprint is reported as
+// data_version by /admin/instances.
+//
 // The result cache holds -cache-entries finished answers keyed by
-// (query fingerprint, constraint fingerprint, instance version, planner
-// mode); identical concurrent queries coalesce into one solve.
+// (query fingerprint, constraint fingerprint, instance version,
+// snapshot data version, planner mode); identical concurrent queries
+// coalesce into one solve.
 //
 // The -planner flag (default auto) routes rewritable queries through
 // the SAT-free ConQuer-style executor and everything else through the

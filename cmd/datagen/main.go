@@ -30,6 +30,7 @@ func main() {
 	instance := flag.Int("instance", 1, "PDBench instance 1-4 (pdbench)")
 	scale := flag.Float64("scale", 0.25, "Medigap scale (medigap)")
 	seed := flag.Uint64("seed", 2022, "generator seed")
+	snapshot := flag.Bool("snapshot", true, "also write a columnar snapshot (snapshot.bin) that cavsat/cavsatd mmap instead of parsing CSV")
 	flag.Parse()
 
 	var (
@@ -58,6 +59,13 @@ func main() {
 
 	fatalIf(in.SaveDir(*out))
 	fatalIf(writeSchema(in, filepath.Join(*out, "schema.txt"), fds))
+	if *snapshot {
+		snapPath := filepath.Join(*out, db.SnapshotFileName)
+		fatalIf(db.SaveSnapshot(in, snapPath))
+		if fi, err := os.Stat(snapPath); err == nil {
+			fmt.Printf("wrote columnar snapshot %s (%d bytes)\n", snapPath, fi.Size())
+		}
+	}
 
 	var total int
 	for _, rs := range in.Schema().Relations() {

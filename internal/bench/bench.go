@@ -782,6 +782,7 @@ func (r *Runner) All(w io.Writer) error {
 		{"pr3", r.IncrementalCompare},
 		{"pr4", r.FrontendCompare},
 		{"pr8", r.PlannerCompare},
+		{"pr9", r.ColumnarCompare},
 	}
 	for _, e := range experiments {
 		r.setExperiment(e.name)
@@ -844,6 +845,8 @@ func (r *Runner) experimentByName(name string) (*Table, error) {
 		return r.FrontendCompare()
 	case "pr8", "planner":
 		return r.PlannerCompare()
+	case "pr9", "columnar":
+		return r.ColumnarCompare()
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q", name)
 	}
@@ -854,6 +857,6 @@ func Names() []string {
 	return []string{
 		"fig1", "fig2", "table2", "fig3", "table3ab", "fig4", "table3cd",
 		"fig5", "fig6", "fig7", "fig8", "table4", "fig9", "ablation", "pr3",
-		"pr4", "pr8",
+		"pr4", "pr8", "pr9",
 	}
 }

@@ -175,7 +175,7 @@ func TestExperimentDispatch(t *testing.T) {
 	if err := r.Experiment("nope", &buf); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if len(Names()) != 17 {
+	if len(Names()) != 18 {
 		t.Errorf("Names() = %d entries", len(Names()))
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // CompareOptions tunes the regression check. A timing is flagged only
@@ -19,15 +20,26 @@ type CompareOptions struct {
 	// FloorMS is the minimum absolute slowdown worth flagging; values
 	// ≤ 0 mean DefaultFloorMS.
 	FloorMS float64
+	// MemTolerance is the acceptable growth ratio for the memory columns
+	// (phase allocation totals and live heap); values ≤ 1 mean
+	// DefaultMemTolerance.
+	MemTolerance float64
+	// MemFloorBytes is the minimum absolute growth worth flagging;
+	// values ≤ 0 mean DefaultMemFloorBytes.
+	MemFloorBytes float64
 }
 
 // Default comparison thresholds: a run must be 1.5× slower and lose at
 // least 50 ms before it counts as a regression. Wall-clock benchmarks
 // on shared CI runners are noisy; these defaults make the check
-// informational rather than flaky.
+// informational rather than flaky. Memory counters are deterministic
+// enough for a tighter floor, but GC timing still moves live-heap
+// samples, so the same ratio guard applies with an 8 MiB floor.
 const (
-	DefaultTolerance = 1.5
-	DefaultFloorMS   = 50
+	DefaultTolerance     = 1.5
+	DefaultFloorMS       = 50
+	DefaultMemTolerance  = 1.5
+	DefaultMemFloorBytes = 8 << 20
 )
 
 // CompareEntry is the verdict for one (experiment, setting, query) run
@@ -37,7 +49,9 @@ type CompareEntry struct {
 	Setting    string
 	Query      string
 	// Metric is the flagged column ("total_ms", "solve_ms", "encode_ms",
-	// "witness_ms", "timeout", "answers"); one entry per flagged metric.
+	// "witness_ms", "timeout", "answers", "witness_alloc_bytes",
+	// "encode_alloc_bytes", "solve_alloc_bytes", "heap_bytes"); one
+	// entry per flagged metric.
 	Metric   string
 	OldValue float64
 	NewValue float64
@@ -64,6 +78,21 @@ func (r *CompareReport) HasRegressions() bool {
 	return false
 }
 
+// GatingRegressions returns the regressions deterministic enough to
+// gate CI on: answers drift, new timeouts, and growth in the memory
+// columns. Wall-clock slowdowns are excluded — shared-runner timing
+// noise routinely blows past any usable threshold, while allocation
+// totals and settled heap sizes are reproducible run to run.
+func (r *CompareReport) GatingRegressions() []CompareEntry {
+	var out []CompareEntry
+	for _, e := range r.Entries {
+		if e.Regression && !strings.HasSuffix(e.Metric, "_ms") {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // Fprint renders the report for humans.
 func (r *CompareReport) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "bench compare: %d matched runs (%d old-only, %d new-only)\n",
@@ -81,6 +110,12 @@ func (r *CompareReport) Fprint(w io.Writer) {
 		if e.Regression {
 			tag = "REGRESSION"
 		}
+		if strings.HasSuffix(e.Metric, "_bytes") {
+			fmt.Fprintf(w, "%s: %s/%s %s: %.2f MiB -> %.2f MiB\n",
+				tag, e.Experiment, label, e.Metric,
+				e.OldValue/(1<<20), e.NewValue/(1<<20))
+			continue
+		}
 		fmt.Fprintf(w, "%s: %s/%s %s: %.1f -> %.1f\n",
 			tag, e.Experiment, label, e.Metric, e.OldValue, e.NewValue)
 	}
@@ -90,10 +125,10 @@ func (r *CompareReport) Fprint(w io.Writer) {
 type runKey struct{ exp, setting, query string }
 
 // CompareRecords diffs two RunRecord sets (typically a committed
-// BENCH_*.json baseline against a fresh run) and flags slowdowns beyond
-// the tolerance, answers drift, and timeout changes. Runs are matched
-// by (experiment, setting, query); unmatched runs are counted, not
-// flagged.
+// BENCH_*.json baseline against a fresh run) and flags slowdowns,
+// allocation and live-heap growth beyond the tolerances, answers
+// drift, and timeout changes. Runs are matched by (experiment,
+// setting, query); unmatched runs are counted, not flagged.
 func CompareRecords(old, new []RunRecord, opts CompareOptions) *CompareReport {
 	tol := opts.Tolerance
 	if tol <= 1 {
@@ -102,6 +137,14 @@ func CompareRecords(old, new []RunRecord, opts CompareOptions) *CompareReport {
 	floor := opts.FloorMS
 	if floor <= 0 {
 		floor = DefaultFloorMS
+	}
+	memTol := opts.MemTolerance
+	if memTol <= 1 {
+		memTol = DefaultMemTolerance
+	}
+	memFloor := opts.MemFloorBytes
+	if memFloor <= 0 {
+		memFloor = DefaultMemFloorBytes
 	}
 	index := make(map[runKey]RunRecord, len(old))
 	for _, rec := range old {
@@ -156,6 +199,29 @@ func CompareRecords(old, new []RunRecord, opts CompareOptions) *CompareReport {
 		for _, t := range timings {
 			if t.new > t.old*tol && t.new-t.old > floor {
 				add(t.metric, t.old, t.new, true)
+			}
+		}
+		// Memory columns (recorded since the observability pass) get the
+		// same ratio+floor guard. Baselines written before the columns
+		// existed carry zeros; a zero old value means "not measured", not
+		// "allocated nothing", so those rows are skipped rather than
+		// flagged as infinite growth.
+		memory := []struct {
+			metric   string
+			old, new int64
+		}{
+			{"witness_alloc_bytes", or.WitnessAllocBytes, nr.WitnessAllocBytes},
+			{"encode_alloc_bytes", or.EncodeAllocBytes, nr.EncodeAllocBytes},
+			{"solve_alloc_bytes", or.SolveAllocBytes, nr.SolveAllocBytes},
+			{"heap_bytes", or.HeapBytes, nr.HeapBytes},
+		}
+		for _, m := range memory {
+			if m.old <= 0 {
+				continue
+			}
+			oldV, newV := float64(m.old), float64(m.new)
+			if newV > oldV*memTol && newV-oldV > memFloor {
+				add(m.metric, oldV, newV, true)
 			}
 		}
 	}

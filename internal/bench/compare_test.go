@@ -135,3 +135,111 @@ func TestLoadRecordsRoundTrip(t *testing.T) {
 		t.Fatal("LoadRecords on a missing file did not error")
 	}
 }
+
+// recMem attaches memory columns to a base record.
+func recMem(base RunRecord, allocBytes, heapBytes int64) RunRecord {
+	base.WitnessAllocBytes = allocBytes
+	base.EncodeAllocBytes = allocBytes
+	base.SolveAllocBytes = allocBytes
+	base.HeapBytes = heapBytes
+	return base
+}
+
+func TestCompareRecordsFlagsMemoryGrowth(t *testing.T) {
+	old := []RunRecord{recMem(rec("fig1", "", "Q1", 100), 32<<20, 64<<20)}
+	cur := []RunRecord{recMem(rec("fig1", "", "Q1", 100), 96<<20, 256<<20)} // 3x alloc, 4x heap
+	rep := CompareRecords(old, cur, CompareOptions{})
+	if !rep.HasRegressions() {
+		t.Fatal("3x allocation growth not flagged")
+	}
+	metrics := map[string]bool{}
+	for _, e := range rep.Entries {
+		if e.Regression {
+			metrics[e.Metric] = true
+		}
+	}
+	for _, want := range []string{"witness_alloc_bytes", "encode_alloc_bytes", "solve_alloc_bytes", "heap_bytes"} {
+		if !metrics[want] {
+			t.Errorf("%s not flagged; entries: %+v", want, rep.Entries)
+		}
+	}
+	var buf bytes.Buffer
+	rep.Fprint(&buf)
+	if !strings.Contains(buf.String(), "MiB") {
+		t.Errorf("byte metrics not rendered in MiB:\n%s", buf.String())
+	}
+}
+
+func TestCompareRecordsMemoryNoiseGuards(t *testing.T) {
+	// 1.4x growth is inside the default 1.5x tolerance.
+	rep := CompareRecords(
+		[]RunRecord{recMem(rec("fig1", "", "Q1", 100), 100<<20, 100<<20)},
+		[]RunRecord{recMem(rec("fig1", "", "Q1", 100), 140<<20, 140<<20)},
+		CompareOptions{})
+	if rep.HasRegressions() {
+		t.Fatalf("1.4x memory growth flagged: %+v", rep.Entries)
+	}
+	// 10x growth on a tiny run is under the absolute byte floor.
+	rep = CompareRecords(
+		[]RunRecord{recMem(rec("fig1", "", "Q1", 100), 1<<16, 1<<16)},
+		[]RunRecord{recMem(rec("fig1", "", "Q1", 100), 10<<16, 10<<16)},
+		CompareOptions{})
+	if rep.HasRegressions() {
+		t.Fatalf("sub-floor memory growth flagged: %+v", rep.Entries)
+	}
+	// A baseline without memory columns (pre-observability BENCH files)
+	// never trips the memory check, whatever the new run allocates.
+	rep = CompareRecords(
+		[]RunRecord{rec("fig1", "", "Q1", 100)},
+		[]RunRecord{recMem(rec("fig1", "", "Q1", 100), 1<<30, 1<<30)},
+		CompareOptions{})
+	if rep.HasRegressions() {
+		t.Fatalf("zero baseline treated as infinite growth: %+v", rep.Entries)
+	}
+	// Shrinking memory is never flagged.
+	rep = CompareRecords(
+		[]RunRecord{recMem(rec("fig1", "", "Q1", 100), 1<<30, 1<<30)},
+		[]RunRecord{recMem(rec("fig1", "", "Q1", 100), 1<<20, 1<<20)},
+		CompareOptions{})
+	if rep.HasRegressions() {
+		t.Fatalf("memory reduction flagged: %+v", rep.Entries)
+	}
+}
+
+func TestGatingRegressionsExcludeWallClock(t *testing.T) {
+	// A pure wall-clock slowdown (4x, well past the floor) is a
+	// regression but not a gating one.
+	rep := CompareRecords(
+		[]RunRecord{rec("fig1", "", "Q1", 100)},
+		[]RunRecord{rec("fig1", "", "Q1", 400)},
+		CompareOptions{})
+	if !rep.HasRegressions() {
+		t.Fatal("4x slowdown not flagged at all")
+	}
+	if g := rep.GatingRegressions(); len(g) != 0 {
+		t.Fatalf("wall-clock slowdown gates: %+v", g)
+	}
+	// Memory growth does gate.
+	rep = CompareRecords(
+		[]RunRecord{recMem(rec("fig1", "", "Q1", 100), 32<<20, 64<<20)},
+		[]RunRecord{recMem(rec("fig1", "", "Q1", 100), 96<<20, 256<<20)},
+		CompareOptions{})
+	if g := rep.GatingRegressions(); len(g) == 0 {
+		t.Fatal("memory growth does not gate")
+	}
+	// So does answers drift.
+	old := rec("fig1", "", "Q1", 100)
+	cur := rec("fig1", "", "Q1", 100)
+	cur.Answers = old.Answers + 1
+	rep = CompareRecords([]RunRecord{old}, []RunRecord{cur}, CompareOptions{})
+	if g := rep.GatingRegressions(); len(g) == 0 {
+		t.Fatal("answers drift does not gate")
+	}
+	// And a new timeout.
+	cur = rec("fig1", "", "Q1", 100)
+	cur.Timeout = true
+	rep = CompareRecords([]RunRecord{old}, []RunRecord{cur}, CompareOptions{})
+	if g := rep.GatingRegressions(); len(g) == 0 {
+		t.Fatal("new timeout does not gate")
+	}
+}

@@ -56,6 +56,13 @@ type GroupRange struct {
 	// EmptyPossible is set for scalar MIN/MAX when some repair has an
 	// empty result; the corresponding endpoint is NULL.
 	EmptyPossible bool
+	// FromConsistentPart reports that every witness of this answer is
+	// made of safe facts (facts in no key violation) — the same flag the
+	// SAT engine's consistent-part folding sets, so the two routes stay
+	// digest-identical. Only COUNT(*)/COUNT/SUM answers carry it; the
+	// solver's MIN/MAX path never sets the flag, so neither does the
+	// rewriting.
+	FromConsistentPart bool
 }
 
 // Baseline evaluates C_aggforest queries over one instance.
@@ -111,7 +118,6 @@ type atomInfo struct {
 	// position is bound by a constant, stored in keyConsts).
 	keyFromParent []int
 	keyConsts     db.Tuple
-	keyIdentity   []int
 	// subtreeGroupIdx lists, sorted, the head indices of grouping
 	// variables owned by this atom's subtree.
 	subtreeGroupIdx []int
@@ -419,9 +425,7 @@ func buildTree(schema *db.Schema, q cq.AggQuery, d cq.CQ, root int,
 		rel := atoms[ai].rel
 		atoms[ai].keyFromParent = make([]int, len(rel.Key))
 		atoms[ai].keyConsts = make(db.Tuple, len(rel.Key))
-		atoms[ai].keyIdentity = make([]int, len(rel.Key))
 		for i, kp := range rel.Key {
-			atoms[ai].keyIdentity[i] = i
 			atoms[ai].keyFromParent[i] = -1
 			if a.Args[kp].IsConst {
 				atoms[ai].keyConsts[i] = a.Args[kp].Const
@@ -522,6 +526,12 @@ type factState struct {
 	pass bool
 	cert bool
 	poss bool
+	// safe: every witness through this fact's subtree uses only facts
+	// below it that are safe (singleton key-equal groups). The fact's
+	// OWN group size is the caller's knowledge — it is folded in where
+	// the group is enumerated (the child loop for child atoms, the
+	// answer aggregation for root facts). Only meaningful when poss.
+	safe bool
 }
 
 // failedState is the read-only state returned for root facts excluded
@@ -533,8 +543,8 @@ var failedState = &factState{done: true}
 // from the (memoized) Indexes.
 type atomData struct {
 	facts  []db.FactID
-	byKey  map[string][]db.FactID // child lookup by key projection
-	groups [][]db.FactID          // key-equal groups, enumeration order
+	idx    *relIndex     // child lookup by key-projection hash
+	groups [][]db.FactID // key-equal groups, enumeration order
 	keyPos []int
 }
 
@@ -559,9 +569,9 @@ func (p *Plan) Execute(ctx context.Context, in *db.Instance, ix *Indexes, parall
 	for ai := range p.atoms {
 		rel := p.atoms[ai].rel
 		ad := atomData{keyPos: rel.Key}
-		if ri := tables[strings.ToLower(rel.Name)]; ri != nil {
+		if ri := tables[rel.Canon()]; ri != nil {
 			ad.facts = ri.facts
-			ad.byKey = ri.byKey
+			ad.idx = ri
 			ad.groups = ri.groups
 		}
 		x.data[ai] = ad
@@ -645,7 +655,7 @@ func (x *executor) run(ctx context.Context, parallelism int) ([]GroupRange, erro
 					return st
 				}
 				for _, gp := range x.atoms[x.root].groupPositions {
-					if !x.in.Fact(f).Tuple[gp.pos].Equal(g[gp.headIndex]) {
+					if !x.in.ValueAt(f, gp.pos).Equal(g[gp.headIndex]) {
 						return failedState
 					}
 				}
@@ -714,10 +724,9 @@ func (x *executor) bucketByGroupKey(ctx context.Context, rgs []rootGroup,
 		if !sharedEval(ai, f).poss {
 			return nil
 		}
-		t := x.in.Fact(f).Tuple
 		base := make(db.Tuple, nG)
 		for _, gp := range x.atoms[ai].groupPositions {
-			base[gp.headIndex] = t[gp.pos]
+			base[gp.headIndex] = x.in.ValueAt(f, gp.pos)
 		}
 		acc := []db.Tuple{base}
 		for _, ci := range x.atoms[ai].children {
@@ -727,7 +736,7 @@ func (x *executor) bucketByGroupKey(ctx context.Context, rgs []rootGroup,
 				// the subtree completes, and it binds no head position.
 				continue
 			}
-			members := x.data[ci].byKey[x.childKey(ci, f, scratch)]
+			members := x.childMembers(ci, f, scratch)
 			var childProjs []db.Tuple
 			seen := map[string]bool{}
 			for _, m := range members {
@@ -814,25 +823,25 @@ func (x *executor) maxKeyLen() int {
 // All checks are position-compiled (localCheck), so this allocates
 // nothing on the hot path.
 func (x *executor) localPass(ai int, f db.FactID) bool {
-	t := x.in.Fact(f).Tuple
+	t := x.in.Row(f)
 	lc := &x.atoms[ai].local
 	for i, pos := range lc.constPos {
-		if !lc.constVal[i].Equal(t[pos]) {
+		if !lc.constVal[i].Equal(t.Value(pos)) {
 			return false
 		}
 	}
 	for _, d := range lc.dupPairs {
-		if !t[d[0]].Equal(t[d[1]]) {
+		if !t.Value(d[0]).Equal(t.Value(d[1])) {
 			return false
 		}
 	}
 	for _, c := range lc.conds {
 		l, r := c.leftVal, c.rightVal
 		if c.leftPos >= 0 {
-			l = t[c.leftPos]
+			l = t.Value(c.leftPos)
 		}
 		if c.rightPos >= 0 {
-			r = t[c.rightPos]
+			r = t.Value(c.rightPos)
 		}
 		if !c.op.Apply(l, r) {
 			return false
@@ -860,7 +869,7 @@ func (x *executor) makeEval(g db.Tuple) func(ai int, f db.FactID) *factState {
 		if st.pass && g != nil {
 			// Group filter: owned grouping positions must match g.
 			for _, gp := range x.atoms[ai].groupPositions {
-				if !x.in.Fact(f).Tuple[gp.pos].Equal(g[gp.headIndex]) {
+				if !x.in.ValueAt(f, gp.pos).Equal(g[gp.headIndex]) {
 					st.pass = false
 					break
 				}
@@ -869,14 +878,19 @@ func (x *executor) makeEval(g db.Tuple) func(ai int, f db.FactID) *factState {
 		if !st.pass {
 			return st
 		}
-		st.cert, st.poss = true, true
+		st.cert, st.poss, st.safe = true, true, true
 		for _, ci := range x.atoms[ai].children {
 			// The referenced child key-equal group.
-			key := x.childKey(ci, f, scratch)
-			members := x.data[ci].byKey[key]
+			members := x.childMembers(ci, f, scratch)
 			if len(members) == 0 {
 				st.cert, st.poss = false, false
 				return st
+			}
+			// A child group with alternatives makes every witness through
+			// it use a fact from a non-singleton group — unsafe; a
+			// singleton child must itself be safe below.
+			if len(members) != 1 {
+				st.safe = false
 			}
 			anyPoss, allCert := false, true
 			for _, m := range members {
@@ -887,6 +901,9 @@ func (x *executor) makeEval(g db.Tuple) func(ai int, f db.FactID) *factState {
 				if !ms.cert {
 					allCert = false
 				}
+				if len(members) == 1 && !ms.safe {
+					st.safe = false
+				}
 			}
 			st.cert = st.cert && allCert
 			st.poss = st.poss && anyPoss
@@ -896,24 +913,35 @@ func (x *executor) makeEval(g db.Tuple) func(ai int, f db.FactID) *factState {
 	return evalFact
 }
 
-// childKey builds the lookup key of the child group referenced by the
+// childMembers resolves the child key-equal group referenced by the
 // parent fact: join positions take the parent's values, constant key
 // positions take the constant. scratch must hold at least len(rel.Key)
 // slots; the layout (keyFromParent/keyConsts) is precompiled by
-// Analyze, and the encoding matches what byKey uses (Key(rel.Key)
-// projects in key order).
-func (x *executor) childKey(ci int, parentFact db.FactID, scratch db.Tuple) string {
+// Analyze. The lookup is a HashProbeValue fold over the key values —
+// paired with the HashRowOn hashes the relIndex was built from, and
+// verified against the bucket's representative fact, so no key string
+// is ever materialized. A probe string absent from the instance
+// dictionary means no such group exists.
+func (x *executor) childMembers(ci int, parentFact db.FactID, scratch db.Tuple) []db.FactID {
 	a := &x.atoms[ci]
-	pt := x.in.Fact(parentFact).Tuple
+	ad := &x.data[ci]
+	if ad.idx == nil {
+		return nil
+	}
+	pt := x.in.Row(parentFact)
 	vals := scratch[:len(a.keyFromParent)]
+	h, ok := db.HashSeed, true
 	for i, pp := range a.keyFromParent {
 		if pp >= 0 {
-			vals[i] = pt[pp]
+			vals[i] = pt.Value(pp)
 		} else {
 			vals[i] = a.keyConsts[i]
 		}
+		if h, ok = x.in.HashProbeValue(h, vals[i]); !ok {
+			return nil
+		}
 	}
-	return vals.Key(a.keyIdentity)
+	return ad.idx.lookup(x.in, ad.keyPos, h, vals)
 }
 
 // aggregate combines per-root-group optima into the group's interval.
@@ -927,13 +955,13 @@ func (x *executor) aggregate(g db.Tuple, rootGroups []rootGroup,
 		case cq.CountStar:
 			return 1, true, nil
 		case cq.Count:
-			v := x.in.Fact(f).Tuple[x.aggPos]
+			v := x.in.ValueAt(f, x.aggPos)
 			if v.IsNull() {
 				return 0, true, nil
 			}
 			return 1, true, nil
 		case cq.Sum:
-			v := x.in.Fact(f).Tuple[x.aggPos]
+			v := x.in.ValueAt(f, x.aggPos)
 			if v.IsNull() {
 				return 0, true, nil
 			}
@@ -976,6 +1004,14 @@ func (x *executor) aggregate(g db.Tuple, rootGroups []rootGroup,
 	switch op {
 	case cq.CountStar, cq.Count, cq.Sum:
 		var glb, lub int64
+		// Mirrors the SAT path's consistent-part folding condition: the
+		// flag survives only while every witness of this answer is made
+		// of safe facts — a possible root contributor in a non-singleton
+		// group, or one whose subtree touches a non-singleton group,
+		// kills it. Zero-weight contributors (COUNT over NULL, SUM over
+		// NULL or 0) are exempt: the solver drops those witnesses before
+		// the unsafe scan, so they must not kill the flag here either.
+		fromCP := true
 		for _, rg := range rootGroups {
 			minC := int64(math.MaxInt64)
 			maxC := int64(0)
@@ -987,6 +1023,9 @@ func (x *executor) aggregate(g db.Tuple, rootGroups []rootGroup,
 				}
 				if !ok {
 					return nil, fmt.Errorf("%w: unsupported value", ErrNotInClass)
+				}
+				if st.poss && v != 0 && (len(rg.members) != 1 || !st.safe) {
+					fromCP = false
 				}
 				var cMin, cMax int64
 				switch {
@@ -1007,7 +1046,7 @@ func (x *executor) aggregate(g db.Tuple, rootGroups []rootGroup,
 			glb += minC
 			lub += maxC
 		}
-		return &GroupRange{Key: g, GLB: db.Int(glb), LUB: db.Int(lub)}, nil
+		return &GroupRange{Key: g, GLB: db.Int(glb), LUB: db.Int(lub), FromConsistentPart: fromCP}, nil
 	case cq.Min, cq.Max:
 		return x.aggregateMinMax(g, rootGroups, evalFact)
 	default:
@@ -1044,7 +1083,7 @@ func (x *executor) aggregateMinMax(g db.Tuple, rootGroups []rootGroup,
 		allCert := len(rg.members) > 0
 		for _, f := range rg.members {
 			st := evalFact(x.root, f)
-			v := x.in.Fact(f).Tuple[x.aggPos]
+			v := x.in.ValueAt(f, x.aggPos)
 			if v.IsNull() {
 				allCert = false
 				continue

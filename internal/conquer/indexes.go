@@ -1,20 +1,50 @@
 package conquer
 
 import (
-	"strings"
 	"sync"
 
 	"aggcavsat/internal/db"
 )
 
+// keyBucket is one key-equal group reachable under a key-projection
+// hash: repr is any member (all members agree on the key by
+// construction), used to verify exact key equality on a hash hit.
+type keyBucket struct {
+	repr  db.FactID
+	facts []db.FactID
+}
+
 // relIndex is the lookup structure for one relation: its fact list, a
-// map from key projection to the key-equal group members sharing it,
-// and the group member lists themselves in enumeration order (so
+// hash map from key projection to the key-equal group members sharing
+// it, and the group member lists themselves in enumeration order (so
 // Execute never re-derives the partition with per-fact key strings).
+//
+// byKey is keyed by db.Instance.HashRowOn hashes over the relation's
+// key positions — dictionary-code folds under the columnar layout, so
+// building and probing it never touches string bytes. Hashes are not
+// injective: lookups walk the bucket chain and verify against repr.
 type relIndex struct {
 	facts  []db.FactID
-	byKey  map[string][]db.FactID
+	byKey  map[uint64][]keyBucket
 	groups [][]db.FactID
+}
+
+// lookup returns the members of the key-equal group whose key
+// projection EqualExact-matches vals (ordered by key position), or nil.
+func (ri *relIndex) lookup(in *db.Instance, keyPos []int, h uint64, vals db.Tuple) []db.FactID {
+	for _, b := range ri.byKey[h] {
+		match := true
+		for i, kp := range keyPos {
+			if !in.MatchAt(b.repr, kp, vals[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return b.facts
+		}
+	}
+	return nil
 }
 
 // Indexes memoizes the per-relation lookup maps the executor joins
@@ -53,7 +83,7 @@ func (ix *Indexes) tables() map[string]*relIndex {
 	for _, g := range ix.in.KeyEqualGroups() {
 		ri := rels[g.Rel]
 		if ri == nil {
-			ri = &relIndex{facts: ix.in.RelFacts(g.Rel), byKey: map[string][]db.FactID{}}
+			ri = &relIndex{facts: ix.in.RelFacts(g.Rel), byKey: map[uint64][]keyBucket{}}
 			rels[g.Rel] = ri
 		}
 		rs := schema.Relation(g.Rel)
@@ -62,18 +92,18 @@ func (ix *Indexes) tables() map[string]*relIndex {
 			// for completeness but skip the (meaningless) key map.
 			continue
 		}
-		// One key string per group instead of one per fact: the group's
-		// members agree on the key projection by construction.
-		k := ix.in.Fact(g.Facts[0]).Tuple.Key(rs.Key)
-		ri.byKey[k] = g.Facts
+		// One key hash per group instead of one string per fact: the
+		// group's members agree on the key projection by construction.
+		repr := g.Facts[0]
+		h := ix.in.HashRowOn(repr, rs.Key, db.HashSeed)
+		ri.byKey[h] = append(ri.byKey[h], keyBucket{repr: repr, facts: g.Facts})
 		ri.groups = append(ri.groups, g.Facts)
 	}
 	// Relations with zero facts have no groups; materialize empty
 	// entries so lookups distinguish "empty relation" from "stale memo".
 	for _, rs := range schema.Relations() {
-		lc := strings.ToLower(rs.Name)
-		if rels[lc] == nil {
-			rels[lc] = &relIndex{byKey: map[string][]db.FactID{}}
+		if rels[rs.Canon()] == nil {
+			rels[rs.Canon()] = &relIndex{byKey: map[uint64][]keyBucket{}}
 		}
 	}
 	ix.nFacts = n

@@ -19,13 +19,18 @@ func TestIndexesMemoized(t *testing.T) {
 	if !sameTables(t1, t2) {
 		t.Fatal("tables rebuilt despite unchanged instance")
 	}
-	in.MustInsert("C", db.Int(77), db.Str("A"))
+	id := in.MustInsert("C", db.Int(77), db.Str("A"))
 	t3 := ix.tables()
 	if sameTables(t1, t3) {
 		t.Fatal("tables not rebuilt after append")
 	}
-	if got := len(t3["c"].byKey[db.Tuple{db.Int(77)}.Key([]int{0})]); got != 1 {
-		t.Fatalf("appended fact not indexed: %d members", got)
+	h, ok := in.HashProbeValue(db.HashSeed, db.Int(77))
+	if !ok {
+		t.Fatal("probe hash for Int(77) unavailable")
+	}
+	got := t3["c"].lookup(in, []int{0}, h, db.Tuple{db.Int(77)})
+	if len(got) != 1 || got[0] != id {
+		t.Fatalf("appended fact not indexed: %v", got)
 	}
 }
 

@@ -55,9 +55,10 @@ func (e *Engine) rewriteRange(ctx context.Context, q cq.AggQuery, plan *conquer.
 			key = db.Tuple{}
 		}
 		rep.Answers[i] = GroupAnswer{Key: key, Range: Range{
-			GLB:           a.GLB,
-			LUB:           a.LUB,
-			EmptyPossible: a.EmptyPossible,
+			GLB:                a.GLB,
+			LUB:                a.LUB,
+			EmptyPossible:      a.EmptyPossible,
+			FromConsistentPart: a.FromConsistentPart,
 		}}
 	}
 	return rep, nil

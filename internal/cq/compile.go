@@ -212,7 +212,9 @@ func (e *Evaluator) hashIndex(rel string, positions []int, mask uint64) map[uint
 	}
 	idx = make(map[uint64][]db.FactID, e.in.RelSize(rel))
 	for _, id := range e.in.RelFacts(rel) {
-		h := e.in.Fact(id).Tuple.HashKey(positions, db.HashSeed)
+		// Columnar instances hash dictionary codes here; the probe side
+		// uses HashProbeValue so both sides of the index agree.
+		h := e.in.HashRowOn(id, positions, db.HashSeed)
 		idx[h] = append(idx[h], id)
 	}
 	e.hashIdx[key] = idx
@@ -244,12 +246,16 @@ func (e *Evaluator) runProgram(ctx context.Context, p *program) ([]Row, error) {
 	var cands []db.FactID
 	if len(st0.lookupPos) > 0 {
 		// Step 0 has no prior bindings: every probe value is a constant.
-		h := db.HashSeed
+		h, ok := db.HashSeed, true
 		for i, v := range st0.lookupConst {
 			probe0[i] = v
-			h = v.HashExact(h)
+			if h, ok = e.in.HashProbeValue(h, v); !ok {
+				break // string absent from the dictionary: no fact matches
+			}
 		}
-		cands = e.hashIndex(st0.rel, st0.lookupPos, st0.mask)[h]
+		if ok {
+			cands = e.hashIndex(st0.rel, st0.lookupPos, st0.mask)[h]
+		}
 	} else {
 		cands = e.in.RelFacts(st0.rel)
 	}
@@ -367,16 +373,20 @@ func (r *progRun) run(step int) {
 	var cands []db.FactID
 	probe := r.probes[step]
 	if len(st.lookupPos) > 0 {
-		h := db.HashSeed
+		h, ok := db.HashSeed, true
 		for i, s := range st.lookupSlot {
 			v := st.lookupConst[i]
 			if s >= 0 {
 				v = r.frame[s]
 			}
 			probe[i] = v
-			h = v.HashExact(h)
+			if h, ok = r.e.in.HashProbeValue(h, v); !ok {
+				break // string absent from the dictionary: no fact matches
+			}
 		}
-		cands = r.e.hashIndex(st.rel, st.lookupPos, st.mask)[h]
+		if ok {
+			cands = r.e.hashIndex(st.rel, st.lookupPos, st.mask)[h]
+		}
 	} else {
 		cands = r.e.in.RelFacts(st.rel)
 	}
@@ -389,18 +399,18 @@ func (r *progRun) run(step int) {
 // bindings, repeated-variable checks, and conditions, recursing deeper
 // on success.
 func (r *progRun) candidate(st *pstep, step int, id db.FactID, probe []db.Value) {
-	tuple := r.e.in.Fact(id).Tuple
+	row := r.e.in.Row(id)
 	// Re-verify the probe columns exactly: hash buckets may collide.
 	for i, p := range st.lookupPos {
-		if !tuple[p].EqualExact(probe[i]) {
+		if !row.Match(p, probe[i]) {
 			return
 		}
 	}
 	for _, b := range st.binds {
-		r.frame[b.slot] = tuple[b.pos]
+		r.frame[b.slot] = row.Value(b.pos)
 	}
 	for _, c := range st.checks {
-		if !r.frame[c.slot].Equal(tuple[c.pos]) {
+		if !r.frame[c.slot].Equal(row.Value(c.pos)) {
 			return
 		}
 	}

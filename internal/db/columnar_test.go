@@ -1,0 +1,241 @@
+package db
+
+import (
+	"fmt"
+	"testing"
+
+	"aggcavsat/internal/xrand"
+)
+
+// mixedSchema exercises every storable shape: INT, FLOAT (with INT
+// widening), STRING, keys, keyless relations, and NULLs everywhere.
+func mixedSchema() *Schema {
+	s := NewSchema()
+	s.MustAddRelation(&RelationSchema{
+		Name: "Mix",
+		Attrs: []Attribute{
+			{Name: "ID", Kind: KindInt},
+			{Name: "F", Kind: KindFloat},
+			{Name: "S", Kind: KindString},
+			{Name: "N", Kind: KindInt},
+		},
+		Key: []int{0},
+	})
+	s.MustAddRelation(&RelationSchema{
+		Name: "NoKey",
+		Attrs: []Attribute{
+			{Name: "A", Kind: KindString},
+			{Name: "B", Kind: KindFloat},
+		},
+	})
+	return s
+}
+
+// randomMixedValue draws a value legal for the attribute kind,
+// including NULLs, empty strings, negative zero floats, and INT values
+// stored in FLOAT attributes (the widening Insert permits).
+func randomMixedValue(r *xrand.Rand, kind Kind) Value {
+	if r.Intn(8) == 0 {
+		return Null()
+	}
+	switch kind {
+	case KindInt:
+		return Int(r.Int63n(50) - 10)
+	case KindFloat:
+		switch r.Intn(4) {
+		case 0:
+			return Int(r.Int63n(30)) // INT stored in a FLOAT column
+		case 1:
+			return Float(0)
+		case 2:
+			return Float(-0.0) // bit-distinct from +0.0 under EqualExact
+		default:
+			return Float(float64(r.Int63n(100)) / 4)
+		}
+	default:
+		switch r.Intn(5) {
+		case 0:
+			return Str("")
+		default:
+			return Str(fmt.Sprintf("s%d", r.Intn(20)))
+		}
+	}
+}
+
+// buildMixedPair inserts the same random facts into a columnar and a
+// row instance, returning both.
+func buildMixedPair(seed uint64, n int) (*Instance, *Instance) {
+	s := mixedSchema()
+	col := NewInstance(s)
+	row := NewInstanceLayout(s, LayoutRow)
+	r := xrand.New(seed)
+	for i := 0; i < n; i++ {
+		rs := s.Relations()[r.Intn(s.NumRelations())]
+		t := make(Tuple, rs.Arity())
+		for p, a := range rs.Attrs {
+			t[p] = randomMixedValue(r, a.Kind)
+		}
+		if _, err := col.Insert(rs.Name, t); err != nil {
+			panic(err)
+		}
+		if _, err := row.Insert(rs.Name, t.Clone()); err != nil {
+			panic(err)
+		}
+	}
+	return col, row
+}
+
+// requireSameInstances asserts fact-for-fact, accessor-for-accessor
+// equivalence of two instances that should hold identical data.
+func requireSameInstances(t *testing.T, a, b *Instance) {
+	t.Helper()
+	if a.NumFacts() != b.NumFacts() {
+		t.Fatalf("fact counts differ: %d vs %d", a.NumFacts(), b.NumFacts())
+	}
+	for id := FactID(0); int(id) < a.NumFacts(); id++ {
+		fa, fb := a.Fact(id), b.Fact(id)
+		if fa.Rel != fb.Rel {
+			t.Fatalf("fact %d: relation %q vs %q", id, fa.Rel, fb.Rel)
+		}
+		if !fa.Tuple.EqualExact(fb.Tuple) {
+			t.Fatalf("fact %d: tuple %v vs %v", id, fa.Tuple, fb.Tuple)
+		}
+		for p := range fa.Tuple {
+			if !a.ValueAt(id, p).EqualExact(fb.Tuple[p]) {
+				t.Fatalf("fact %d pos %d: ValueAt %v vs %v", id, p, a.ValueAt(id, p), fb.Tuple[p])
+			}
+			if !a.MatchAt(id, p, fb.Tuple[p]) || !b.MatchAt(id, p, fa.Tuple[p]) {
+				t.Fatalf("fact %d pos %d: MatchAt disagrees", id, p)
+			}
+			if !a.Row(id).Match(p, fb.Tuple[p]) {
+				t.Fatalf("fact %d pos %d: RowView.Match disagrees", id, p)
+			}
+		}
+	}
+	ga, gb := a.KeyEqualGroups(), b.KeyEqualGroups()
+	if len(ga) != len(gb) {
+		t.Fatalf("group counts differ: %d vs %d", len(ga), len(gb))
+	}
+	for i := range ga {
+		if ga[i].Rel != gb[i].Rel || len(ga[i].Facts) != len(gb[i].Facts) {
+			t.Fatalf("group %d differs: %+v vs %+v", i, ga[i], gb[i])
+		}
+		for j := range ga[i].Facts {
+			if ga[i].Facts[j] != gb[i].Facts[j] {
+				t.Fatalf("group %d member %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestColumnarRowStoreEquivalent: every logical accessor of the
+// columnar store agrees with the row store on identical inserts — the
+// package-level half of the columnar≡row property (the engine-level
+// half lives in internal/planner).
+func TestColumnarRowStoreEquivalent(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		col, row := buildMixedPair(seed, 300)
+		if col.Layout() != LayoutColumnar || row.Layout() != LayoutRow {
+			t.Fatal("layout labels wrong")
+		}
+		requireSameInstances(t, col, row)
+
+		// Hash self-consistency per backend: probe hashes must meet row
+		// hashes, and EqualRows pairs must collide.
+		for _, in := range []*Instance{col, row} {
+			for id := FactID(0); int(id) < in.NumFacts(); id++ {
+				rid := in.RelOf(id)
+				rs := in.Schema().RelationByID(rid)
+				all := make([]int, rs.Arity())
+				for p := range all {
+					all[p] = p
+				}
+				want := in.HashRowOn(id, all, HashSeed)
+				h, ok := HashSeed, true
+				for _, p := range all {
+					h, ok = in.HashProbeValue(h, in.ValueAt(id, p))
+					if !ok {
+						t.Fatalf("probe hash missing for stored value (fact %d pos %d)", id, p)
+					}
+				}
+				if h != want {
+					t.Fatalf("fact %d: probe hash %x != row hash %x (%s)", id, h, want, in.Layout())
+				}
+				if got := in.HashRowAll(id, HashSeed); got != want {
+					t.Fatalf("fact %d: HashRowAll %x != HashRowOn(all) %x", id, got, want)
+				}
+			}
+		}
+
+		// CompareAt agrees with materialized Value.Compare across all
+		// pairs within each relation (both backends).
+		for _, rs := range col.Schema().Relations() {
+			ids := col.RelFactsByID(rs.ID())
+			if len(ids) > 40 {
+				ids = ids[:40]
+			}
+			for _, x := range ids {
+				for _, y := range ids {
+					for p := 0; p < rs.Arity(); p++ {
+						want := row.ValueAt(x, p).Compare(row.ValueAt(y, p))
+						if got := col.CompareAt(x, y, p); got != want {
+							t.Fatalf("CompareAt(%d,%d,%d) = %d, want %d", x, y, p, got, want)
+						}
+						if got := row.CompareAt(x, y, p); got != want {
+							t.Fatalf("row CompareAt(%d,%d,%d) = %d, want %d", x, y, p, got, want)
+						}
+					}
+				}
+			}
+		}
+
+		// Conversion in both directions preserves everything.
+		requireSameInstances(t, col.ConvertLayout(LayoutRow), row)
+		requireSameInstances(t, row.ConvertLayout(LayoutColumnar), col)
+	}
+}
+
+// TestHashProbeValueMiss: a string absent from the dictionary reports
+// ok=false (no fact can match), while the row store always hashes.
+func TestHashProbeValueMiss(t *testing.T) {
+	col, row := buildMixedPair(3, 50)
+	if _, ok := col.HashProbeValue(HashSeed, Str("never-inserted-string")); ok {
+		t.Fatal("columnar probe for unseen string should miss")
+	}
+	if _, ok := row.HashProbeValue(HashSeed, Str("never-inserted-string")); !ok {
+		t.Fatal("row probe should always hash")
+	}
+	if _, ok := col.HashProbeValue(HashSeed, Int(1234567)); !ok {
+		t.Fatal("numeric probes never miss")
+	}
+}
+
+// TestRelFactsCaseInsensitive: RelFacts resolves any spelling without
+// rebuilding strings, and RelFactsByID matches.
+func TestRelFactsCaseInsensitive(t *testing.T) {
+	col, _ := buildMixedPair(7, 60)
+	id, ok := col.Schema().RelID("MIX")
+	if !ok {
+		t.Fatal("RelID(MIX) failed")
+	}
+	a, b, c := col.RelFacts("Mix"), col.RelFacts("mix"), col.RelFacts("MIX")
+	d := col.RelFactsByID(id)
+	if len(a) == 0 || len(a) != len(b) || len(b) != len(c) || len(c) != len(d) {
+		t.Fatalf("case-insensitive RelFacts disagree: %d/%d/%d/%d", len(a), len(b), len(c), len(d))
+	}
+	if col.RelFacts("NoSuchRel") != nil {
+		t.Fatal("unknown relation should return nil")
+	}
+}
+
+// TestSubsetPreservesLayout: Subset keeps the receiver's layout and the
+// kept facts' tuples.
+func TestSubsetPreservesLayout(t *testing.T) {
+	col, row := buildMixedPair(11, 80)
+	keep := func(id FactID) bool { return id%2 == 0 }
+	sc, sr := col.Subset(keep), row.Subset(keep)
+	if sc.Layout() != LayoutColumnar || sr.Layout() != LayoutRow {
+		t.Fatal("Subset changed layout")
+	}
+	requireSameInstances(t, sc, sr)
+}

@@ -26,8 +26,9 @@ func (in *Instance) WriteCSV(rel string, w io.Writer) error {
 	}
 	row := make([]string, rs.Arity())
 	for _, id := range in.RelFacts(rel) {
-		t := in.facts[id].Tuple
-		for i, v := range t {
+		rv := in.Row(id)
+		for i := range row {
+			v := rv.Value(i)
 			if v.IsNull() {
 				row[i] = ""
 			} else {

@@ -1,0 +1,57 @@
+package db
+
+// Dict is an append-only string interner: every distinct string stored
+// in a columnar instance is assigned a dense uint32 code, and string
+// columns hold codes instead of string headers. Two facts of one
+// instance carry equal strings iff their codes are equal, so the hot
+// paths (key grouping, join probes, partition indexes) compare and hash
+// 4-byte codes instead of walking string bytes.
+//
+// A Dict is owned by exactly one Instance and shared by all of its
+// string columns. Like the instance itself it is built single-threaded
+// (Insert is not safe for concurrent use) and read-only thereafter;
+// concurrent reads after the build are safe without locking.
+type Dict struct {
+	byStr map[string]uint32
+	strs  []string
+}
+
+// NewDict creates an empty interner.
+func NewDict() *Dict {
+	return &Dict{byStr: make(map[string]uint32)}
+}
+
+// Intern returns the code for s, assigning the next dense code on first
+// sight.
+func (d *Dict) Intern(s string) uint32 {
+	if c, ok := d.byStr[s]; ok {
+		return c
+	}
+	c := uint32(len(d.strs))
+	d.strs = append(d.strs, s)
+	d.byStr[s] = c
+	return c
+}
+
+// Lookup returns the code for s without interning. ok=false means no
+// fact in the owning instance stores s, which probe sites use to skip
+// the hash index entirely.
+func (d *Dict) Lookup(s string) (uint32, bool) {
+	c, ok := d.byStr[s]
+	return c, ok
+}
+
+// String returns the string behind a code.
+func (d *Dict) String(code uint32) string { return d.strs[code] }
+
+// Len returns the number of distinct interned strings.
+func (d *Dict) Len() int { return len(d.strs) }
+
+// rebuildMap reconstructs the byStr map from strs; used after a
+// snapshot load, where only the string pool is serialized.
+func (d *Dict) rebuildMap() {
+	d.byStr = make(map[string]uint32, len(d.strs))
+	for i, s := range d.strs {
+		d.byStr[s] = uint32(i)
+	}
+}

@@ -1,0 +1,83 @@
+package db
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SnapshotFileName is the conventional columnar snapshot inside a data
+// directory; OpenDir prefers it over the per-relation CSV files.
+const SnapshotFileName = "snapshot.bin"
+
+// SchemaCompatible reports whether got (typically a snapshot's embedded
+// schema) can serve a database declared as want (typically parsed from
+// schema.txt): the same relations with the same attributes, kinds, and
+// key positions, up to name case. Constraints expressed against want
+// (keys, functional dependencies) then mean the same thing over got.
+func SchemaCompatible(want, got *Schema) error {
+	if want.NumRelations() != got.NumRelations() {
+		return fmt.Errorf("schema mismatch: %d relations declared, snapshot has %d",
+			want.NumRelations(), got.NumRelations())
+	}
+	for _, w := range want.Relations() {
+		id, ok := got.RelID(w.Name)
+		if !ok {
+			return fmt.Errorf("schema mismatch: snapshot lacks relation %s", w.Name)
+		}
+		g := got.RelationByID(id)
+		if g.Arity() != w.Arity() {
+			return fmt.Errorf("schema mismatch: %s has arity %d, snapshot has %d",
+				w.Name, w.Arity(), g.Arity())
+		}
+		for i, a := range w.Attrs {
+			b := g.Attrs[i]
+			if !strings.EqualFold(a.Name, b.Name) || a.Kind != b.Kind {
+				return fmt.Errorf("schema mismatch: %s attribute %d is %s:%v, snapshot has %s:%v",
+					w.Name, i, a.Name, a.Kind, b.Name, b.Kind)
+			}
+		}
+		if len(w.Key) != len(g.Key) {
+			return fmt.Errorf("schema mismatch: %s key has %d attributes, snapshot has %d",
+				w.Name, len(w.Key), len(g.Key))
+		}
+		for i := range w.Key {
+			if w.Key[i] != g.Key[i] {
+				return fmt.Errorf("schema mismatch: %s key differs at position %d", w.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// OpenDir loads a data directory declared by schema: when a columnar
+// snapshot (SnapshotFileName) is present it is mapped zero-copy and
+// verified compatible with the declared schema, otherwise the
+// per-relation CSV files are parsed into a fresh columnar instance.
+//
+// The returned Snapshot is non-nil exactly when the snapshot path was
+// taken; Close it once the instance is no longer in use (or keep it
+// open for the process lifetime, as long-running servers do). The
+// snapshot-backed instance keeps its embedded schema — attribute and
+// key layout are verified identical to the declared one, so constraints
+// written against either schema agree.
+func OpenDir(schema *Schema, dir string) (*Instance, *Snapshot, error) {
+	path := filepath.Join(dir, SnapshotFileName)
+	if _, err := os.Stat(path); err == nil {
+		snap, err := OpenSnapshot(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := SchemaCompatible(schema, snap.Instance().Schema()); err != nil {
+			snap.Close()
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return snap.Instance(), snap, nil
+	}
+	in, err := LoadDir(schema, dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	return in, nil, nil
+}

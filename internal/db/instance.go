@@ -19,14 +19,57 @@ type Fact struct {
 	Tuple Tuple
 }
 
+// Layout selects the physical representation of an Instance.
+type Layout uint8
+
+const (
+	// LayoutColumnar stores facts in per-relation column arenas with
+	// dictionary-interned strings (columnar.go) — the default, and the
+	// only layout snapshots serialize.
+	LayoutColumnar Layout = iota
+	// LayoutRow stores facts as []Value tuples, one boxed Fact per row —
+	// the pre-PR9 representation, kept as the equivalence baseline for
+	// the property tests and the pr9 benchmark.
+	LayoutRow
+)
+
+func (l Layout) String() string {
+	if l == LayoutRow {
+		return "row"
+	}
+	return "columnar"
+}
+
 // Instance is a (possibly inconsistent) database instance: a set of facts
 // over a schema. Facts are append-only; deletion is expressed by building
 // sub-instances (see Subset), which preserves fact identity — essential
 // for the repair/assignment correspondence of the reductions.
+//
+// Two physical layouts exist behind one logical API (see Layout). All
+// read accessors are equivalent across layouts; the Row/ValueAt/Hash*
+// family reads columns and dictionary codes directly under
+// LayoutColumnar and is the form the hot paths use.
 type Instance struct {
 	schema *Schema
-	facts  []Fact
-	byRel  map[string][]FactID
+	layout Layout
+
+	// Row backend.
+	facts []Fact
+
+	// Columnar backend.
+	dict    *Dict
+	rels    []*relColumns // dense by RelID
+	factRel []uint32      // FactID → RelID
+	factRow []uint32      // FactID → row within its relation
+	nFacts  int
+
+	byRel [][]FactID // dense by RelID; aliases rels[i].ids when columnar
+
+	// dataVersion is the content fingerprint of a snapshot-loaded
+	// instance (0 otherwise); frozen marks instances whose arenas alias
+	// a read-only mapping, on which Insert must refuse to run.
+	dataVersion uint64
+	frozen      bool
 
 	// groupMu guards the KeyEqualGroups memo. The partition is a pure
 	// function of the fact list, and facts are append-only, so caching
@@ -38,35 +81,235 @@ type Instance struct {
 	groupCacheN int // fact count the cache was built at; -1 = no cache
 }
 
-// NewInstance creates an empty instance over the given schema.
+// NewInstance creates an empty columnar instance over the given schema.
 func NewInstance(schema *Schema) *Instance {
-	return &Instance{
+	return NewInstanceLayout(schema, LayoutColumnar)
+}
+
+// NewInstanceLayout creates an empty instance with an explicit physical
+// layout.
+func NewInstanceLayout(schema *Schema, layout Layout) *Instance {
+	in := &Instance{
 		schema:      schema,
-		byRel:       make(map[string][]FactID),
+		layout:      layout,
+		byRel:       make([][]FactID, schema.NumRelations()),
 		groupCacheN: -1,
 	}
+	if layout == LayoutColumnar {
+		in.dict = NewDict()
+		in.rels = make([]*relColumns, schema.NumRelations())
+		for _, rs := range schema.Relations() {
+			in.rels[rs.ID()] = newRelColumns(rs)
+		}
+	}
+	return in
 }
 
 // Schema returns the instance's schema.
 func (in *Instance) Schema() *Schema { return in.schema }
 
+// Layout reports the instance's physical layout.
+func (in *Instance) Layout() Layout { return in.layout }
+
+// DataVersion returns the snapshot content fingerprint for instances
+// loaded from a snapshot, and 0 for instances built in memory. Serving
+// layers fold it into cache keys so answers from different snapshot
+// generations never alias.
+func (in *Instance) DataVersion() uint64 { return in.dataVersion }
+
 // NumFacts returns the total number of facts.
-func (in *Instance) NumFacts() int { return len(in.facts) }
+func (in *Instance) NumFacts() int {
+	if in.layout == LayoutRow {
+		return len(in.facts)
+	}
+	return in.nFacts
+}
 
-// Fact returns the fact with the given ID.
-func (in *Instance) Fact(id FactID) Fact { return in.facts[id] }
+// Fact returns the fact with the given ID. Under LayoutColumnar this
+// materializes the tuple (one allocation); hot paths should use Row,
+// ValueAt, or the Hash*/Equal* accessors instead.
+func (in *Instance) Fact(id FactID) Fact {
+	if in.layout == LayoutRow {
+		return in.facts[id]
+	}
+	rs := in.schema.RelationByID(RelID(in.factRel[id]))
+	return Fact{ID: id, Rel: rs.canon, Tuple: in.TupleAt(id)}
+}
 
-// Facts returns the underlying fact slice; callers must not mutate it.
-func (in *Instance) Facts() []Fact { return in.facts }
+// Facts returns all facts. Under LayoutRow this is the underlying slice
+// (callers must not mutate it); under LayoutColumnar it materializes
+// every tuple and is intended for cold paths and tests only.
+func (in *Instance) Facts() []Fact {
+	if in.layout == LayoutRow {
+		return in.facts
+	}
+	out := make([]Fact, in.nFacts)
+	for id := 0; id < in.nFacts; id++ {
+		out[id] = in.Fact(FactID(id))
+	}
+	return out
+}
+
+// TupleAt materializes the tuple of one fact.
+func (in *Instance) TupleAt(id FactID) Tuple {
+	if in.layout == LayoutRow {
+		return in.facts[id].Tuple
+	}
+	rc := in.rels[in.factRel[id]]
+	row := int(in.factRow[id])
+	t := make(Tuple, len(rc.cols))
+	for i := range rc.cols {
+		t[i] = rc.cols[i].value(in.dict, row)
+	}
+	return t
+}
+
+// Row returns an allocation-free view of one fact.
+func (in *Instance) Row(id FactID) RowView {
+	if in.layout == LayoutRow {
+		return RowView{t: in.facts[id].Tuple}
+	}
+	return RowView{dict: in.dict, rc: in.rels[in.factRel[id]], row: int(in.factRow[id])}
+}
+
+// ValueAt returns the value at attribute position pos of one fact.
+func (in *Instance) ValueAt(id FactID, pos int) Value {
+	if in.layout == LayoutRow {
+		return in.facts[id].Tuple[pos]
+	}
+	rc := in.rels[in.factRel[id]]
+	return rc.cols[pos].value(in.dict, int(in.factRow[id]))
+}
+
+// RelOf returns the dense RelID of the fact's relation.
+func (in *Instance) RelOf(id FactID) RelID {
+	if in.layout == LayoutRow {
+		rid, _ := in.schema.RelID(in.facts[id].Rel)
+		return rid
+	}
+	return RelID(in.factRel[id])
+}
 
 // RelFacts returns the IDs of all facts of the named relation, in
 // insertion order. Callers must not mutate the returned slice.
 func (in *Instance) RelFacts(rel string) []FactID {
-	return in.byRel[strings.ToLower(rel)]
+	id, ok := in.schema.RelID(rel)
+	if !ok {
+		return nil
+	}
+	return in.byRel[id]
 }
+
+// RelFactsByID is RelFacts addressed by dense RelID.
+func (in *Instance) RelFactsByID(id RelID) []FactID { return in.byRel[id] }
 
 // RelSize returns the number of facts in the named relation.
 func (in *Instance) RelSize(rel string) int { return len(in.RelFacts(rel)) }
+
+// HashRowOn folds the projection of one fact onto the given attribute
+// positions into h. Within one instance it hashes exactly what
+// EqualRowsOn compares: under LayoutRow this is Tuple.HashKey; under
+// LayoutColumnar strings fold their dictionary code instead of their
+// bytes (cheaper, and still collision-verified by every consumer).
+// Hashes are therefore NOT comparable across instances or layouts —
+// pair them with HashProbeValue on the probe side.
+func (in *Instance) HashRowOn(id FactID, positions []int, h uint64) uint64 {
+	if in.layout == LayoutRow {
+		return in.facts[id].Tuple.HashKey(positions, h)
+	}
+	rc := in.rels[in.factRel[id]]
+	row := int(in.factRow[id])
+	for _, p := range positions {
+		h = rc.cols[p].hashRow(h, row)
+	}
+	return h
+}
+
+// HashRowAll is HashRowOn over every attribute position.
+func (in *Instance) HashRowAll(id FactID, h uint64) uint64 {
+	if in.layout == LayoutRow {
+		return in.facts[id].Tuple.HashExact(h)
+	}
+	rc := in.rels[in.factRel[id]]
+	row := int(in.factRow[id])
+	for i := range rc.cols {
+		h = rc.cols[i].hashRow(h, row)
+	}
+	return h
+}
+
+// HashProbeValue folds a probe value into h so the result can meet
+// HashRowOn hashes in one index. ok=false means no fact of this
+// instance can EqualExact v (its string is not in the dictionary), so
+// the caller can skip the index lookup outright.
+func (in *Instance) HashProbeValue(h uint64, v Value) (uint64, bool) {
+	if in.layout == LayoutRow {
+		return v.HashExact(h), true
+	}
+	if v.kind == KindString {
+		code, ok := in.dict.Lookup(v.s)
+		if !ok {
+			return 0, false
+		}
+		return hashUint64(hashByte(h, byte(KindString)), uint64(code)), true
+	}
+	return v.HashExact(h), true
+}
+
+// EqualRowsOn reports EqualExact of two facts' projections onto the
+// given positions. The facts may belong to different relations under
+// LayoutRow; under LayoutColumnar both must live in relations whose
+// columns at those positions exist (the engine only compares facts of
+// one relation, which always holds).
+func (in *Instance) EqualRowsOn(a, b FactID, positions []int) bool {
+	if in.layout == LayoutRow {
+		return in.facts[a].Tuple.EqualExactOn(positions, in.facts[b].Tuple)
+	}
+	ra, rb := in.rels[in.factRel[a]], in.rels[in.factRel[b]]
+	rowA, rowB := int(in.factRow[a]), int(in.factRow[b])
+	if ra == rb {
+		for _, p := range positions {
+			if !ra.cols[p].equalRows(rowA, rowB) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, p := range positions {
+		if !ra.cols[p].matchValue(in.dict, rowA, rb.cols[p].value(in.dict, rowB)) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchAt reports EqualExact between one stored position and a probe
+// value without materializing the stored side.
+func (in *Instance) MatchAt(id FactID, pos int, v Value) bool {
+	if in.layout == LayoutRow {
+		return in.facts[id].Tuple[pos].EqualExact(v)
+	}
+	rc := in.rels[in.factRel[id]]
+	return rc.cols[pos].matchValue(in.dict, int(in.factRow[id]), v)
+}
+
+// CompareAt is Value.Compare between the same attribute position of two
+// facts of one relation, reading columns directly (equal string codes
+// short-circuit before any byte comparison).
+func (in *Instance) CompareAt(a, b FactID, pos int) int {
+	if in.layout == LayoutRow {
+		return in.facts[a].Tuple[pos].Compare(in.facts[b].Tuple[pos])
+	}
+	ra, rb := in.rels[in.factRel[a]], in.rels[in.factRel[b]]
+	if ra == rb {
+		return ra.cols[pos].compareRows(in.dict, int(in.factRow[a]), int(in.factRow[b]))
+	}
+	return ra.cols[pos].value(in.dict, int(in.factRow[a])).
+		Compare(rb.cols[pos].value(in.dict, int(in.factRow[b])))
+}
+
+// Dict returns the instance's string pool (nil under LayoutRow).
+func (in *Instance) Dict() *Dict { return in.dict }
 
 // Insert appends a fact to the named relation and returns its ID.
 // The tuple arity and value kinds must match the relation schema
@@ -75,6 +318,9 @@ func (in *Instance) Insert(rel string, t Tuple) (FactID, error) {
 	rs := in.schema.Relation(rel)
 	if rs == nil {
 		return 0, fmt.Errorf("db: insert into unknown relation %s", rel)
+	}
+	if in.frozen {
+		return 0, fmt.Errorf("db: insert into %s: snapshot-backed instance is immutable", rs.Name)
 	}
 	if len(t) != rs.Arity() {
 		return 0, fmt.Errorf("db: insert into %s: got %d values, want %d", rs.Name, len(t), rs.Arity())
@@ -89,10 +335,23 @@ func (in *Instance) Insert(rel string, t Tuple) (FactID, error) {
 				rs.Name, rs.Attrs[i].Name, v.Kind(), want)
 		}
 	}
-	id := FactID(len(in.facts))
-	lc := strings.ToLower(rs.Name)
-	in.facts = append(in.facts, Fact{ID: id, Rel: lc, Tuple: t})
-	in.byRel[lc] = append(in.byRel[lc], id)
+	if in.layout == LayoutRow {
+		id := FactID(len(in.facts))
+		in.facts = append(in.facts, Fact{ID: id, Rel: rs.canon, Tuple: t})
+		in.byRel[rs.ID()] = append(in.byRel[rs.ID()], id)
+		return id, nil
+	}
+	id := FactID(in.nFacts)
+	rc := in.rels[rs.ID()]
+	row := len(rc.ids)
+	for i, v := range t {
+		rc.cols[i].appendValue(in.dict, row, v)
+	}
+	rc.ids = append(rc.ids, id)
+	in.factRel = append(in.factRel, uint32(rs.ID()))
+	in.factRow = append(in.factRow, uint32(row))
+	in.nFacts++
+	in.byRel[rs.ID()] = rc.ids
 	return id, nil
 }
 
@@ -123,16 +382,17 @@ func (g KeyEqualGroup) Violating() bool { return len(g.Facts) > 1 }
 //
 // The partition is memoized on the instance (facts are append-only, so
 // it only changes when the fact count does) and computed by uint64 key
-// hashing with exact-equality bucket verification — no string key per
-// fact. Callers must treat the returned slice as read-only.
+// hashing with exact-equality bucket verification — dictionary-code
+// hashes under LayoutColumnar, so no string byte is touched. Callers
+// must treat the returned slice as read-only.
 func (in *Instance) KeyEqualGroups() []KeyEqualGroup {
 	in.groupMu.Lock()
 	defer in.groupMu.Unlock()
-	if in.groupCacheN == len(in.facts) {
+	if in.groupCacheN == in.NumFacts() {
 		return in.groupCache
 	}
 	groups := in.computeKeyEqualGroups()
-	in.groupCache, in.groupCacheN = groups, len(in.facts)
+	in.groupCache, in.groupCacheN = groups, in.NumFacts()
 	return groups
 }
 
@@ -146,33 +406,31 @@ func (in *Instance) computeKeyEqualGroups() []KeyEqualGroup {
 		next  int // next bucket entry with the same hash, -1 = end
 	}
 	for _, rs := range in.schema.Relations() {
-		ids := in.RelFacts(rs.Name)
-		lc := strings.ToLower(rs.Name)
+		ids := in.RelFactsByID(rs.ID())
 		if !rs.HasKey() {
 			for _, id := range ids {
-				groups = append(groups, KeyEqualGroup{Rel: lc, Facts: []FactID{id}})
+				groups = append(groups, KeyEqualGroup{Rel: rs.canon, Facts: []FactID{id}})
 			}
 			continue
 		}
 		byHash := make(map[uint64]int, len(ids)) // hash → first bucket index
 		buckets := make([]bucket, 0, len(ids))
 		for _, id := range ids {
-			t := in.facts[id].Tuple
-			h := t.HashKey(rs.Key, HashSeed)
+			h := in.HashRowOn(id, rs.Key, HashSeed)
 			gi := -1
 			bi, ok := byHash[h]
 			if !ok {
 				bi = -1
 			}
 			for ; bi >= 0; bi = buckets[bi].next {
-				if in.facts[buckets[bi].repr].Tuple.EqualExactOn(rs.Key, t) {
+				if in.EqualRowsOn(buckets[bi].repr, id, rs.Key) {
 					gi = buckets[bi].group
 					break
 				}
 			}
 			if gi < 0 {
 				gi = len(groups)
-				groups = append(groups, KeyEqualGroup{Rel: lc})
+				groups = append(groups, KeyEqualGroup{Rel: rs.canon})
 				head := -1
 				if first, ok := byHash[h]; ok {
 					head = first
@@ -197,21 +455,21 @@ func (in *Instance) computeKeyEqualGroups() []KeyEqualGroup {
 func (in *Instance) KeyEqualGroupsUncached() []KeyEqualGroup {
 	var groups []KeyEqualGroup
 	for _, rs := range in.schema.Relations() {
-		ids := in.RelFacts(rs.Name)
+		ids := in.RelFactsByID(rs.ID())
 		if !rs.HasKey() {
 			for _, id := range ids {
-				groups = append(groups, KeyEqualGroup{Rel: strings.ToLower(rs.Name), Facts: []FactID{id}})
+				groups = append(groups, KeyEqualGroup{Rel: rs.canon, Facts: []FactID{id}})
 			}
 			continue
 		}
 		byKey := make(map[string][]FactID)
 		for _, id := range ids {
-			k := in.facts[id].Tuple.Key(rs.Key)
+			k := in.TupleAt(id).Key(rs.Key)
 			byKey[k] = append(byKey[k], id)
 		}
 		for _, members := range byKey {
 			sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-			groups = append(groups, KeyEqualGroup{Rel: strings.ToLower(rs.Name), Facts: members})
+			groups = append(groups, KeyEqualGroup{Rel: rs.canon, Facts: members})
 		}
 	}
 	sort.Slice(groups, func(i, j int) bool { return groups[i].Facts[0] < groups[j].Facts[0] })
@@ -243,9 +501,8 @@ func (in *Instance) KeyInconsistency() []InconsistencyStats {
 	byRel := make(map[string]*InconsistencyStats)
 	var order []string
 	for _, rs := range in.schema.Relations() {
-		lc := strings.ToLower(rs.Name)
-		byRel[lc] = &InconsistencyStats{Rel: rs.Name, Facts: len(in.RelFacts(rs.Name))}
-		order = append(order, lc)
+		byRel[rs.canon] = &InconsistencyStats{Rel: rs.Name, Facts: len(in.RelFactsByID(rs.ID()))}
+		order = append(order, rs.canon)
 	}
 	for _, g := range in.KeyEqualGroups() {
 		st := byRel[g.Rel]
@@ -266,16 +523,37 @@ func (in *Instance) KeyInconsistency() []InconsistencyStats {
 }
 
 // Subset materializes the sub-instance containing exactly the facts whose
-// IDs satisfy keep. Fact IDs are reassigned densely in the new instance,
-// so Subset is intended for baselines (exhaustive repairs) rather than for
-// the SAT pipeline, which works with the original IDs throughout.
+// IDs satisfy keep, preserving the receiver's layout. Fact IDs are
+// reassigned densely in the new instance, so Subset is intended for
+// baselines (exhaustive repairs) rather than for the SAT pipeline, which
+// works with the original IDs throughout.
 func (in *Instance) Subset(keep func(FactID) bool) *Instance {
-	out := NewInstance(in.schema)
-	for _, f := range in.facts {
-		if keep(f.ID) {
-			if _, err := out.Insert(f.Rel, f.Tuple); err != nil {
+	out := NewInstanceLayout(in.schema, in.layout)
+	n := in.NumFacts()
+	for id := FactID(0); int(id) < n; id++ {
+		if keep(id) {
+			rs := in.schema.RelationByID(in.RelOf(id))
+			if _, err := out.Insert(rs.Name, in.TupleAt(id)); err != nil {
 				panic(err) // same schema: cannot happen
 			}
+		}
+	}
+	return out
+}
+
+// ConvertLayout returns an instance with the same facts (same IDs, same
+// insertion order) in the requested layout; the receiver is returned
+// unchanged if it already has it.
+func (in *Instance) ConvertLayout(layout Layout) *Instance {
+	if in.layout == layout {
+		return in
+	}
+	out := NewInstanceLayout(in.schema, layout)
+	n := in.NumFacts()
+	for id := FactID(0); int(id) < n; id++ {
+		rs := in.schema.RelationByID(in.RelOf(id))
+		if _, err := out.Insert(rs.Name, in.TupleAt(id)); err != nil {
+			panic(err) // same schema: cannot happen
 		}
 	}
 	return out

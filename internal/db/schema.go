@@ -6,6 +6,12 @@ import (
 	"strings"
 )
 
+// RelID is a dense relation identifier, assigned in AddRelation order
+// starting at 0. Instances key their per-relation storage by RelID, so
+// fact→relation bookkeeping is an array index instead of a map lookup
+// on a (lower-cased) name string.
+type RelID int
+
 // Attribute describes one column of a relation.
 type Attribute struct {
 	Name string
@@ -22,7 +28,18 @@ type RelationSchema struct {
 	Name  string
 	Attrs []Attribute
 	Key   []int // positions of the key attributes, sorted ascending
+
+	id    RelID  // dense ID, assigned by Schema.AddRelation
+	canon string // lower-cased Name, computed once at registration
 }
+
+// ID returns the relation's dense identifier within its schema.
+func (r *RelationSchema) ID() RelID { return r.id }
+
+// Canon returns the canonical (lower-case) relation name, computed once
+// when the relation was registered — the name facts and key-equal
+// groups carry.
+func (r *RelationSchema) Canon() string { return r.canon }
 
 // AttrIndex returns the position of the named attribute, or -1.
 func (r *RelationSchema) AttrIndex(name string) int {
@@ -78,15 +95,20 @@ func (r *RelationSchema) validate() error {
 }
 
 // Schema is a collection of relation schemas addressed by name
-// (case-insensitively).
+// (case-insensitively) or by dense RelID.
 type Schema struct {
 	rels  map[string]*RelationSchema
-	order []string // insertion order of canonical names, for determinism
+	byID  []*RelationSchema // dense, AddRelation order
+	ids   map[string]RelID  // as-registered and canonical names → ID
+	order []string          // insertion order of canonical names, for determinism
 }
 
 // NewSchema creates an empty schema.
 func NewSchema() *Schema {
-	return &Schema{rels: make(map[string]*RelationSchema)}
+	return &Schema{
+		rels: make(map[string]*RelationSchema),
+		ids:  make(map[string]RelID),
+	}
 }
 
 // AddRelation registers a relation schema. Key positions must be strictly
@@ -99,7 +121,16 @@ func (s *Schema) AddRelation(r *RelationSchema) error {
 	if _, dup := s.rels[lc]; dup {
 		return fmt.Errorf("db: duplicate relation %s", r.Name)
 	}
+	r.id = RelID(len(s.byID))
+	r.canon = lc
 	s.rels[lc] = r
+	s.byID = append(s.byID, r)
+	// Register both spellings so RelID lookups hit without lower-casing
+	// first; mixed-case call sites fall back to one ToLower.
+	s.ids[lc] = r.id
+	if r.Name != lc {
+		s.ids[r.Name] = r.id
+	}
 	s.order = append(s.order, lc)
 	return nil
 }
@@ -114,15 +145,33 @@ func (s *Schema) MustAddRelation(r *RelationSchema) {
 
 // Relation returns the schema of the named relation, or nil.
 func (s *Schema) Relation(name string) *RelationSchema {
+	if id, ok := s.ids[name]; ok {
+		return s.byID[id]
+	}
 	return s.rels[strings.ToLower(name)]
 }
 
+// RelID resolves a relation name (case-insensitively) to its dense ID.
+// The fast path is a single map hit on the exact spelling; only unseen
+// spellings pay a ToLower.
+func (s *Schema) RelID(name string) (RelID, bool) {
+	if id, ok := s.ids[name]; ok {
+		return id, true
+	}
+	id, ok := s.ids[strings.ToLower(name)]
+	return id, ok
+}
+
+// RelationByID returns the relation schema with the given dense ID.
+func (s *Schema) RelationByID(id RelID) *RelationSchema { return s.byID[id] }
+
+// NumRelations returns the number of registered relations.
+func (s *Schema) NumRelations() int { return len(s.byID) }
+
 // Relations returns all relation schemas in insertion order.
 func (s *Schema) Relations() []*RelationSchema {
-	out := make([]*RelationSchema, 0, len(s.order))
-	for _, n := range s.order {
-		out = append(out, s.rels[n])
-	}
+	out := make([]*RelationSchema, 0, len(s.byID))
+	out = append(out, s.byID...)
 	return out
 }
 

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package db
+
+import "os"
+
+// Non-unix fallback: read the file into memory. The aliasing decode in
+// LoadSnapshotBytes still avoids any per-fact allocation; only the
+// kernel-shared zero-copy property is lost.
+func mmapFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,43 @@
+//go:build unix
+
+package db
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only and shared: the kernel page
+// cache backs the instance's column arenas, nothing is copied, and
+// several processes serving one snapshot share the physical pages.
+// Empty files fall back to a read (mmap of length 0 is an error).
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return []byte{}, nil
+	}
+	if int64(int(size)) != size {
+		return nil, ErrSnapshotTruncated
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, &os.PathError{Op: "mmap", Path: path, Err: err}
+	}
+	return data, nil
+}
+
+func munmapFile(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -524,7 +524,7 @@ func checkEquivalence(t *testing.T, label string, in *db.Instance, q cq.AggQuery
 	for i := range a.Answers {
 		x, y := a.Answers[i], s.Answers[i]
 		if x.Key.Compare(y.Key) != 0 || !valuesMatch(x.GLB, y.GLB) || !valuesMatch(x.LUB, y.LUB) ||
-			x.EmptyPossible != y.EmptyPossible {
+			x.EmptyPossible != y.EmptyPossible || x.FromConsistentPart != y.FromConsistentPart {
 			t.Fatalf("%s: answer %d diverges between routes:\n auto %+v\n sat  %+v", label, i, x, y)
 		}
 	}

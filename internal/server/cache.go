@@ -20,6 +20,12 @@ type cacheKey struct {
 	queryFP      string
 	constraintFP string
 	version      uint64
+	// dataVersion is the content fingerprint of the tenant's backing
+	// columnar snapshot (0 when the tenant was CSV-loaded or built in
+	// memory). version alone already separates attach generations; this
+	// field additionally ties cached answers to the snapshot bytes they
+	// were computed over.
+	dataVersion uint64
 	// planner is the tenant's routing policy ("auto", "force-sat",
 	// "force-rewrite"). Routes produce identical answers, but the key
 	// still separates them so a re-attach under a different policy (or

@@ -34,10 +34,15 @@ type Tenant struct {
 	Mode string
 	// Planner is the routing policy of the tenant's engine ("auto",
 	// "force-sat", "force-rewrite"); part of the result-cache key.
-	Planner    string
-	Facts      int
-	Relations  int
-	AttachedAt time.Time
+	Planner string
+	// DataVersion is the content fingerprint of the tenant's backing
+	// columnar snapshot (0 for CSV-loaded and in-memory tenants). It
+	// joins Version in the result-cache key, so a re-attach that maps a
+	// different snapshot can never serve the old snapshot's answers.
+	DataVersion uint64
+	Facts       int
+	Relations   int
+	AttachedAt  time.Time
 
 	sys *aggcavsat.System
 	in  *db.Instance
@@ -51,6 +56,7 @@ type TenantInfo struct {
 	Name         string    `json:"name"`
 	Dir          string    `json:"dir,omitempty"`
 	Version      uint64    `json:"version"`
+	DataVersion  string    `json:"data_version,omitempty"`
 	Mode         string    `json:"mode"`
 	Planner      string    `json:"planner"`
 	ConstraintFP string    `json:"constraint_fp"`
@@ -87,6 +93,7 @@ func (ts *tenants) attach(name, dir string, sys *aggcavsat.System, in *db.Instan
 		ConstraintFP: constraintFingerprint(in.Schema(), dcs),
 		Mode:         mode,
 		Planner:      sys.PlannerMode().String(),
+		DataVersion:  in.DataVersion(),
 		Facts:        in.NumFacts(),
 		Relations:    len(in.Schema().Relations()),
 		AttachedAt:   time.Now(),
@@ -123,7 +130,7 @@ func (ts *tenants) list() []TenantInfo {
 	defer ts.mu.RUnlock()
 	out := make([]TenantInfo, 0, len(ts.byName))
 	for _, t := range ts.byName {
-		out = append(out, TenantInfo{
+		info := TenantInfo{
 			Name:         t.Name,
 			Dir:          t.Dir,
 			Version:      t.Version,
@@ -133,7 +140,11 @@ func (ts *tenants) list() []TenantInfo {
 			Facts:        t.Facts,
 			Relations:    t.Relations,
 			AttachedAt:   t.AttachedAt,
-		})
+		}
+		if t.DataVersion != 0 {
+			info.DataVersion = fmt.Sprintf("%016x", t.DataVersion)
+		}
+		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -174,7 +185,12 @@ func constraintFingerprint(schema *db.Schema, dcs []constraints.DC) string {
 
 // LoadTenantDir loads a schema.txt + CSV directory (the cavsat -data
 // layout) and prepares a System over it with the given base options
-// (the schema's FDs switch it to DC mode automatically).
+// (the schema's FDs switch it to DC mode automatically). When the
+// directory holds a columnar snapshot it is mmap'ed zero-copy instead
+// of parsing CSV; the mapping is kept open for the tenant's lifetime
+// (tenants are never detached, only superseded, and replaced tenants
+// may still be serving in-flight queries, so the mapping is
+// intentionally left in place until process exit).
 func LoadTenantDir(dir string, opts aggcavsat.Options) (*aggcavsat.System, *db.Instance, []constraints.DC, error) {
 	f, err := os.Open(filepath.Join(dir, "schema.txt"))
 	if err != nil {
@@ -185,7 +201,7 @@ func LoadTenantDir(dir string, opts aggcavsat.Options) (*aggcavsat.System, *db.I
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	in, err := aggcavsat.LoadDir(parsed.Schema, dir)
+	in, _, err := db.OpenDir(parsed.Schema, dir)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -221,6 +221,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		queryFP:      core.Fingerprint64(normalizeSQL(req.SQL)),
 		constraintFP: t.ConstraintFP,
 		version:      t.Version,
+		dataVersion:  t.DataVersion,
 		planner:      t.Planner,
 	}
 	resp, served, err := s.cache.Do(r.Context(), key, func() (*QueryResponse, error) {

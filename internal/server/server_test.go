@@ -15,7 +15,9 @@ import (
 	"time"
 
 	"aggcavsat"
+	"aggcavsat/internal/db"
 	"aggcavsat/internal/obsv"
+	"aggcavsat/internal/schemafile"
 )
 
 // writeFixture materializes a small inconsistent bank instance as a
@@ -546,4 +548,121 @@ func TestRouteCountersSumToServedResponses(t *testing.T) {
 			t.Errorf("/metrics missing %s", want)
 		}
 	}
+}
+
+// TestSnapshotTenantServing: a directory holding a columnar snapshot is
+// served from the mmap'ed snapshot (the CSVs are deleted to prove it),
+// answers match the CSV-backed tenant exactly, and the snapshot's
+// content fingerprint reaches the tenant listing and the cache key.
+func TestSnapshotTenantServing(t *testing.T) {
+	csvDir := writeFixture(t)
+
+	// Build the snapshot from the CSV fixture, then strip the CSVs from
+	// a second directory so only the snapshot (plus schema.txt for the
+	// constraints) can serve it.
+	f, err := os.Open(filepath.Join(csvDir, "schema.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := schemafile.Read(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := db.LoadDir(parsed.Schema, csvDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapDir := t.TempDir()
+	schemaBytes, err := os.ReadFile(filepath.Join(csvDir, "schema.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(snapDir, "schema.txt"), schemaBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveSnapshot(in, filepath.Join(snapDir, db.SnapshotFileName)); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := New(Config{})
+	if _, err := srv.AttachDir("csv", csvDir, aggcavsat.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	tn, err := srv.AttachDir("snap", snapDir, aggcavsat.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.DataVersion == 0 {
+		t.Fatal("snapshot tenant has no data version")
+	}
+	if got := srv.tenants.byName["csv"].DataVersion; got != 0 {
+		t.Fatalf("CSV tenant claims data version %x", got)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ask := func(instance string) *QueryResponse {
+		resp, body := postQuery(t, ts.URL, &QueryRequest{Instance: instance, SQL: sumQuery})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d %s", instance, resp.StatusCode, body)
+		}
+		var qr QueryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		return &qr
+	}
+	fromCSV, fromSnap := ask("csv"), ask("snap")
+	if fromSnap.Digest != fromCSV.Digest {
+		t.Fatalf("snapshot answer digest %s != CSV answer digest %s", fromSnap.Digest, fromCSV.Digest)
+	}
+	if len(fromSnap.Rows) != 1 || fromSnap.Rows[0].Ranges[0].Text != "[180, 200]" {
+		t.Fatalf("snapshot rows = %+v", fromSnap.Rows)
+	}
+
+	// The listing advertises the snapshot fingerprint on the snapshot
+	// tenant only.
+	resp, err := http.Get(ts.URL + "/admin/instances")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []TenantInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	byName := map[string]TenantInfo{}
+	for _, info := range infos {
+		byName[info.Name] = info
+	}
+	if byName["snap"].DataVersion == "" {
+		t.Fatal("snapshot tenant listing lacks data_version")
+	}
+	if byName["csv"].DataVersion != "" {
+		t.Fatalf("CSV tenant listing has data_version %q", byName["csv"].DataVersion)
+	}
+
+	// A snapshot whose schema disagrees with schema.txt is refused.
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "schema.txt"),
+		[]byte("relation Acc (AID:string CITY:string) key AID\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(bad, db.SnapshotFileName),
+		mustReadFile(t, filepath.Join(snapDir, db.SnapshotFileName)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.AttachDir("bad", bad, aggcavsat.Options{}); err == nil {
+		t.Fatal("attach with mismatched snapshot schema must fail")
+	}
+}
+
+func mustReadFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }

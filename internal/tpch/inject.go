@@ -41,9 +41,13 @@ func Inject(in *db.Instance, opts InjectOptions) (*db.Instance, error) {
 	}
 	r := xrand.New(opts.Seed)
 
-	out := db.NewInstance(in.Schema())
-	for _, f := range in.Facts() {
-		if _, err := out.Insert(f.Rel, f.Tuple); err != nil {
+	// Copy fact by fact (never materializing the whole instance at
+	// once), preserving the input's physical layout and fact IDs.
+	out := db.NewInstanceLayout(in.Schema(), in.Layout())
+	nIn := in.NumFacts()
+	for id := db.FactID(0); int(id) < nIn; id++ {
+		rs := in.Schema().RelationByID(in.RelOf(id))
+		if _, err := out.Insert(rs.Name, in.TupleAt(id)); err != nil {
 			return nil, err
 		}
 	}
@@ -101,7 +105,7 @@ func Inject(in *db.Instance, opts InjectOptions) (*db.Instance, error) {
 				break // no fresh victims left
 			}
 			victimUsed[vi] = true
-			victim := in.Fact(base[vi]).Tuple
+			victim := in.TupleAt(base[vi])
 			size := r.Range(opts.MinGroup, opts.MaxGroup)
 			// Cap the group so small relations do not overshoot their
 			// target percentage (Table II's 7.69 % nation row is a
@@ -113,7 +117,7 @@ func Inject(in *db.Instance, opts InjectOptions) (*db.Instance, error) {
 			seen := map[string]bool{victim.Key(nonKey): true}
 			for added < size-1 {
 				dup := victim.Clone()
-				donor := in.Fact(base[r.Intn(len(base))]).Tuple
+				donor := in.TupleAt(base[r.Intn(len(base))])
 				for _, p := range nonKey {
 					dup[p] = donor[p]
 				}
