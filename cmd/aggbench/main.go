@@ -235,7 +235,14 @@ func main() {
 		if err == nil && *target != "" {
 			switch {
 			case rep.Drift > 0:
-				err = fmt.Errorf("replay: %d answers drifted from the local execution", rep.Drift)
+				// The server trace ids key the divergent solves in the
+				// server's journal and /debug/trace?trace=<id>.
+				if len(rep.DriftTraces) > 0 {
+					err = fmt.Errorf("replay: %d answers drifted from the local execution (server traces: %s)",
+						rep.Drift, strings.Join(rep.DriftTraces, ", "))
+				} else {
+					err = fmt.Errorf("replay: %d answers drifted from the local execution", rep.Drift)
+				}
 			case rep.Answered() == 0:
 				err = fmt.Errorf("replay: no queries answered (issued %d, errors %d, timeouts %d, shed %d)",
 					rep.Issued, rep.Errors, rep.Timeouts, rep.Shed)

@@ -19,15 +19,32 @@
 //	GET  /metrics          Prometheus exposition: engine counters plus
 //	                        cavsatd_* service metrics (requests, sheds,
 //	                        timeouts, queue depth, cache hits/misses)
-//	GET  /healthz          liveness
-//	GET  /debug/trace      recent spans; /debug/journal wide events;
-//	                        /debug/pprof/* profiling
+//	GET  /healthz          liveness, uptime, attached-instance count,
+//	                        journal write/drop counters
+//	GET  /debug/slo        availability and latency SLO attainment with
+//	                        5m/1h burn rates
+//	GET  /debug/trace      recent spans; ?trace=<id> a retained request
+//	                        trace; ?list=1 the retention index;
+//	                        /debug/journal wide events; /debug/pprof/*
+//	                        profiling
 //
 // Load shedding: at most -max-inflight queries solve concurrently; up
 // to -max-queue more wait at most -queue-wait for a slot; everything
 // beyond that is rejected immediately with HTTP 429 and a Retry-After
 // hint. Each request is bounded by -request-timeout (clients may lower
 // it per request, never raise it).
+//
+// Request correlation: an incoming W3C traceparent header is adopted as
+// the request's trace id (one is minted otherwise); the response echoes
+// it in a Traceparent header and a trace_id JSON field, and the same id
+// is stamped on the journal line, explain report and flight bundle of
+// the solve. Slow (over -slo-latency-ms), errored and shed requests
+// retain their full span buffer for /debug/trace?trace=<id>, plus a
+// -trace-sample fraction of healthy ones (bounded by -trace-retain).
+// /metrics labels cavsatd_requests_total and
+// cavsatd_request_duration_seconds by tenant, route and outcome under a
+// fixed cardinality cap, and /debug/slo reports attainment and burn
+// rates against -slo-latency-ms and -slo-availability.
 //
 // Attached directories that hold a columnar snapshot (snapshot.bin,
 // written by datagen -snapshot) are mmap'ed zero-copy instead of
@@ -101,6 +118,10 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 5*time.Second, "max time a query may wait for a solve slot before a 429")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "default per-request deadline (clients may lower it)")
 	cacheEntries := flag.Int("cache-entries", 1024, "result cache capacity in answers (negative disables caching)")
+	sloLatencyMS := flag.Int("slo-latency-ms", 250, "latency SLO target in milliseconds (requests answered within it count as good; drives /debug/slo and tail-based trace retention)")
+	sloAvailability := flag.Float64("slo-availability", 0.999, "availability/latency SLO objective fraction in (0,1)")
+	traceSample := flag.Float64("trace-sample", 0, "probability of retaining the trace of a healthy fast request (slow/errored/shed requests are always retained)")
+	traceRetain := flag.Int("trace-retain", 0, "retained request traces backing /debug/trace?trace=<id> (0 = default)")
 	journalPath := flag.String("journal", "", "append one wide-event JSON line per solve to this file")
 	flightDir := flag.String("flight-dir", "", "write flight-recorder bundles for anomalous queries into this directory")
 	slowQuery := flag.Duration("slow-query", 0, "queries slower than this dump a flight bundle even on success (0 = only errors/timeouts)")
@@ -149,14 +170,18 @@ func main() {
 	}
 
 	cfg := server.Config{
-		MaxInFlight:    *maxInflight,
-		MaxQueue:       *maxQueue,
-		QueueWait:      *queueWait,
-		RequestTimeout: *requestTimeout,
-		CacheEntries:   *cacheEntries,
-		Planner:        pm,
-		Metrics:        obsv.NewRegistry(),
-		Tracer:         obsv.NewTracer(),
+		MaxInFlight:     *maxInflight,
+		MaxQueue:        *maxQueue,
+		QueueWait:       *queueWait,
+		RequestTimeout:  *requestTimeout,
+		CacheEntries:    *cacheEntries,
+		Planner:         pm,
+		SLOLatency:      time.Duration(*sloLatencyMS) * time.Millisecond,
+		SLOAvailability: *sloAvailability,
+		TraceSample:     *traceSample,
+		TraceRetain:     *traceRetain,
+		Metrics:         obsv.NewRegistry(),
+		Tracer:          obsv.NewTracer(),
 	}
 	if *journalPath != "" {
 		j, err := obsv.OpenJournal(*journalPath)

@@ -68,8 +68,12 @@ type ReplayQueryStats struct {
 	Shed int `json:"shed,omitempty"`
 	// Drift counts server answers whose digest disagreed with the local
 	// in-process execution (Target mode only; any nonzero is a bug).
-	Drift   int                  `json:"drift,omitempty"`
-	Latency obsv.SummarySnapshot `json:"latency"`
+	Drift int `json:"drift,omitempty"`
+	// DriftTraces holds the server trace ids of drifted answers (at most
+	// driftTraceCap per query) — the key into the server's journal and
+	// /debug/trace?trace=<id> when chasing a divergence.
+	DriftTraces []string             `json:"drift_traces,omitempty"`
+	Latency     obsv.SummarySnapshot `json:"latency"`
 }
 
 // ReplayReport is the outcome of one load replay.
@@ -82,6 +86,10 @@ type ReplayReport struct {
 	// Drift counts answers that disagreed with the local execution
 	// (Target mode). CI gates on this staying zero.
 	Drift int `json:"drift,omitempty"`
+	// DriftTraces aggregates the drifted answers' server trace ids
+	// across queries (bounded); failure messages print them so the
+	// offending solves can be pulled from the server by id.
+	DriftTraces []string `json:"drift_traces,omitempty"`
 	// Skipped counts stream entries naming no known workload query
 	// (journal lines from ad-hoc SQL, comments that parse as names, …).
 	Skipped  int                  `json:"skipped"`
@@ -95,14 +103,20 @@ func (rep *ReplayReport) Answered() int {
 	return rep.Issued - rep.Errors - rep.Timeouts - rep.Shed
 }
 
+// driftTraceCap bounds the recorded drift trace ids per query (and the
+// report-level aggregate at 2×): enough to chase a systematic
+// divergence without an unbounded slice under a pathological run.
+const driftTraceCap = 8
+
 // replayAgg accumulates one query name's outcomes during the run.
 type replayAgg struct {
-	sum      *obsv.Summary
-	issued   int
-	errors   int
-	timeouts int
-	shed     int
-	drift    int
+	sum         *obsv.Summary
+	issued      int
+	errors      int
+	timeouts    int
+	shed        int
+	drift       int
+	driftTraces []string
 }
 
 // replayOutcome is the classified result of issuing one query, local or
@@ -112,6 +126,10 @@ type replayOutcome struct {
 	timeout bool
 	shed    bool
 	drift   bool
+	// traceID is the server-assigned trace id of a remote answer,
+	// recorded for drifted answers so the divergent solve can be pulled
+	// from the server's journal and retained traces by id.
+	traceID string
 	// local marks in-process outcomes that carry engine stats worth a
 	// RunRecord.
 	local   bool
@@ -227,6 +245,7 @@ func (r *Runner) Replay(opts ReplayOptions, w io.Writer) (*ReplayReport, error) 
 			return replayOutcome{
 				answers: len(resp.Rows),
 				drift:   resp.Digest != expected[p.name],
+				traceID: resp.TraceID,
 			}
 		}
 	}
@@ -290,6 +309,12 @@ func (r *Runner) Replay(opts ReplayOptions, w io.Writer) (*ReplayReport, error) 
 				if out.drift {
 					agg.drift++
 					rep.Drift++
+					if out.traceID != "" && len(agg.driftTraces) < driftTraceCap {
+						agg.driftTraces = append(agg.driftTraces, out.traceID)
+					}
+					if out.traceID != "" && len(rep.DriftTraces) < 2*driftTraceCap {
+						rep.DriftTraces = append(rep.DriftTraces, out.traceID)
+					}
 				}
 				if out.local {
 					r.record(p.name, queryResult{stats: out.stats, total: lat, answers: out.answers})
@@ -308,13 +333,14 @@ func (r *Runner) Replay(opts ReplayOptions, w io.Writer) (*ReplayReport, error) 
 	for _, name := range order {
 		agg := perName[name]
 		rep.PerQuery = append(rep.PerQuery, ReplayQueryStats{
-			Name:     name,
-			Issued:   agg.issued,
-			Errors:   agg.errors,
-			Timeouts: agg.timeouts,
-			Shed:     agg.shed,
-			Drift:    agg.drift,
-			Latency:  agg.sum.Snapshot(),
+			Name:        name,
+			Issued:      agg.issued,
+			Errors:      agg.errors,
+			Timeouts:    agg.timeouts,
+			Shed:        agg.shed,
+			Drift:       agg.drift,
+			DriftTraces: agg.driftTraces,
+			Latency:     agg.sum.Snapshot(),
 		})
 	}
 	if w != nil {

@@ -38,8 +38,8 @@ func (e *Engine) ConsistentAnswersContext(ctx context.Context, u cq.UCQ) ([]db.T
 	ctx, fl := e.startFlight(ctx, "consistent_answers", rc.flight)
 	out, err := e.consistentAnswers(ctx, u, rc)
 	dur := time.Since(start)
-	e.observeQuerySeconds(dur)
 	anomaly := e.classifyAnomaly(err, dur)
+	e.observeCall(ctx, rc, anomaly, dur)
 	bundle := fl.finish(anomaly, err, local)
 	snap := local.Snapshot()
 	stats := StatsFromSnapshot(snap)

@@ -299,8 +299,8 @@ func (e *Engine) RangeAnswersContext(ctx context.Context, q cq.AggQuery) (*Repor
 	ctx, fl := e.startFlight(ctx, op, rc.flight)
 	rep, err := e.rangeAnswers(ctx, q, rc)
 	dur := time.Since(start)
-	e.observeQuerySeconds(dur)
 	anomaly := e.classifyAnomaly(err, dur)
+	e.observeCall(ctx, rc, anomaly, dur)
 	bundle := fl.finish(anomaly, err, local)
 	if err != nil {
 		e.appendJournal(ctx, op, q.String(), nil, local.Snapshot(), err, start, dur, anomaly, bundle, rc)
@@ -312,7 +312,7 @@ func (e *Engine) RangeAnswersContext(ctx context.Context, q cq.AggQuery) (*Repor
 	rep.Route = rc.route.String()
 	rep.RouteReason = rc.routeReason
 	if e.opts.Explain {
-		rep.Explain = e.buildExplain(q.String(), q.Op.String(), rc, rep.Stats)
+		rep.Explain = e.buildExplain(q.String(), q.Op.String(), obsv.TraceIDFromContext(ctx), rc, rep.Stats)
 	}
 	e.appendJournal(ctx, op, q.String(), rep.Answers, rep.Metrics, nil, start, dur, anomaly, bundle, rc)
 	if sp != nil {

@@ -74,6 +74,10 @@ func (ce *ComponentExplain) addDirection(dir, alg string, res maxsat.Result, d t
 type Explain struct {
 	Query string `json:"query"`
 	Op    string `json:"op"`
+	// TraceID is the W3C trace id of the request that ran this call (32
+	// lowercase hex digits), when the context carried one — the same id
+	// the journal line, flight bundle, and cavsatd response carry.
+	TraceID string `json:"trace_id,omitempty"`
 	// Mode is "keys" or "dc"; Frontend is "compiled" or "interpreted".
 	Mode        string `json:"mode"`
 	Frontend    string `json:"frontend"`
@@ -148,11 +152,12 @@ func (ce *ComponentExplain) setEncode(vars, clauses int, baseHit bool, d time.Du
 
 // buildExplain assembles the Explain report from the call-local metric
 // snapshot and the collected component entries.
-func (e *Engine) buildExplain(query, op string, rc *recorder, stats Stats) *Explain {
+func (e *Engine) buildExplain(query, op, traceID string, rc *recorder, stats Stats) *Explain {
 	cc := e.context()
 	ex := &Explain{
 		Query:       query,
 		Op:          op,
+		TraceID:     traceID,
 		Mode:        e.modeString(),
 		Frontend:    e.frontendString(),
 		Algorithm:   e.opts.MaxSAT.Algorithm.String(),
@@ -207,6 +212,9 @@ func (ex *Explain) WriteTable(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "query\t%s\n", ex.Query)
 	fmt.Fprintf(tw, "op\t%s\n", ex.Op)
+	if ex.TraceID != "" {
+		fmt.Fprintf(tw, "trace\t%s\n", ex.TraceID)
+	}
 	fmt.Fprintf(tw, "mode\t%s\n", ex.Mode)
 	fmt.Fprintf(tw, "frontend\t%s\n", ex.Frontend)
 	route := ex.Route

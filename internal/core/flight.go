@@ -13,11 +13,12 @@ import (
 // end-of-call anomaly classification that decides whether the ring is
 // dumped.
 type flight struct {
-	e     *Engine
-	rec   *obsv.FlightRecorder
-	query string
-	start time.Time
-	res   obsv.ResourceSample
+	e       *Engine
+	rec     *obsv.FlightRecorder
+	query   string
+	traceID string
+	start   time.Time
+	res     obsv.ResourceSample
 }
 
 // startFlight installs the call's flight recorder in the context (so
@@ -30,11 +31,12 @@ func (e *Engine) startFlight(ctx context.Context, query string, rec *obsv.Flight
 		return ctx, nil
 	}
 	f := &flight{
-		e:     e,
-		rec:   rec,
-		query: query,
-		start: time.Now(),
-		res:   obsv.SampleResources(),
+		e:       e,
+		rec:     rec,
+		query:   query,
+		traceID: obsv.TraceIDFromContext(ctx),
+		start:   time.Now(),
+		res:     obsv.SampleResources(),
 	}
 	return obsv.WithFlightRecorder(ctx, rec), f
 }
@@ -71,6 +73,7 @@ func (f *flight) finish(reason string, err error, local *obsv.Registry) string {
 	}
 	b := obsv.NewBundle(reason, f.query, err, f.start, time.Since(f.start), f.rec,
 		local.Snapshot(), obsv.SampleResources().Since(f.res))
+	b.TraceID = f.traceID
 	b.Journal = f.e.opts.Journal.Path()
 	f.e.opts.OnAnomaly(b)
 	return b.File

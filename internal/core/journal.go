@@ -57,6 +57,7 @@ func (e *Engine) appendJournal(ctx context.Context, op, query string, answers []
 		Query:       label,
 		Fingerprint: Fingerprint64(query),
 		Op:          op,
+		TraceID:     obsv.TraceIDFromContext(ctx),
 		Options: obsv.JournalOptions{
 			Algorithm:   e.opts.MaxSAT.Algorithm.String(),
 			Mode:        e.modeString(),

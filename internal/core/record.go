@@ -114,15 +114,35 @@ func (rc *recorder) observe(name string, d time.Duration) {
 	}
 }
 
-// observeQuerySeconds feeds one whole-call latency into the session
-// registry's query-duration summary, the p50/p90/p99 source of the
-// /metrics exposition and the replay percentile tables. Call-local
-// registries skip it: a single observation has no quantiles worth
-// keeping.
-func (e *Engine) observeQuerySeconds(d time.Duration) {
-	if e.opts.Metrics != nil {
-		e.opts.Metrics.Summary(obsv.MetricQuerySeconds, 0, nil).Observe(d.Seconds())
+// observeCall feeds one whole-call latency into the session registry:
+// the query-duration summary (the p50/p90/p99 source of the /metrics
+// exposition and the replay percentile tables) plus the labeled
+// request-correlation families keyed by tenant/route/outcome.
+// Call-local registries skip it: a single observation has no quantiles
+// worth keeping.
+func (e *Engine) observeCall(ctx context.Context, rc *recorder, anomaly string, d time.Duration) {
+	if e.opts.Metrics == nil {
+		return
 	}
+	e.opts.Metrics.Summary(obsv.MetricQuerySeconds, 0, nil).Observe(d.Seconds())
+	tenant := obsv.TenantFrom(ctx)
+	if tenant == "" {
+		tenant = "none"
+	}
+	route := "none"
+	if rc != nil && rc.routeStamped {
+		route = rc.route.String()
+	}
+	// "slow" is an anomaly for the flight recorder but a success for the
+	// SLO plane: the call answered.
+	outcome := anomaly
+	if outcome == "" || outcome == "slow" {
+		outcome = "ok"
+	}
+	e.opts.Metrics.LabeledCounter(obsv.MetricEngineCalls, obsv.RequestLabels, 0).
+		With(tenant, route, outcome).Inc()
+	e.opts.Metrics.LabeledHistogram(obsv.MetricEngineCallSeconds, obsv.RequestLabels, nil, 0).
+		With(tenant, route, outcome).Observe(d.Seconds())
 }
 
 // phaseMark brackets one phase measurement: the wall clock and the

@@ -1,6 +1,7 @@
 package obsv
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -13,15 +14,21 @@ import (
 )
 
 // healthInfo is the /healthz payload: liveness plus enough build and
-// runtime identity to tell scraped processes apart in a fleet.
+// runtime identity to tell scraped processes apart in a fleet, plus the
+// journal's write/drop counters (a replay smoke asserts dropped stays 0
+// under load) and any caller-provided extras (cavsatd adds its
+// attached-instance count).
 type healthInfo struct {
-	Status     string  `json:"status"`
-	UptimeS    float64 `json:"uptime_s"`
-	GoVersion  string  `json:"go_version"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	Main       string  `json:"main,omitempty"`
-	Revision   string  `json:"vcs_revision,omitempty"`
-	Modified   bool    `json:"vcs_modified,omitempty"`
+	Status         string         `json:"status"`
+	UptimeS        float64        `json:"uptime_s"`
+	GoVersion      string         `json:"go_version"`
+	GOMAXPROCS     int            `json:"gomaxprocs"`
+	Main           string         `json:"main,omitempty"`
+	Revision       string         `json:"vcs_revision,omitempty"`
+	Modified       bool           `json:"vcs_modified,omitempty"`
+	JournalWritten *int64         `json:"journal_written,omitempty"`
+	JournalDropped *int64         `json:"journal_dropped,omitempty"`
+	Extra          map[string]any `json:"extra,omitempty"`
 }
 
 // buildIdentity reads the binary's embedded build info once (module path
@@ -62,12 +69,33 @@ func buildIdentity() (main, revision string, modified bool) {
 // nil; the corresponding endpoints degrade gracefully (an empty
 // exposition, a 404 trace/journal).
 func Handler(reg *Registry, tr *Tracer, j *Journal) http.Handler {
+	return NewHandler(HandlerConfig{Registry: reg, Tracer: tr, Journal: j})
+}
+
+// HandlerConfig configures the debug handler beyond the classic
+// (registry, tracer, journal) triple.
+type HandlerConfig struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Journal  *Journal
+	// Traces serves retained request traces on /debug/trace?trace=<id>
+	// and the retained listing on /debug/trace?list=1.
+	Traces *TraceStore
+	// Extra, when non-nil, is merged into the /healthz payload under
+	// "extra" on every request (live values, e.g. attached instances).
+	Extra func() map[string]any
+}
+
+// NewHandler builds the debug HTTP handler from a HandlerConfig; see
+// Handler for the endpoint surface.
+func NewHandler(cfg HandlerConfig) http.Handler {
+	reg, tr, j := cfg.Registry, cfg.Tracer, cfg.Journal
 	start := time.Now()
 	mainPath, revision, modified := buildIdentity()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(healthInfo{
+		info := healthInfo{
 			Status:     "ok",
 			UptimeS:    time.Since(start).Seconds(),
 			GoVersion:  runtime.Version(),
@@ -75,7 +103,15 @@ func Handler(reg *Registry, tr *Tracer, j *Journal) http.Handler {
 			Main:       mainPath,
 			Revision:   revision,
 			Modified:   modified,
-		})
+		}
+		if j != nil {
+			written, dropped := j.Written(), j.Dropped()
+			info.JournalWritten, info.JournalDropped = &written, &dropped
+		}
+		if cfg.Extra != nil {
+			info.Extra = cfg.Extra()
+		}
+		json.NewEncoder(w).Encode(info)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -115,17 +151,70 @@ func Handler(reg *Registry, tr *Tracer, j *Journal) http.Handler {
 		enc.Encode(entries)
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
-		if tr == nil {
+		target := tr
+		q := r.URL.Query()
+		if id := q.Get("trace"); id != "" {
+			if cfg.Traces == nil {
+				http.Error(w, "no trace store installed", http.StatusNotFound)
+				return
+			}
+			var tid TraceID
+			if _, err := hex.Decode(tid[:], []byte(id)); err != nil || len(id) != 32 {
+				http.Error(w, fmt.Sprintf("bad trace id %q (want 32 hex digits)", id), http.StatusBadRequest)
+				return
+			}
+			rt, ok := cfg.Traces.Get(tid)
+			if !ok {
+				http.Error(w, fmt.Sprintf("trace %s not retained", id), http.StatusNotFound)
+				return
+			}
+			target = rt.Tracer
+		}
+		if q.Get("list") != "" {
+			if cfg.Traces == nil {
+				http.Error(w, "no trace store installed", http.StatusNotFound)
+				return
+			}
+			type item struct {
+				TraceID    string  `json:"trace_id"`
+				Reason     string  `json:"reason"`
+				Query      string  `json:"query,omitempty"`
+				Tenant     string  `json:"tenant,omitempty"`
+				Start      string  `json:"start"`
+				DurationMS float64 `json:"duration_ms"`
+				Spans      int     `json:"spans"`
+			}
+			retained := cfg.Traces.List()
+			items := make([]item, len(retained))
+			for i, rt := range retained {
+				items[i] = item{
+					TraceID:    rt.TraceID.String(),
+					Reason:     rt.Reason,
+					Query:      rt.Query,
+					Tenant:     rt.Tenant,
+					Start:      rt.Start.UTC().Format(time.RFC3339Nano),
+					DurationMS: float64(rt.Duration.Microseconds()) / 1000,
+					Spans:      rt.Tracer.Len(),
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(items)
+			return
+		}
+		if target == nil {
 			http.Error(w, "no tracer installed", http.StatusNotFound)
 			return
 		}
-		switch format := r.URL.Query().Get("format"); format {
+		switch format := q.Get("format"); format {
 		case "", "tree":
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			tr.WriteTree(w)
+			fmt.Fprintf(w, "trace %s\n", target.TraceID())
+			target.WriteTree(w)
 		case "chrome", "json":
 			w.Header().Set("Content-Type", "application/json")
-			tr.WriteChromeTrace(w)
+			target.WriteChromeTrace(w)
 		default:
 			http.Error(w, fmt.Sprintf("unknown format %q (want tree or chrome)", format), http.StatusBadRequest)
 		}

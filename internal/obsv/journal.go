@@ -64,6 +64,12 @@ type JournalEntry struct {
 	Fingerprint string `json:"fingerprint"`
 	Op          string `json:"op,omitempty"`
 
+	// TraceID is the W3C trace id of the request that ran this solve
+	// (32 lowercase hex digits), stamped when the context carried one —
+	// the cross-link key into explain reports, flight bundles, cavsatd
+	// responses, and retained traces.
+	TraceID string `json:"trace_id,omitempty"`
+
 	Options JournalOptions `json:"options"`
 
 	// Answers is the number of result groups; AnswerDigest is a 64-bit
@@ -352,5 +358,23 @@ func WithQueryLabel(ctx context.Context, label string) context.Context {
 // QueryLabelFrom returns the label installed by WithQueryLabel, or "".
 func QueryLabelFrom(ctx context.Context) string {
 	s, _ := ctx.Value(journalLabelKey{}).(string)
+	return s
+}
+
+type tenantKey struct{}
+
+// WithTenant attaches the serving tenant (cavsatd instance name) to the
+// context; the engine stamps it on labeled metric families so per-tenant
+// latency and error budgets are attributable.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFrom returns the tenant installed by WithTenant, or "".
+func TenantFrom(ctx context.Context) string {
+	s, _ := ctx.Value(tenantKey{}).(string)
 	return s
 }

@@ -1,0 +1,328 @@
+package obsv
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// OverflowLabel is the label value that absorbs every label tuple seen
+// after a labeled family reached its cardinality cap. A scrape showing
+// `family{...="_overflow"}` with a growing count means the workload
+// produces more distinct label tuples than the family was provisioned
+// for — the family stays bounded instead of growing without limit.
+const OverflowLabel = "_overflow"
+
+// DefaultLabeledSeries is the per-family series cap used when a labeled
+// family is created with maxSeries <= 0.
+const DefaultLabeledSeries = 64
+
+// escapeLabelValue escapes a label value per the Prometheus 0.0.4 text
+// format: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// seriesName renders the canonical full series name for a label tuple:
+// `family{k1="v1",k2="v2"}` with labels in declared order and values
+// escaped. The canonical form keys the registry maps and is what the
+// exposition prints, so equal tuples always hit the same series.
+func seriesName(family string, labels, values []string) string {
+	var b strings.Builder
+	b.Grow(len(family) + 16*len(labels))
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i, k := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labeledFamily is the shared cardinality-bounding core of
+// LabeledCounter and LabeledHistogram: a map from the canonical value
+// tuple to a live series, capped at maxSeries distinct tuples, with an
+// all-_overflow series absorbing the excess.
+type labeledFamily struct {
+	family string
+	labels []string
+	max    int
+
+	mu     sync.RWMutex
+	series map[string][]string // canonical series name → label values
+}
+
+func newLabeledFamily(family string, labels []string, maxSeries int) *labeledFamily {
+	if len(labels) == 0 {
+		panic("obsv: labeled family " + family + " needs at least one label")
+	}
+	if maxSeries <= 0 {
+		maxSeries = DefaultLabeledSeries
+	}
+	return &labeledFamily{
+		family: family,
+		labels: append([]string(nil), labels...),
+		max:    maxSeries,
+		series: map[string][]string{},
+	}
+}
+
+// resolve maps a label tuple to its canonical series name, rerouting to
+// the overflow tuple when the tuple is new and the family is at cap.
+// The overflow series itself never counts against the cap, so a family
+// holds at most max+1 live series.
+func (f *labeledFamily) resolve(values []string) string {
+	if len(values) != len(f.labels) {
+		panic("obsv: labeled family " + f.family + " called with wrong label count")
+	}
+	name := seriesName(f.family, f.labels, values)
+	f.mu.RLock()
+	_, ok := f.series[name]
+	n := len(f.series)
+	f.mu.RUnlock()
+	if ok {
+		return name
+	}
+	if n >= f.max {
+		return f.overflowName()
+	}
+	f.mu.Lock()
+	if _, ok := f.series[name]; !ok {
+		if len(f.series) >= f.max {
+			f.mu.Unlock()
+			return f.overflowName()
+		}
+		f.series[name] = append([]string(nil), values...)
+	}
+	f.mu.Unlock()
+	return name
+}
+
+func (f *labeledFamily) overflowName() string {
+	values := make([]string, len(f.labels))
+	for i := range values {
+		values[i] = OverflowLabel
+	}
+	return seriesName(f.family, f.labels, values)
+}
+
+func (f *labeledFamily) overflowValues() []string {
+	values := make([]string, len(f.labels))
+	for i := range values {
+		values[i] = OverflowLabel
+	}
+	return values
+}
+
+// snapshotSeries returns every live (series name, values) pair in
+// deterministic order, the overflow series last when materialized.
+func (f *labeledFamily) snapshotSeries(overflowLive func(string) bool) (names []string, values [][]string) {
+	f.mu.RLock()
+	names = make([]string, 0, len(f.series)+1)
+	for name := range f.series {
+		names = append(names, name)
+	}
+	f.mu.RUnlock()
+	sort.Strings(names)
+	if on := f.overflowName(); overflowLive(on) {
+		names = append(names, on)
+	}
+	values = make([][]string, len(names))
+	for i, name := range names {
+		f.mu.RLock()
+		v, ok := f.series[name]
+		f.mu.RUnlock()
+		if !ok {
+			v = f.overflowValues()
+		}
+		values[i] = append([]string(nil), v...)
+	}
+	return names, values
+}
+
+// LabeledCounter is a cardinality-bounded family of counters sharing one
+// metric name and a fixed label schema. With returns the series for a
+// label tuple, creating it on first use; past the per-family cap, unseen
+// tuples share the all-_overflow series. Series live in the owning
+// Registry under their canonical `family{k="v",...}` name, so snapshots
+// and the Prometheus exposition pick them up with no extra plumbing.
+type LabeledCounter struct {
+	f   *labeledFamily
+	reg *Registry
+}
+
+// With returns the counter for the given label values (declared order).
+func (lc *LabeledCounter) With(values ...string) *Counter {
+	return lc.reg.Counter(lc.f.resolve(values))
+}
+
+// Labels returns the family's label names in declared order.
+func (lc *LabeledCounter) Labels() []string { return append([]string(nil), lc.f.labels...) }
+
+// Sum totals every live series whose label values pass the filter (a
+// nil filter sums the whole family, overflow included). The filter sees
+// values aligned with Labels().
+func (lc *LabeledCounter) Sum(filter func(values []string) bool) int64 {
+	names, values := lc.f.snapshotSeries(func(on string) bool {
+		lc.reg.mu.RLock()
+		_, ok := lc.reg.counters[on]
+		lc.reg.mu.RUnlock()
+		return ok
+	})
+	var total int64
+	for i, name := range names {
+		if filter != nil && !filter(values[i]) {
+			continue
+		}
+		lc.reg.mu.RLock()
+		c, ok := lc.reg.counters[name]
+		lc.reg.mu.RUnlock()
+		if ok {
+			total += c.Value()
+		}
+	}
+	return total
+}
+
+// LabeledHistogram is the histogram sibling of LabeledCounter: one
+// bucket layout shared by every series of the family, the same
+// cardinality cap and _overflow policy.
+type LabeledHistogram struct {
+	f       *labeledFamily
+	reg     *Registry
+	buckets []float64
+}
+
+// With returns the histogram for the given label values.
+func (lh *LabeledHistogram) With(values ...string) *Histogram {
+	return lh.reg.Histogram(lh.f.resolve(values), lh.buckets)
+}
+
+// Labels returns the family's label names in declared order.
+func (lh *LabeledHistogram) Labels() []string { return append([]string(nil), lh.f.labels...) }
+
+// Buckets returns the family's bucket upper bounds.
+func (lh *LabeledHistogram) Buckets() []float64 { return append([]float64(nil), lh.buckets...) }
+
+// CountUnder returns (observations ≤ limit, total observations) across
+// every live series passing the filter. limit is matched against the
+// bucket upper bounds (the largest bound ≤ limit is used), so callers
+// that need exact attainment — the SLO plane — must provision limit as
+// a bucket bound.
+func (lh *LabeledHistogram) CountUnder(limit float64, filter func(values []string) bool) (under, total int64) {
+	names, values := lh.f.snapshotSeries(func(on string) bool {
+		lh.reg.mu.RLock()
+		_, ok := lh.reg.histograms[on]
+		lh.reg.mu.RUnlock()
+		return ok
+	})
+	for i, name := range names {
+		if filter != nil && !filter(values[i]) {
+			continue
+		}
+		lh.reg.mu.RLock()
+		h, ok := lh.reg.histograms[name]
+		lh.reg.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		for b, ub := range h.buckets {
+			c := h.counts[b].Load()
+			if ub <= limit {
+				under += c
+			}
+			total += c
+		}
+		total += h.inf.Load()
+	}
+	return under, total
+}
+
+// LabeledCounter returns the named labeled counter family, creating it
+// on first use with the given label names and per-family series cap
+// (maxSeries <= 0 means DefaultLabeledSeries). Later calls may pass nil
+// labels and zero maxSeries; passing different label names is a
+// programming error and panics.
+func (r *Registry) LabeledCounter(family string, labels []string, maxSeries int) *LabeledCounter {
+	r.mu.RLock()
+	lc, ok := r.labeledCounters[family]
+	r.mu.RUnlock()
+	if ok {
+		checkSameLabels(family, lc.f.labels, labels)
+		return lc
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if lc, ok := r.labeledCounters[family]; ok {
+		checkSameLabels(family, lc.f.labels, labels)
+		return lc
+	}
+	r.checkFree(family, "labeled counter")
+	lc = &LabeledCounter{f: newLabeledFamily(family, labels, maxSeries), reg: r}
+	r.labeledCounters[family] = lc
+	return lc
+}
+
+// LabeledHistogram returns the named labeled histogram family, creating
+// it on first use with the given label names, bucket bounds (nil means
+// DurationBuckets), and series cap.
+func (r *Registry) LabeledHistogram(family string, labels []string, buckets []float64, maxSeries int) *LabeledHistogram {
+	r.mu.RLock()
+	lh, ok := r.labeledHistograms[family]
+	r.mu.RUnlock()
+	if ok {
+		checkSameLabels(family, lh.f.labels, labels)
+		return lh
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if lh, ok := r.labeledHistograms[family]; ok {
+		checkSameLabels(family, lh.f.labels, labels)
+		return lh
+	}
+	r.checkFree(family, "labeled histogram")
+	if buckets == nil {
+		buckets = DurationBuckets
+	}
+	bs := append([]float64(nil), buckets...)
+	sort.Float64s(bs)
+	lh = &LabeledHistogram{f: newLabeledFamily(family, labels, maxSeries), reg: r, buckets: bs}
+	r.labeledHistograms[family] = lh
+	return lh
+}
+
+func checkSameLabels(family string, have, want []string) {
+	if want == nil {
+		return
+	}
+	if len(have) != len(want) {
+		panic("obsv: labeled family " + family + " re-registered with different labels")
+	}
+	for i := range have {
+		if have[i] != want[i] {
+			panic("obsv: labeled family " + family + " re-registered with different labels")
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package obsv
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLabeledCounterSeries(t *testing.T) {
+	reg := NewRegistry()
+	lc := reg.LabeledCounter("req_total", []string{"route", "outcome"}, 4)
+	lc.With("sat", "ok").Add(3)
+	lc.With("sat", "ok").Inc()
+	lc.With("rewrite", "ok").Inc()
+	if got := lc.With("sat", "ok").Value(); got != 4 {
+		t.Fatalf("series value = %d, want 4 (same tuple must hit the same series)", got)
+	}
+	if got := lc.Sum(nil); got != 5 {
+		t.Fatalf("family sum = %d, want 5", got)
+	}
+	onlySat := func(values []string) bool { return values[0] == "sat" }
+	if got := lc.Sum(onlySat); got != 4 {
+		t.Fatalf("filtered sum = %d, want 4", got)
+	}
+	// A later fetch with nil labels returns the same family; different
+	// labels panic.
+	if reg.LabeledCounter("req_total", nil, 0) != lc {
+		t.Fatal("re-fetch returned a different family")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("re-registering with different labels did not panic")
+			}
+		}()
+		reg.LabeledCounter("req_total", []string{"tenant"}, 0)
+	}()
+}
+
+func TestLabeledCounterOverflowCap(t *testing.T) {
+	reg := NewRegistry()
+	const cap = 3
+	lc := reg.LabeledCounter("capped_total", []string{"tenant"}, cap)
+	for i := 0; i < 10*cap; i++ {
+		lc.With(fmt.Sprintf("t%02d", i)).Inc()
+	}
+	// The registry holds at most cap real series plus the overflow series.
+	snap := reg.Snapshot()
+	live := 0
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "capped_total{") {
+			live++
+		}
+	}
+	if live != cap+1 {
+		t.Fatalf("live series = %d, want cap+overflow = %d", live, cap+1)
+	}
+	over := snap.Counters[`capped_total{tenant="_overflow"}`]
+	if over != int64(10*cap-cap) {
+		t.Fatalf("overflow absorbed %d, want %d", over, 10*cap-cap)
+	}
+	if got := lc.Sum(nil); got != 10*cap {
+		t.Fatalf("sum = %d, want %d (overflow must count)", got, 10*cap)
+	}
+	// Tuples seen before the cap keep their own series afterwards.
+	lc.With("t00").Inc()
+	if got := lc.With("t00").Value(); got != 2 {
+		t.Fatalf("pre-cap series value = %d, want 2", got)
+	}
+}
+
+// TestLabeledCardinalityHammer slams one small-capped family from many
+// goroutines with far more distinct tuples than the cap and asserts the
+// bound held and no increment was lost. Run under -race this also
+// exercises the resolve() fast/slow paths for data races.
+func TestLabeledCardinalityHammer(t *testing.T) {
+	reg := NewRegistry()
+	const cap = 8
+	lc := reg.LabeledCounter("hammer_total", []string{"tenant", "route"}, cap)
+	lh := reg.LabeledHistogram("hammer_seconds", []string{"tenant", "route"}, []float64{0.1, 1}, cap)
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tenant := fmt.Sprintf("w%d-t%d", w, i%37)
+				lc.With(tenant, "sat").Inc()
+				lh.With(tenant, "sat").Observe(0.05)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	counters, hists := 0, 0
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "hammer_total{") {
+			counters++
+		}
+	}
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, "hammer_seconds{") {
+			hists++
+		}
+	}
+	if counters > cap+1 || hists > cap+1 {
+		t.Fatalf("cardinality bound violated: %d counter / %d histogram series, cap %d(+overflow)", counters, hists, cap)
+	}
+	if got := lc.Sum(nil); got != workers*perWorker {
+		t.Fatalf("sum = %d, want %d (no increment may be lost to overflow rerouting)", got, workers*perWorker)
+	}
+	if under, total := lh.CountUnder(0.1, nil); total != workers*perWorker || under != total {
+		t.Fatalf("histogram counts = %d/%d, want %d/%d", under, total, workers*perWorker, workers*perWorker)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	reg := NewRegistry()
+	lc := reg.LabeledCounter("esc_total", []string{"q"}, 4)
+	lc.With(`say "hi"\` + "\n").Inc()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{q="say \"hi\"\\\n"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("exposition missing escaped series %q:\n%s", want, sb.String())
+	}
+}
+
+// TestLabeledPrometheusGolden pins the labeled exposition byte-for-byte:
+// one TYPE line per family, series sorted, histogram buckets merging the
+// series labels with le, and _sum/_count carrying the label set.
+func TestLabeledPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("plain_total").Add(7)
+	lc := reg.LabeledCounter("req_total", []string{"route", "outcome"}, 2)
+	lc.With("sat", "ok").Add(3)
+	lc.With("rewrite", "ok").Inc()
+	lc.With("spill", "error").Inc() // past cap → overflow
+	lh := reg.LabeledHistogram("lat_seconds", []string{"route"}, []float64{1, 10}, 4)
+	h := lh.With("sat")
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(20)
+	lh.With("rewrite").Observe(2)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE plain_total counter
+plain_total 7
+# TYPE req_total counter
+req_total{route="_overflow",outcome="_overflow"} 1
+req_total{route="rewrite",outcome="ok"} 1
+req_total{route="sat",outcome="ok"} 3
+# TYPE lat_seconds histogram
+lat_seconds_bucket{route="rewrite",le="1"} 0
+lat_seconds_bucket{route="rewrite",le="10"} 1
+lat_seconds_bucket{route="rewrite",le="+Inf"} 1
+lat_seconds_sum{route="rewrite"} 2
+lat_seconds_count{route="rewrite"} 1
+lat_seconds_bucket{route="sat",le="1"} 1
+lat_seconds_bucket{route="sat",le="10"} 2
+lat_seconds_bucket{route="sat",le="+Inf"} 3
+lat_seconds_sum{route="sat"} 25.5
+lat_seconds_count{route="sat"} 3
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("labeled exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabeledFamilyReservesBareName(t *testing.T) {
+	reg := NewRegistry()
+	reg.LabeledCounter("fam_total", []string{"route"}, 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("plain counter under a labeled family name did not panic")
+			}
+		}()
+		reg.Counter("fam_total")
+	}()
+	// The family's own series names stay allowed.
+	reg.Counter(`fam_total{route="sat"}`).Inc()
+}

@@ -55,7 +55,18 @@ const (
 	MetricRouteRewrite = `aggcavsat_planner_route_total{route="rewrite"}`
 	MetricRouteSAT     = `aggcavsat_planner_route_total{route="sat"}`
 	MetricRewriteNS    = "aggcavsat_rewrite_ns_total"
+
+	// Request-correlation families (PR 10): labeled by tenant (the
+	// serving instance, "none" outside cavsatd), route (the executor that
+	// answered), and outcome ("ok" or the anomaly class). The engine
+	// observes them per call into the session registry.
+	MetricEngineCalls       = "aggcavsat_calls_total"
+	MetricEngineCallSeconds = "aggcavsat_call_seconds"
 )
+
+// RequestLabels is the shared label schema of the request-correlation
+// families: tenant, route, outcome — in this declared order.
+var RequestLabels = []string{"tenant", "route", "outcome"}
 
 // DurationBuckets are the default histogram bucket upper bounds for
 // phase durations, in seconds (1ms … ~2min, quadrupling).
@@ -144,20 +155,24 @@ type HistogramSnapshot struct {
 // and Histogram are get-or-create and panic when one name is reused
 // across metric kinds (a programming error).
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
-	summaries  map[string]*Summary
+	mu                sync.RWMutex
+	counters          map[string]*Counter
+	gauges            map[string]*Gauge
+	histograms        map[string]*Histogram
+	summaries         map[string]*Summary
+	labeledCounters   map[string]*LabeledCounter
+	labeledHistograms map[string]*LabeledHistogram
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		histograms: map[string]*Histogram{},
-		summaries:  map[string]*Summary{},
+		counters:          map[string]*Counter{},
+		gauges:            map[string]*Gauge{},
+		histograms:        map[string]*Histogram{},
+		summaries:         map[string]*Summary{},
+		labeledCounters:   map[string]*LabeledCounter{},
+		labeledHistograms: map[string]*LabeledHistogram{},
 	}
 }
 
@@ -166,7 +181,23 @@ func (r *Registry) checkFree(name, kind string) {
 	_, g := r.gauges[name]
 	_, h := r.histograms[name]
 	_, s := r.summaries[name]
-	if c || g || h || s {
+	// The bare family name of a labeled family is reserved too: a plain
+	// metric `fam` alongside series `fam{...}` would split the family's
+	// TYPE header in the exposition. A `fam{...}` series name of the
+	// matching kind is allowed — that is how the family's own series are
+	// stored.
+	fam := metricFamily(name)
+	_, lc := r.labeledCounters[fam]
+	_, lh := r.labeledHistograms[fam]
+	if fam != name { // series name, not a bare family name
+		if kind == "counter" {
+			lc = false
+		}
+		if kind == "histogram" {
+			lh = false
+		}
+	}
+	if c || g || h || s || lc || lh {
 		panic("obsv: metric " + name + " already registered with a different kind than " + kind)
 	}
 }

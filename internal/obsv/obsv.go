@@ -75,8 +75,17 @@ type Span struct {
 
 	id     int32 // index into the tracer's span slice
 	parent int32 // parent span id, -1 for roots
+	spanID SpanID
 	tracer *Tracer
 	done   bool
+}
+
+// SpanID returns the span's 64-bit W3C span id (zero on a nil span).
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.spanID
 }
 
 // Tracer collects spans. It is safe for concurrent use. Spans beyond
@@ -87,15 +96,49 @@ type Tracer struct {
 	spans   []*Span
 	open    int
 	dropped int64
+	traceID TraceID
 
 	// MaxSpans bounds the number of retained spans (default 1<<20).
 	// Mutate only before tracing starts.
 	MaxSpans int
 }
 
-// NewTracer creates an empty tracer.
+// NewTracer creates an empty tracer with a fresh random trace id.
 func NewTracer() *Tracer {
-	return &Tracer{MaxSpans: 1 << 20}
+	return NewTracerWithID(NewTraceID())
+}
+
+// NewTracerWithID creates an empty tracer carrying the given trace id —
+// the per-request constructor when the caller supplied a traceparent. A
+// zero id is replaced with a fresh random one.
+func NewTracerWithID(id TraceID) *Tracer {
+	if id.IsZero() {
+		id = NewTraceID()
+	}
+	return &Tracer{MaxSpans: 1 << 20, traceID: id}
+}
+
+// TraceID returns the tracer's 128-bit trace id. Every span started on
+// this tracer belongs to this trace.
+func (t *Tracer) TraceID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID
+}
+
+// SetTraceID rebinds the tracer to a trace id (ignored when zero).
+// Intended for reuse of a long-lived tracer before tracing starts;
+// already-recorded spans keep their derived span ids.
+func (t *Tracer) SetTraceID(id TraceID) {
+	if t == nil || id.IsZero() {
+		return
+	}
+	t.mu.Lock()
+	t.traceID = id
+	t.mu.Unlock()
 }
 
 type ctxKey struct{}
@@ -151,17 +194,59 @@ func (t *Tracer) start(name string, parent *Span, attrs []Attr) *Span {
 	if parent != nil {
 		pid = parent.id
 	}
+	id := int32(len(t.spans))
 	sp := &Span{
 		Name:   name,
 		Start:  time.Now(),
 		Attrs:  attrs,
-		id:     int32(len(t.spans)),
+		id:     id,
 		parent: pid,
+		spanID: deriveSpanID(t.traceID, id),
 		tracer: t,
 	}
 	t.spans = append(t.spans, sp)
 	t.open++
 	return sp
+}
+
+// Absorb moves every span of src into t, preserving src's parent/child
+// structure (absorbed roots stay roots in t). It is the tail-retention
+// hand-off: a per-request tracer records in isolation, then the request
+// end absorbs it into the process-global tracer so /debug/trace keeps
+// showing recent activity. Spans beyond t's MaxSpans are dropped
+// all-or-nothing (counted in Dropped) so a partially-absorbed trace
+// never leaves dangling parent references. src must be quiescent (its
+// request finished); it is left unchanged and must not be reused.
+func (t *Tracer) Absorb(src *Tracer) {
+	if t == nil || src == nil || t == src {
+		return
+	}
+	src.mu.Lock()
+	spans := make([]*Span, len(src.spans))
+	copy(spans, src.spans)
+	srcDropped := src.dropped
+	src.mu.Unlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dropped += srcDropped
+	if len(t.spans)+len(spans) > t.MaxSpans {
+		t.dropped += int64(len(spans))
+		return
+	}
+	base := int32(len(t.spans))
+	for _, sp := range spans {
+		cp := *sp
+		cp.id += base
+		if cp.parent >= 0 {
+			cp.parent += base
+		}
+		cp.tracer = t
+		t.spans = append(t.spans, &cp)
+		if !cp.done {
+			t.open++
+		}
+	}
 }
 
 // End closes the span. Safe on a nil receiver and idempotent.

@@ -46,29 +46,41 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		hnames = append(hnames, name)
 	}
 	sort.Strings(hnames)
+	// Histogram names may carry a label set (a LabeledHistogram series,
+	// `family{k="v"}`): the TYPE header names the bare family once, and
+	// each series merges its labels with the le label on bucket lines.
+	lastFamily = ""
 	for _, name := range hnames {
 		h := s.Histograms[name]
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
-			return err
+		family, labels := splitSeries(name)
+		if family != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", family); err != nil {
+				return err
+			}
+			lastFamily = family
 		}
 		var cum int64
 		for i, ub := range h.Buckets {
 			cum += h.Counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(ub), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", family, labels, formatFloat(ub), cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum+h.Inf); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", family, labels, cum+h.Inf); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum)); err != nil {
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels[:len(labels)-1] + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", family, suffix, formatFloat(h.Sum)); err != nil {
 			return err
 		}
 		// The 0.0.4 format requires _count == the +Inf bucket. Under
 		// concurrent Observe the independent count atomic can lag the
 		// bucket atomics mid-snapshot, so derive _count from the buckets
 		// rather than emitting h.Count and risking an inconsistent scrape.
-		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, cum+h.Inf); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", family, suffix, cum+h.Inf); err != nil {
 			return err
 		}
 	}
@@ -114,6 +126,23 @@ func (t *Tracer) WritePrometheus(w io.Writer) error {
 			"# TYPE obsv_spans_open gauge\nobsv_spans_open %d\n",
 		t.Dropped(), t.Open())
 	return err
+}
+
+// splitSeries splits a possibly-labeled series name into its bare
+// family and the inner label text ready for merging with more labels
+// (`foo{a="b"}` → `foo`, `a="b",`; unlabeled names return "", so
+// `fmt.Sprintf("%s_bucket{%sle=...}", family, labels)` renders both
+// shapes correctly).
+func splitSeries(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	inner := name[i+1 : len(name)-1]
+	if inner == "" {
+		return name[:i], ""
+	}
+	return name[:i], inner + ","
 }
 
 // metricFamily strips a trailing label set from a metric name:

@@ -134,6 +134,10 @@ type Bundle struct {
 	// Query labels the solve (operation + aggregate, as reported by the
 	// engine).
 	Query string `json:"query,omitempty"`
+	// TraceID is the W3C trace id of the request that died (32 lowercase
+	// hex digits), when the solve's context carried one — the same id the
+	// journal line, explain report, and cavsatd response carry.
+	TraceID string `json:"trace_id,omitempty"`
 	// Err is the error text for reasons other than "slow".
 	Err        string    `json:"error,omitempty"`
 	Start      time.Time `json:"start"`

@@ -76,6 +76,12 @@ type QueryResponse struct {
 	// Cached reports that the answer came from the result cache without
 	// touching the engine.
 	Cached bool `json:"cached"`
+	// TraceID is this request's W3C trace id (32 lowercase hex digits):
+	// the caller's traceparent trace id when one was sent, otherwise
+	// server-minted. It keys the journal line, the flight bundle, and
+	// /debug/trace?trace=<id> when the trace was retained. The same id
+	// travels in the Traceparent response header.
+	TraceID string `json:"trace_id,omitempty"`
 	// Route is the executor that computed the answer: "rewrite" (the
 	// planner's SAT-free fast path), "sat" (the WPMaxSAT reduction), or
 	// "mixed" when a multi-aggregate statement split. Cached answers

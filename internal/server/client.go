@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"aggcavsat/internal/obsv"
 )
 
 // Client is a minimal HTTP client for cavsatd, used by aggbench's
@@ -60,6 +62,14 @@ func (c *Client) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 		return nil, err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	// Propagate trace identity: reuse the caller's trace context when the
+	// ctx carries one, otherwise mint a fresh trace per request so the
+	// server's journal/trace ids are correlatable from the client side.
+	tc, ok := obsv.TraceContextFrom(ctx)
+	if !ok {
+		tc = obsv.NewTraceContext()
+	}
+	httpReq.Header.Set("traceparent", tc.Traceparent())
 	resp, err := c.httpClient().Do(httpReq)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"strconv"
@@ -21,7 +22,19 @@ import (
 // Metric names of the query service, registered in the obsv registry
 // and exposed through the same /metrics scrape as the engine counters.
 const (
-	MetricRequests  = "cavsatd_requests_total"
+	// MetricRequests is a labeled family: every /query request lands in
+	// exactly one (tenant, route, outcome) series. route is the executor
+	// that answered ("rewrite", "sat", "mixed", "cache" for result-cache
+	// hits, "none" on errors); outcome is "ok", "shed", "timeout", or
+	// "error". The family is cardinality-bounded (requestSeriesCap) with
+	// an "_overflow" catch-all.
+	MetricRequests = "cavsatd_requests_total"
+	// MetricRequestDuration is the labeled request-latency histogram the
+	// /debug/slo burn rates are computed from; same label schema as
+	// MetricRequests, buckets extended with the SLO latency target so
+	// attainment reconciles exactly with the bucket counts.
+	MetricRequestDuration = "cavsatd_request_duration_seconds"
+
 	MetricShed      = "cavsatd_shed_total"     // 429s: queue full or queue wait expired
 	MetricTimeouts  = "cavsatd_timeouts_total" // per-request deadline or solver budget expiries
 	MetricErrors    = "cavsatd_errors_total"   // every non-200 that is not a shed
@@ -42,6 +55,11 @@ const (
 	MetricRouteSAT     = `cavsatd_route_total{route="sat"}`
 	MetricRouteMixed   = `cavsatd_route_total{route="mixed"}`
 )
+
+// requestSeriesCap bounds the (tenant, route, outcome) cardinality of
+// the labeled request families: 5 routes × 4 outcomes leaves room for
+// ~12 tenants before new tuples fall into the "_overflow" series.
+const requestSeriesCap = 256
 
 // Config tunes the query service.
 type Config struct {
@@ -69,11 +87,30 @@ type Config struct {
 	// force-sat; cavsatd defaults its -planner flag to auto.
 	Planner aggcavsat.PlannerMode
 
+	// SLOLatency is the latency objective target: a request answered
+	// within it counts toward the latency SLO. It is added to the
+	// request-duration histogram buckets, so /debug/slo attainment
+	// reconciles exactly with the bucket counts. 0 means 250ms.
+	SLOLatency time.Duration
+	// SLOAvailability is the target fraction for both the availability
+	// and latency objectives, in (0,1). 0 means 0.999.
+	SLOAvailability float64
+	// TraceSample is the probability of retaining the span buffer of a
+	// healthy, fast request (slow/errored/shed requests are always
+	// retained). 0 disables probabilistic retention.
+	TraceSample float64
+	// TraceRetain bounds the retained-trace store backing
+	// /debug/trace?trace=<id>. 0 means obsv.DefaultRetainedTraces.
+	TraceRetain int
+	// RequestSpans bounds each per-request span buffer. 0 means 512.
+	RequestSpans int
+
 	// Metrics receives the service counters and, when also passed to
 	// tenant Options, the engine's own; required (New creates one if
 	// nil so the debug plane always has something to scrape).
 	Metrics *obsv.Registry
-	// Tracer, when non-nil, backs /debug/trace.
+	// Tracer, when non-nil, backs /debug/trace and absorbs every
+	// finished per-request trace (the live process-wide view).
 	Tracer *obsv.Tracer
 	// Journal, when non-nil, receives the engine's wide-event lines
 	// (stamped "<instance>/<label>") and backs /debug/journal.
@@ -105,6 +142,15 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.SLOLatency <= 0 {
+		c.SLOLatency = 250 * time.Millisecond
+	}
+	if c.SLOAvailability <= 0 || c.SLOAvailability >= 1 {
+		c.SLOAvailability = 0.999
+	}
+	if c.RequestSpans <= 0 {
+		c.RequestSpans = 512
+	}
 	if c.Metrics == nil {
 		c.Metrics = obsv.NewRegistry()
 	}
@@ -119,7 +165,8 @@ type Server struct {
 	gate    *gate
 	cache   *resultCache
 
-	requests *obsv.Counter
+	requests *obsv.LabeledCounter
+	duration *obsv.LabeledHistogram
 	shed     *obsv.Counter
 	timeouts *obsv.Counter
 	errors   *obsv.Counter
@@ -130,6 +177,9 @@ type Server struct {
 	routeSAT     *obsv.Counter
 	routeMixed   *obsv.Counter
 
+	traces *obsv.TraceStore
+	slo    *obsv.SLOTracker
+
 	// exec runs one admitted query; tests override it to wedge or
 	// instrument the solver without a real slow instance.
 	exec func(ctx context.Context, t *Tenant, req *QueryRequest) (*aggcavsat.Result, error)
@@ -139,13 +189,17 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := cfg.Metrics
+	// The SLO latency target joins the duration buckets so attainment is
+	// an exact bucket count, never an interpolation.
+	buckets := append(append([]float64(nil), obsv.DurationBuckets...), cfg.SLOLatency.Seconds())
 	s := &Server{
 		cfg:     cfg,
 		tenants: newTenants(),
 		gate:    newGate(int64(cfg.MaxInFlight), cfg.MaxQueue, cfg.QueueWait),
 		cache:   newResultCache(cfg.CacheEntries),
 
-		requests: reg.Counter(MetricRequests),
+		requests: reg.LabeledCounter(MetricRequests, obsv.RequestLabels, requestSeriesCap),
+		duration: reg.LabeledHistogram(MetricRequestDuration, obsv.RequestLabels, buckets, requestSeriesCap),
 		shed:     reg.Counter(MetricShed),
 		timeouts: reg.Counter(MetricTimeouts),
 		errors:   reg.Counter(MetricErrors),
@@ -155,11 +209,34 @@ func New(cfg Config) *Server {
 		routeRewrite: reg.Counter(MetricRouteRewrite),
 		routeSAT:     reg.Counter(MetricRouteSAT),
 		routeMixed:   reg.Counter(MetricRouteMixed),
+
+		traces: obsv.NewTraceStore(cfg.TraceRetain),
+	}
+	s.slo = &obsv.SLOTracker{
+		Source:                s.sloCounts,
+		AvailabilityObjective: cfg.SLOAvailability,
+		LatencyObjective:      cfg.SLOAvailability,
+		LatencyTarget:         cfg.SLOLatency,
 	}
 	s.gate.wire(reg.Gauge(MetricInflight), reg.Gauge(MetricQueued))
 	s.cache.wire(reg.Counter(MetricCacheHit), reg.Counter(MetricCacheMiss), reg.Counter(MetricCoalesced))
 	s.exec = s.runQuery
 	return s
+}
+
+// sloCounts reads the SLO plane's cumulative inputs straight from the
+// labeled request families, so /debug/slo reconciles with /metrics by
+// construction: availability counts outcome="ok" over everything, the
+// latency objective counts ok requests answered within the SLO bucket.
+func (s *Server) sloCounts() obsv.SLOCounts {
+	isOK := func(values []string) bool { return values[2] == "ok" }
+	under, latTotal := s.duration.CountUnder(s.cfg.SLOLatency.Seconds(), isOK)
+	return obsv.SLOCounts{
+		Total:        s.requests.Sum(nil),
+		Good:         s.requests.Sum(isOK),
+		LatencyTotal: latTotal,
+		LatencyOK:    under,
+	}
 }
 
 // Attach registers an already-built tenant (e.g. the -dbgen demo
@@ -186,29 +263,77 @@ func (s *Server) AttachDir(name, dir string, opts aggcavsat.Options) (*Tenant, e
 // Tenant resolves an attached tenant by name ("" when exactly one).
 func (s *Server) Tenant(name string) (*Tenant, error) { return s.tenants.get(name) }
 
-// Handler builds the service mux: /query and /admin/instances, with
-// every other path (in particular /metrics, /healthz, /debug/*) falling
-// through to the obsv debug plane over the server's registry, tracer
-// and journal.
+// Handler builds the service mux: /query, /admin/instances and
+// /debug/slo, with every other path (in particular /metrics, /healthz,
+// /debug/*) falling through to the obsv debug plane over the server's
+// registry, tracer, journal and retained-trace store.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/admin/instances", s.handleInstances)
-	mux.Handle("/", obsv.Handler(s.cfg.Metrics, s.cfg.Tracer, s.cfg.Journal))
+	mux.HandleFunc("/debug/slo", s.handleSLO)
+	mux.Handle("/", obsv.NewHandler(obsv.HandlerConfig{
+		Registry: s.cfg.Metrics,
+		Tracer:   s.cfg.Tracer,
+		Journal:  s.cfg.Journal,
+		Traces:   s.traces,
+		Extra: func() map[string]any {
+			return map[string]any{"instances": s.tenants.count()}
+		},
+	}))
 	return mux
 }
 
-// handleQuery is the serving hot path: decode → resolve tenant →
-// result cache / singleflight → admission gate → deadline-bounded
-// solve → typed JSON.
+// handleSLO serves the SLO report: availability and latency attainment
+// plus 5m/1h burn rates, computed from the same labeled request
+// families /metrics exposes.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	// Fold the current counters in even if no request landed since the
+	// last observation (e.g. a scrape-only process).
+	s.slo.Observe()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.slo.Report())
+}
+
+// handleQuery is the serving hot path: trace identity → decode →
+// resolve tenant → result cache / singleflight → admission gate →
+// deadline-bounded solve → typed JSON. Every exit path lands in
+// finishRequest, which observes the labeled request families, feeds the
+// SLO tracker, and decides tail-based trace retention.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	s.requests.Inc()
+	// Trace identity: adopt the caller's traceparent trace id (minting a
+	// fresh one on absence or malformed headers, per W3C restart rules)
+	// and record the whole request into its own bounded tracer.
+	tc := traceContextFor(r)
+	rt := obsv.NewTracerWithID(tc.TraceID)
+	rt.MaxSpans = s.cfg.RequestSpans
+	ctx := obsv.WithTraceContext(r.Context(), tc)
+	ctx = obsv.WithTracer(ctx, rt)
+	ctx, rootSp := obsv.StartSpan(ctx, "server.request", obsv.String("method", r.Method))
+	// The response header re-parents the caller onto the server's root
+	// span; set before any body write.
+	w.Header().Set("Traceparent",
+		obsv.TraceContext{TraceID: tc.TraceID, SpanID: rootSp.SpanID(), Sampled: true}.Traceparent())
+
+	tenant, route, outcome, label := "unknown", "none", "error", ""
+	defer func() {
+		rootSp.SetStr("outcome", outcome)
+		rootSp.End()
+		s.finishRequest(rt, tenant, route, outcome, label, start, time.Since(start))
+	}()
+
 	req, err := decodeQueryRequest(r)
 	if err != nil {
 		s.errors.Inc()
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
+	}
+	label = req.Label
+	if label == "" {
+		label = req.SQL
 	}
 	t, err := s.tenants.get(req.Instance)
 	if err != nil {
@@ -216,6 +341,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeUnknownInstance, "%v", err)
 		return
 	}
+	tenant = t.Name
+	rootSp.SetStr("tenant", tenant)
 
 	key := cacheKey{
 		queryFP:      core.Fingerprint64(normalizeSQL(req.SQL)),
@@ -224,23 +351,92 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		dataVersion:  t.DataVersion,
 		planner:      t.Planner,
 	}
-	resp, served, err := s.cache.Do(r.Context(), key, func() (*QueryResponse, error) {
-		return s.admitAndSolve(r.Context(), t, req)
+	resp, served, err := s.cache.Do(ctx, key, func() (*QueryResponse, error) {
+		return s.admitAndSolve(ctx, t, req)
 	})
 	if err != nil {
+		outcome = outcomeOf(err)
 		s.writeQueryError(w, err)
 		return
 	}
 	// Cached/coalesced answers share one QueryResponse across requests:
-	// copy before stamping per-request fields.
+	// copy before stamping per-request fields. The trace id is this
+	// request's own — on a cache hit the journal line of the original
+	// solve keeps the solver's trace id, while the response cross-links
+	// to this request's retained trace.
 	out := *resp
 	out.Instance = t.Name
 	out.Version = t.Version
 	out.Cached = served
+	out.TraceID = tc.TraceID.String()
 	out.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	outcome = "ok"
+	route = out.Route
+	if served {
+		route = "cache"
+	}
+	rootSp.SetStr("route", route)
 	s.countRoute(out.Route)
-	s.latency.Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, &out)
+}
+
+// outcomeOf maps a /query failure onto the labeled outcome vocabulary:
+// "shed", "timeout" (deadline or budget), or "error".
+func outcomeOf(err error) string {
+	switch {
+	case errors.Is(err, ErrShed) || errors.Is(err, ErrQueueTimeout):
+		return "shed"
+	case errors.Is(err, aggcavsat.ErrTimeout), errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, aggcavsat.ErrBudget):
+		return "timeout"
+	default:
+		return "error"
+	}
+}
+
+// traceContextFor extracts the caller's W3C traceparent, minting a fresh
+// sampled context when the header is absent or malformed.
+func traceContextFor(r *http.Request) obsv.TraceContext {
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		if tc, err := obsv.ParseTraceparent(tp); err == nil {
+			return tc
+		}
+	}
+	return obsv.NewTraceContext()
+}
+
+// finishRequest is the single request epilogue: labeled metric
+// observation, SLO sampling, the tail-based retention decision, and the
+// absorb of the per-request trace into the process-wide tracer.
+func (s *Server) finishRequest(rt *obsv.Tracer, tenant, route, outcome, query string, start time.Time, elapsed time.Duration) {
+	s.requests.With(tenant, route, outcome).Inc()
+	s.duration.With(tenant, route, outcome).Observe(elapsed.Seconds())
+	s.latency.Observe(elapsed.Seconds())
+	s.slo.Observe()
+
+	reason := ""
+	switch {
+	case outcome != "ok":
+		reason = outcome
+	case elapsed > s.cfg.SLOLatency:
+		reason = "slow"
+	case s.cfg.TraceSample > 0 && rand.Float64() < s.cfg.TraceSample:
+		reason = "sample"
+	}
+	if reason != "" {
+		s.traces.Keep(obsv.RetainedTrace{
+			TraceID:  rt.TraceID(),
+			Reason:   reason,
+			Query:    query,
+			Tenant:   tenant,
+			Start:    start,
+			Duration: elapsed,
+			Tracer:   rt,
+		})
+	}
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Absorb(rt)
+	}
 }
 
 // admitAndSolve passes the admission gate, applies the per-request
@@ -274,7 +470,11 @@ func (s *Server) runQuery(ctx context.Context, t *Tenant, req *QueryRequest) (*a
 		label = req.SQL
 	}
 	ctx = obsv.WithQueryLabel(ctx, t.Name+"/"+label)
-	if s.cfg.Tracer != nil {
+	ctx = obsv.WithTenant(ctx, t.Name)
+	// handleQuery installs the per-request tracer; fall back to the
+	// process-wide one only when exec is driven without it (tests,
+	// embedded use).
+	if obsv.TracerFrom(ctx) == nil && s.cfg.Tracer != nil {
 		ctx = obsv.WithTracer(ctx, s.cfg.Tracer)
 	}
 	return t.System().QueryContext(ctx, req.SQL)
