@@ -159,7 +159,11 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 				return
 			}
 			var tid TraceID
-			if _, err := hex.Decode(tid[:], []byte(id)); err != nil || len(id) != 32 {
+			if len(id) != 32 {
+				http.Error(w, fmt.Sprintf("bad trace id %q (want 32 hex digits)", id), http.StatusBadRequest)
+				return
+			}
+			if _, err := hex.Decode(tid[:], []byte(id)); err != nil {
 				http.Error(w, fmt.Sprintf("bad trace id %q (want 32 hex digits)", id), http.StatusBadRequest)
 				return
 			}

@@ -79,6 +79,37 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 }
 
+// TestDebugTraceBadID pins the /debug/trace?trace= validation: ids of
+// any length other than 32 hex digits — in particular longer than 32,
+// which once drove hex.Decode past the 16-byte TraceID array and
+// panicked the handler — must come back as a clean 400.
+func TestDebugTraceBadID(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(HandlerConfig{
+		Tracer: NewTracer(),
+		Traces: NewTraceStore(4),
+	}))
+	defer srv.Close()
+
+	for _, id := range []string{
+		"zz",
+		strings.Repeat("ab", 15),       // 30 hex digits: too short
+		strings.Repeat("ab", 17),       // 34 hex digits: too long (panicked before the length check)
+		strings.Repeat("ab", 16) + "g", // 33 chars, trailing non-hex
+		strings.Repeat("zz", 16),       // right length, not hex
+	} {
+		code, _, _ := get(t, srv, "/debug/trace?trace="+id)
+		if code != http.StatusBadRequest {
+			t.Errorf("/debug/trace?trace=%s status = %d, want 400", id, code)
+		}
+	}
+
+	// A well-formed but unretained id is a 404, not a 400.
+	code, _, _ := get(t, srv, "/debug/trace?trace="+strings.Repeat("ab", 16))
+	if code != http.StatusNotFound {
+		t.Errorf("/debug/trace with unretained id status = %d, want 404", code)
+	}
+}
+
 func TestHandlerNoTracer(t *testing.T) {
 	srv := httptest.NewServer(Handler(NewRegistry(), nil, nil))
 	defer srv.Close()

@@ -306,9 +306,7 @@ func (r *Registry) LabeledHistogram(family string, labels []string, buckets []fl
 	if buckets == nil {
 		buckets = DurationBuckets
 	}
-	bs := append([]float64(nil), buckets...)
-	sort.Float64s(bs)
-	lh = &LabeledHistogram{f: newLabeledFamily(family, labels, maxSeries), reg: r, buckets: bs}
+	lh = &LabeledHistogram{f: newLabeledFamily(family, labels, maxSeries), reg: r, buckets: sortDedupBounds(buckets)}
 	r.labeledHistograms[family] = lh
 	return lh
 }

@@ -118,9 +118,24 @@ type Histogram struct {
 }
 
 func newHistogram(buckets []float64) *Histogram {
+	bs := sortDedupBounds(buckets)
+	return &Histogram{buckets: bs, counts: make([]atomic.Int64, len(bs))}
+}
+
+// sortDedupBounds copies, sorts, and deduplicates bucket upper bounds.
+// Duplicate bounds (e.g. an SLO latency target that coincides with a
+// default bucket) would otherwise emit two _bucket lines with the same
+// le label, which Prometheus rejects as a duplicate series.
+func sortDedupBounds(buckets []float64) []float64 {
 	bs := append([]float64(nil), buckets...)
 	sort.Float64s(bs)
-	return &Histogram{buckets: bs, counts: make([]atomic.Int64, len(bs))}
+	out := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != out[len(out)-1] {
+			out = append(out, b)
+		}
+	}
+	return out
 }
 
 // Observe records one observation.

@@ -180,3 +180,45 @@ func TestPrometheusExposition(t *testing.T) {
 		t.Error("exposition is not deterministic")
 	}
 }
+
+// TestHistogramDuplicateBounds pins the dedup of bucket upper bounds:
+// cavsatd appends the SLO latency target to DurationBuckets, and when it
+// coincides with an existing bound the exposition must still emit one
+// _bucket line per le value (Prometheus rejects duplicate series).
+func TestHistogramDuplicateBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dup_seconds", []float64{1, 0.25, 1, 4})
+	if got := len(h.buckets); got != 3 {
+		t.Fatalf("deduped bucket count = %d, want 3", got)
+	}
+	h.Observe(0.9)
+	h.Observe(2)
+
+	lh := r.LabeledHistogram("dup_labeled_seconds", []string{"route"}, []float64{1, 0.25, 1, 4}, 8)
+	if got := len(lh.Buckets()); got != 3 {
+		t.Fatalf("deduped labeled bucket count = %d, want 3", got)
+	}
+	lh.With("sat").Observe(0.9)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if sp := strings.LastIndexByte(line, ' '); sp > 0 && strings.Contains(line, "_bucket{") {
+			seen[line[:sp]]++
+		}
+	}
+	for name, n := range seen {
+		if n > 1 {
+			t.Errorf("duplicate bucket series %q emitted %d times:\n%s", name, n, buf.String())
+		}
+	}
+	if seen[`dup_seconds_bucket{le="1"}`] != 1 {
+		t.Errorf("missing dup_seconds le=1 bucket:\n%s", buf.String())
+	}
+	if seen[`dup_labeled_seconds_bucket{route="sat",le="1"}`] != 1 {
+		t.Errorf("missing labeled le=1 bucket:\n%s", buf.String())
+	}
+}

@@ -123,6 +123,11 @@ func ParseTraceparent(s string) (TraceContext, error) {
 	if ver == "00" && len(s) != 55 {
 		return tc, fmt.Errorf("obsv: malformed traceparent %q", s)
 	}
+	// Future versions may append fields, but the spec requires a '-'
+	// delimiter before any trailing data after the flags field.
+	if ver != "00" && len(s) > 55 && s[55] != '-' {
+		return tc, fmt.Errorf("obsv: malformed traceparent %q", s)
+	}
 	if _, err := hex.Decode(tc.TraceID[:], []byte(s[3:35])); err != nil {
 		return tc, fmt.Errorf("obsv: bad traceparent trace-id: %w", err)
 	}

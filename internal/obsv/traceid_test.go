@@ -63,6 +63,7 @@ func TestParseTraceparent(t *testing.T) {
 		{"valid sampled", valid, true, true},
 		{"valid unsampled", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", true, false},
 		{"future version with suffix", "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", true, true},
+		{"future version with undelimited suffix", "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01garbage", false, false},
 		{"empty", "", false, false},
 		{"truncated", valid[:54], false, false},
 		{"version 00 with trailing junk", valid + "-extra", false, false},
